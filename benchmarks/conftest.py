@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark/experiment suite.
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_TRIALS``
+    Monte-Carlo trials per (tree, algorithm) cell.  Default 400 — enough
+    for the Table I shape; the paper used 10,000.
+``REPRO_BENCH_CITY_N``
+    Size of the NYC-like tree.  Default 1500; the paper used 17,834.
+``REPRO_BENCH_FULL``
+    Set to ``1`` for full paper scale (10,000 trials, n = 17,834).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+TRIALS = 10000 if FULL else _env_int("REPRO_BENCH_TRIALS", 400)
+CITY_N = 17834 if FULL else _env_int("REPRO_BENCH_CITY_N", 1500)
+
+
+@pytest.fixture(scope="session")
+def bench_trials() -> int:
+    """Monte-Carlo trials per cell for experiment regeneration."""
+    return TRIALS
+
+
+@pytest.fixture(scope="session")
+def bench_city_n() -> int:
+    """NYC-like tree size."""
+    return CITY_N
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

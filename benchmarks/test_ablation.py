@@ -1,0 +1,64 @@
+"""Ablation benchmarks for the design constants (DESIGN.md §6)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablation import (
+    format_gamma_sweep,
+    run_fairbipart_gamma_sweep,
+    run_fairtree_gamma_sweep,
+    run_luby_variant_comparison,
+)
+
+
+def test_gamma_sweep_fairtree(benchmark, bench_trials):
+    """Smaller γ constants trade fallback frequency for rounds.
+
+    With the paper's c = 3 the fallback must be rare (ε ≤ 1/n); with
+    c = 0.5 it must fire visibly more often.
+    """
+    rows = run_once(
+        benchmark,
+        run_fairtree_gamma_sweep,
+        gamma_cs=(0.5, 1.0, 2.0, 3.0),
+        n=150,
+        trials=max(bench_trials, 400),
+        seed=0,
+    )
+    print("\n" + format_gamma_sweep(rows))
+    by_c = {r.gamma_c: r for r in rows}
+    assert by_c[0.5].fallback_fraction >= by_c[3.0].fallback_fraction
+    assert by_c[3.0].fallback_fraction <= 0.05
+    # fairness holds at the paper constant
+    assert by_c[3.0].min_join >= 0.2
+
+
+def test_gamma_sweep_fairbipart(benchmark, bench_trials):
+    """§VI-C: larger γ drives FAIRBIPART's inequality from 8 toward 4."""
+    rows = run_once(
+        benchmark,
+        run_fairbipart_gamma_sweep,
+        gamma_cs=(1.0, 2.0, 4.0),
+        n=128,
+        trials=max(bench_trials, 400),
+        seed=0,
+    )
+    print("\n" + format_gamma_sweep(rows))
+    by_c = {r.gamma_c: r for r in rows}
+    # larger γ → (weakly) larger minimum join probability
+    assert by_c[4.0].min_join >= by_c[1.0].min_join - 0.03
+    assert by_c[2.0].inequality <= 8.5
+
+
+def test_luby_variant_ablation(benchmark, bench_trials):
+    """Priority vs 1/(2d)-marking: both unfair on alternating trees."""
+    out = run_once(
+        benchmark,
+        run_luby_variant_comparison,
+        trials=max(bench_trials * 2, 1000),
+        seed=0,
+    )
+    print(f"\nLuby variants on alternating tree: {out}")
+    assert out["luby_fast"] > 3.0
+    assert out["luby_degree_fast"] > 3.0

@@ -1,0 +1,78 @@
+"""Benchmark E6: the Theorem 19 lower bound on the cone graph.
+
+Every algorithm in the library — fair ones included — must exhibit
+inequality Ω(k) on the cone ``C_k``: no universally fair MIS algorithm
+exists.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments.cone import format_cone, run_cone_experiment
+
+
+def test_cone_no_algorithm_is_fair(benchmark, bench_trials):
+    """F >= ~k for every algorithm (sampling slack 0.6)."""
+    rows = run_once(
+        benchmark,
+        run_cone_experiment,
+        ks=(4, 8),
+        trials=max(bench_trials * 8, 4000),
+        seed=0,
+    )
+    print("\n" + format_cone(rows))
+    for r in rows:
+        assert r.inequality >= 0.6 * r.theory_lower_bound, r.algorithm
+
+
+def test_cone_inequality_grows_linearly(benchmark, bench_trials):
+    """Doubling k must grow every algorithm's inequality factor."""
+    rows = run_once(
+        benchmark,
+        run_cone_experiment,
+        ks=(2, 4, 8),
+        trials=max(bench_trials * 6, 3000),
+        seed=1,
+    )
+    print("\n" + format_cone(rows))
+    by_alg = defaultdict(dict)
+    for r in rows:
+        by_alg[r.algorithm][r.k] = r.inequality
+    for alg, vals in by_alg.items():
+        assert vals[8] > vals[2], alg
+
+
+def test_cone_proof_mechanism(benchmark, bench_trials):
+    """The proof's coupling: P(apex) equals the probability that some
+    vertex of S joins (each implies the other)."""
+    import numpy as np
+
+    from repro.analysis.montecarlo import run_trials
+    from repro.fast.luby import FastLuby
+    from repro.graphs.generators import cone_graph
+
+    k = 6
+    g = cone_graph(k)
+
+    def measure():
+        rng_trials = max(bench_trials * 4, 2000)
+        apex_joins = 0
+        s_joins = 0
+        both = 0
+        rng = np.random.default_rng(0)
+        alg = FastLuby()
+        for _ in range(rng_trials):
+            m = alg.run(g, rng).membership
+            a = bool(m[0])
+            s = bool(m[k + 1 :].any())
+            apex_joins += a
+            s_joins += s
+            both += a == s
+        return apex_joins, s_joins, both, rng_trials
+
+    apex, s, both, trials = run_once(benchmark, measure)
+    assert apex == s  # identical events, run by run
+    assert both == trials

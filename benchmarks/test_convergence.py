@@ -1,0 +1,28 @@
+"""Benchmark E13 (extension): estimator convergence/bias sweep."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.convergence import (
+    format_convergence,
+    run_convergence_experiment,
+)
+
+
+def test_estimator_convergence(benchmark):
+    rows = run_once(
+        benchmark,
+        run_convergence_experiment,
+        budgets=(100, 400, 1600, 6400),
+        seed=0,
+    )
+    print("\n" + format_convergence(rows))
+    # plug-in estimates decrease (weakly) toward the asymptote
+    plugins = [r.plugin_inequality for r in rows]
+    assert plugins[-1] <= plugins[0] + 0.05
+    # brackets tighten monotonically
+    widths = [r.bracket_width for r in rows]
+    assert all(b <= a + 1e-9 for a, b in zip(widths, widths[1:]))
+    # at the largest budget the bracket must confirm FAIRTREE fairness
+    assert rows[-1].lower_bound <= 4.0

@@ -1,0 +1,60 @@
+"""Engine micro-benchmarks: per-run cost of every fast algorithm.
+
+These are conventional pytest-benchmark timings (many rounds), tracking
+the throughput that makes the 10,000-trial evaluation feasible, plus a
+faithful-vs-fast cost comparison documenting why both layers exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.luby import LubyMIS
+from repro.fast.blocks import FastColorMIS, FastFairBipart
+from repro.fast.fair_rooted import FastFairRooted
+from repro.fast.fair_tree import FastFairTree
+from repro.fast.luby import FastLuby
+from repro.experiments.datasets import binary_tree
+from repro.graphs.generators import grid_graph, random_tree
+
+
+@pytest.fixture(scope="module")
+def paper_tree():
+    return binary_tree().graph
+
+
+def test_speed_fast_luby_binary_tree(benchmark, paper_tree):
+    rng = np.random.default_rng(0)
+    benchmark(lambda: FastLuby().run(paper_tree, rng))
+
+
+def test_speed_fast_fair_tree_binary_tree(benchmark, paper_tree):
+    rng = np.random.default_rng(0)
+    benchmark(lambda: FastFairTree().run(paper_tree, rng))
+
+
+def test_speed_fast_fair_rooted_binary_tree(benchmark, paper_tree):
+    rng = np.random.default_rng(0)
+    alg = FastFairRooted()
+    benchmark(lambda: alg.run(paper_tree, rng))
+
+
+def test_speed_fast_fair_bipart_medium_tree(benchmark):
+    g = random_tree(500, seed=1).graph
+    rng = np.random.default_rng(0)
+    benchmark(lambda: FastFairBipart().run(g, rng))
+
+
+def test_speed_fast_color_mis_grid(benchmark):
+    g = grid_graph(20, 20)
+    rng = np.random.default_rng(0)
+    benchmark(lambda: FastColorMIS().run(g, rng))
+
+
+def test_speed_faithful_luby_small_tree(benchmark):
+    """The faithful layer on a small tree — orders slower per node, which
+    is exactly why the fast layer exists (DESIGN.md §4)."""
+    g = random_tree(100, seed=2).graph
+    rng = np.random.default_rng(0)
+    benchmark(lambda: LubyMIS().run(g, rng))

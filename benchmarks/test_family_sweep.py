@@ -1,0 +1,25 @@
+"""Benchmark E14 (extension): the fairness landscape matrix."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.families import format_family_sweep, run_family_sweep
+
+
+def test_family_sweep(benchmark, bench_trials):
+    cells = run_once(
+        benchmark, run_family_sweep, trials=max(bench_trials, 400), seed=0
+    )
+    print("\n" + format_family_sweep(cells))
+    # every guaranteed pair measures fair (constant, generously capped)
+    for c in cells:
+        if c.guaranteed_fair:
+            cap = 40.0 if c.algorithm == "color_mis_fast" else 10.0
+            assert c.inequality <= cap, (c.family, c.algorithm)
+    # the cone breaks everyone (Theorem 19)
+    cone = [c for c in cells if c.family == "cone"]
+    assert all(c.inequality > 4.0 for c in cone)
+    # Luby is the least fair algorithm on the star
+    star = {c.algorithm: c.inequality for c in cells if c.family == "star"}
+    assert star["luby_fast"] == max(star.values())

@@ -1,0 +1,103 @@
+"""Benchmark E4: regenerate Figure 4 (join-frequency CDFs).
+
+One test per panel.  Each regenerates the CDF series and asserts the
+paper's visual claims numerically: FAIRTREE curves are compact (all mass
+well inside (0,1), small range), Luby curves are diffuse with a low-
+frequency tail that worsens left → right across the panels.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.datasets import (
+    alternating_tree_b10,
+    alternating_tree_b30,
+    binary_tree,
+    campus_tree,
+    city_tree,
+    five_ary_tree,
+)
+from repro.experiments.figure4 import format_figure4, run_figure4
+
+
+def _split(series):
+    luby = [s for s in series if s.algorithm == "luby_fast"]
+    fair = [s for s in series if s.algorithm == "fair_tree_fast"]
+    return luby, fair
+
+
+def test_figure4_left_complete_trees(benchmark, bench_trials):
+    """Figure 4 (left): complete trees."""
+    series = run_once(
+        benchmark,
+        run_figure4,
+        trials=bench_trials,
+        seed=0,
+        trees=[binary_tree(), five_ary_tree()],
+    )
+    print("\n" + format_figure4(series))
+    luby, fair = _split(series)
+    for f in fair:
+        assert f.stats["min"] > 0.15 and f.stats["max"] < 0.9
+    for l, f in zip(luby, fair):
+        assert l.stats["range"] > f.stats["range"]
+
+
+def test_figure4_center_alternating_trees(benchmark, bench_trials):
+    """Figure 4 (center): alternating trees — the bimodal Luby case.
+
+    Paper: for B=10, ~80% of nodes are in the MIS ~90% of the time while
+    ~10% of nodes join only ~10% of the time.
+    """
+    series = run_once(
+        benchmark,
+        run_figure4,
+        trials=bench_trials,
+        seed=0,
+        trees=[alternating_tree_b10(), alternating_tree_b30()],
+    )
+    print("\n" + format_figure4(series))
+    luby, fair = _split(series)
+    b10 = luby[0].stats
+    assert b10["frac_above_0.90"] > 0.5  # large high-frequency mode
+    assert b10["frac_below_0.25"] > 0.05  # real low-frequency tail
+    for f in fair:
+        assert f.stats["frac_below_0.10"] == 0.0
+        assert f.stats["frac_above_0.90"] == 0.0
+
+
+def test_figure4_right_realworld_trees(benchmark, bench_trials, bench_city_n):
+    """Figure 4 (right): WAP-derived trees — the most diffuse Luby curves."""
+    series = run_once(
+        benchmark,
+        run_figure4,
+        trials=bench_trials,
+        seed=0,
+        trees=[campus_tree(seed=11), city_tree(n=bench_city_n, seed=12)],
+    )
+    print("\n" + format_figure4(series))
+    luby, fair = _split(series)
+    for l in luby:
+        assert l.stats["range"] > 0.5  # diffuse
+    for f, l in zip(fair, luby):
+        # compact relative to Luby, with no extreme-frequency tails
+        assert f.stats["range"] < l.stats["range"]
+        assert f.stats["iqr"] <= l.stats["iqr"] + 0.05
+        assert f.stats["frac_below_0.10"] == 0.0
+        assert f.stats["frac_above_0.90"] == 0.0
+
+
+def test_figure4_shape_similarity(benchmark, bench_trials):
+    """Paper: 'the general shape of the curves is similar ... with
+    [FAIRTREE] more condensed' — medians agree, spreads don't."""
+    series = run_once(
+        benchmark,
+        run_figure4,
+        trials=bench_trials,
+        seed=2,
+        trees=[binary_tree()],
+    )
+    luby, fair = _split(series)
+    assert abs(luby[0].stats["median"] - fair[0].stats["median"]) < 0.25
+    assert luby[0].stats["iqr"] >= fair[0].stats["iqr"] * 0.9

@@ -1,0 +1,28 @@
+"""Benchmark E15 (extension): message/bit complexity of the faithful layer."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments.messages import format_messages, run_message_experiment
+
+
+def test_message_complexity(benchmark):
+    rows = run_once(
+        benchmark, run_message_experiment, sizes=(16, 32, 64), repeats=2, seed=0
+    )
+    print("\n" + format_messages(rows))
+    by_alg = defaultdict(list)
+    for r in rows:
+        by_alg[r.algorithm].append(r)
+    # every message respects the O(log n)-bit budget
+    assert all(r.max_message_slots <= 8 for r in rows)
+    # FAIRBIPART's chunked tables dominate traffic at every size
+    for i in range(3):
+        fb = by_alg["fair_bipart"][i].slots_per_node
+        assert fb >= by_alg["luby"][i].slots_per_node
+        assert fb >= by_alg["fair_rooted"][i].slots_per_node
+    # Luby's traffic per node stays modest (O(deg · log n) flavor)
+    assert all(r.messages_per_node < 120 for r in by_alg["luby"])

@@ -1,0 +1,64 @@
+"""Benchmark E12 (extension): exact optimal fairness via LP.
+
+Regenerates the optimal-fairness table and asserts two exact facts:
+``F* = 1`` on trees/bipartite/symmetric families and ``F* = k`` on the
+cone — proving Theorem 19 tight.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.optimal import format_optimal, run_optimal_experiment
+
+
+def test_optimal_fairness_table(benchmark, bench_trials):
+    rows = run_once(
+        benchmark, run_optimal_experiment, trials=max(bench_trials, 400), seed=0
+    )
+    print("\n" + format_optimal(rows))
+    by = {r.graph_desc: r for r in rows}
+    # perfect fairness is achievable on these families
+    for desc in ("path P8", "star S8", "cycle C6", "clique K5",
+                 "random tree n=10"):
+        assert by[desc].optimal_inequality == pytest.approx(1.0, abs=1e-3)
+    # Theorem 19 is tight: F*(C_k) = k exactly
+    for k in (2, 3, 4, 5):
+        assert by[f"cone C_{k}"].optimal_inequality == pytest.approx(
+            float(k), abs=0.01
+        )
+    # and every real algorithm sits at or above the floor
+    for r in rows:
+        assert r.luby_inequality >= r.optimal_inequality - 0.15
+
+
+def test_cone_floor_vs_algorithms(benchmark, bench_trials):
+    """Measured inequality of every algorithm >= the exact floor F* = k."""
+    import numpy as np
+
+    from repro.analysis.montecarlo import run_trials
+    from repro.exact.optimal import optimal_inequality
+    from repro.fast.blocks import FastFairBipart
+    from repro.fast.fair_tree import FastFairTree
+    from repro.fast.luby import FastLuby
+    from repro.graphs.generators import cone_graph
+
+    k = 4
+    g = cone_graph(k)
+
+    def measure():
+        floor = optimal_inequality(g).inequality
+        out = {"floor": floor}
+        for alg in (FastLuby(), FastFairTree(), FastFairBipart()):
+            est = run_trials(alg, g, max(bench_trials * 4, 2000), seed=0)
+            out[alg.name] = est.inequality
+        return out
+
+    out = run_once(benchmark, measure)
+    print(f"\ncone C_{k}: exact floor F* = {out['floor']:.3f}")
+    for name, val in out.items():
+        if name == "floor":
+            continue
+        print(f"  {name:<18} measured F = {val:.2f}")
+        assert val >= out["floor"] * 0.85

@@ -1,0 +1,63 @@
+"""Benchmark E11: round-complexity claims on the faithful layer.
+
+Lemma 5 (FAIRROOTED O(log* n)), Lemma 9 (FAIRTREE O(log n) w.h.p.),
+Lemma 15 (FAIRBIPART O(log² n)), and Luby's O(log n): measured rounds,
+normalized by the claimed scale, must stay bounded as n grows.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments.rounds import format_rounds, run_rounds_experiment
+
+
+def test_round_complexity_scales(benchmark):
+    rows = run_once(
+        benchmark,
+        run_rounds_experiment,
+        sizes=(16, 32, 64, 128),
+        repeats=2,
+        seed=0,
+    )
+    print("\n" + format_rounds(rows))
+    by_alg = defaultdict(list)
+    for r in rows:
+        by_alg[r.algorithm].append(r)
+    for alg, series in by_alg.items():
+        series.sort(key=lambda r: r.n)
+        # normalized rounds must not blow up: allow 3x drift across an
+        # 8x size range (constants hidden in O(·) plus w.h.p. noise)
+        ratios = [r.normalized for r in series]
+        assert max(ratios) <= 3.5 * max(min(ratios), 0.5), (alg, ratios)
+
+
+def test_fair_rooted_rounds_nearly_constant(benchmark):
+    """log* n is 4 for every n in [16, 65536]: rounds must be ~flat."""
+    rows = run_once(
+        benchmark,
+        run_rounds_experiment,
+        sizes=(16, 256),
+        repeats=2,
+        seed=1,
+        algorithms=None,
+    )
+    fr = sorted(
+        (r for r in rows if r.algorithm == "fair_rooted"), key=lambda r: r.n
+    )
+    print("\n" + format_rounds(fr))
+    assert fr[-1].rounds_mean <= fr[0].rounds_mean + 6
+
+
+def test_fairbipart_rounds_superlinear_in_log(benchmark):
+    """FAIRBIPART (log² n) must grow visibly faster than Luby (log n)."""
+    rows = run_once(
+        benchmark, run_rounds_experiment, sizes=(16, 128), repeats=1, seed=2
+    )
+    by = {(r.algorithm, r.n): r.rounds_mean for r in rows}
+    fb_growth = by[("fair_bipart", 128)] / by[("fair_bipart", 16)]
+    luby_growth = max(by[("luby", 128)] / by[("luby", 16)], 1.0)
+    print(f"\nfair_bipart growth {fb_growth:.2f} vs luby growth {luby_growth:.2f}")
+    assert fb_growth > luby_growth

@@ -1,0 +1,44 @@
+"""Benchmark E5: the Section I star-graph motivation.
+
+Luby's inequality on ``S_n`` must track the exact theory value ``n - 1``
+while the fair algorithms stay at constant inequality.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.star import format_star, run_star_experiment
+
+
+def test_star_luby_theta_n(benchmark, bench_trials):
+    """Luby's star inequality grows linearly in n (theory: n-1)."""
+    rows = run_once(
+        benchmark,
+        run_star_experiment,
+        sizes=(8, 16, 32, 64),
+        trials=max(bench_trials * 4, 2000),
+        seed=0,
+    )
+    print("\n" + format_star(rows))
+    luby = [r for r in rows if "luby" in r.algorithm]
+    for r in luby:
+        assert 0.45 * r.theory_inequality <= r.inequality <= 2.0 * r.theory_inequality
+    # strictly increasing across sizes
+    vals = [r.inequality for r in luby]
+    assert vals == sorted(vals)
+
+
+def test_star_fair_algorithms_constant(benchmark, bench_trials):
+    """FAIRTREE / FAIRROOTED stay below their constant bounds on stars."""
+    rows = run_once(
+        benchmark,
+        run_star_experiment,
+        sizes=(16, 64),
+        trials=max(bench_trials * 2, 1500),
+        seed=0,
+    )
+    print("\n" + format_star(rows))
+    for r in rows:
+        if "luby" not in r.algorithm:
+            assert r.inequality <= 4.4

@@ -1,0 +1,55 @@
+"""Benchmarks E7–E10: regression the paper's fairness theorems.
+
+Each test measures the theorem's bound statistic at evaluation scale and
+asserts the bound holds (conservatively, via Wilson intervals inside the
+checkers).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.bounds import (
+    check_colormis_bound,
+    check_fairbipart_bound,
+    check_fairrooted_bound,
+    check_fairtree_bound,
+    format_bounds,
+)
+
+
+def test_fairrooted_bound(benchmark, bench_trials):
+    """Theorem 3: FAIRROOTED inequality <= 4 on rooted trees."""
+    check = run_once(
+        benchmark, check_fairrooted_bound, trials=max(bench_trials * 8, 4000), seed=0
+    )
+    print("\n" + format_bounds([check]))
+    assert check.satisfied
+    assert check.measured <= 4.5
+
+
+def test_fairtree_bound(benchmark, bench_trials):
+    """Theorem 8: FAIRTREE min join probability >= (1-eps)/4."""
+    check = run_once(
+        benchmark, check_fairtree_bound, trials=max(bench_trials * 8, 4000), seed=0
+    )
+    print("\n" + format_bounds([check]))
+    assert check.satisfied
+
+
+def test_fairbipart_bound(benchmark, bench_trials):
+    """Theorem 13: FAIRBIPART min join probability >= 1/8 on bipartite."""
+    check = run_once(
+        benchmark, check_fairbipart_bound, trials=max(bench_trials * 4, 2000), seed=0
+    )
+    print("\n" + format_bounds([check]))
+    assert check.satisfied
+
+
+def test_colormis_bound(benchmark, bench_trials):
+    """Theorem 17 / Corollary 18: COLORMIS joins with Ω(1/k) on planar."""
+    check = run_once(
+        benchmark, check_colormis_bound, trials=max(bench_trials * 4, 2000), seed=0
+    )
+    print("\n" + format_bounds([check]))
+    assert check.satisfied

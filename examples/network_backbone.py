@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Network backbone construction with fair duty rotation.
+
+The paper's first motivating application (§I-A): when an MIS is used as a
+network backbone, MIS members stay awake to relay traffic — joining the
+backbone is a *cost*.  If the backbone is re-elected every epoch with an
+unfair algorithm, topologically unlucky nodes are drafted almost every
+epoch while others almost never serve, so the unlucky ones exhaust their
+duty budget (battery, uptime) far sooner.
+
+This example simulates E election epochs on an alternating tree (the
+paper's high-inequality shape).  Every epoch each backbone member pays
+one unit of duty; we report the duty spread (max/min epochs served, the
+epoch-level analogue of the inequality factor) and when the first node
+exceeds a duty budget of 85% of the epochs.
+
+Run:  python examples/network_backbone.py [epochs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import FastFairTree, FastLuby
+from repro.analysis import simulate_duty
+from repro.graphs import alternating_tree
+
+
+def main() -> None:
+    epochs = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    tree = alternating_tree(10, 5).graph
+    print(f"Alternating tree (B=10, depth 5): n={tree.n}")
+    print(f"Re-electing a backbone for {epochs} epochs; duty budget = "
+          f"{0.85 * epochs:.0f} epochs on duty\n")
+
+    for alg in (FastLuby(), FastFairTree()):
+        report = simulate_duty(tree, alg, epochs, seed=1, budget_fraction=0.85)
+        exhausted = (
+            f"epoch {report.first_exhausted_epoch}"
+            if report.first_exhausted_epoch is not None
+            else "never"
+        )
+        spread = report.spread
+        print(f"{alg.name}")
+        print(f"  most-drafted node     : {report.duty.max():6.0f} epochs on duty")
+        print(f"  least-drafted node    : {report.duty.min():6.0f} epochs on duty")
+        print(f"  duty spread (max/min) : "
+              f"{'inf' if spread == float('inf') else f'{spread:6.1f}x'}")
+        print(f"  first budget exhausted: {exhausted}")
+        print()
+
+    print("FAIRTREE's join probabilities all sit in [(1-ε)/4, 3/4], so duty")
+    print("rotates and nobody's budget drains early; Luby's drafts the same")
+    print("unlucky nodes nearly every epoch (join probability ~0.9+) while")
+    print("hub nodes almost never serve.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""COLORMIS on planar graphs (Theorem 17 / Corollary 18).
+
+Beyond trees and bipartite graphs, the paper gives a ``k``-fair MIS for
+any graph a distributed algorithm can ``k``-color.  Theorem 17's
+inequality bound is ``O(k)``, so the palette size *is* the fairness — and
+planar graphs have arboricity <= 3, so an arboricity-driven coloring gets
+``k = O(1)`` even when the maximum degree is huge.
+
+The showcase topology is an *apex grid*: a planar grid whose boundary all
+connects to one apex vertex.  Its maximum degree grows with the perimeter
+(so greedy ``Δ+1`` coloring needs a huge palette) while its arboricity
+stays <= 3 (so the H-partition coloring needs ~8 colors).  COLORMIS with
+the arboricity coloring is then provably fair; with the greedy palette
+the ``O(k)`` bound is vacuous at this scale.
+
+Run:  python examples/planar_colormis.py [grid_side] [trials]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import FastColorMIS, FastLuby, run_trials
+from repro.graphs import apex_grid
+from repro.graphs.properties import arboricity_upper_bound
+
+
+def main() -> None:
+    side = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    trials = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
+
+    g = apex_grid(side, side)
+    print(f"Apex grid: n={g.n}, m={g.m}, Δ={g.max_degree} (apex), "
+          f"arboricity <= {arboricity_upper_bound(g)}  — planar\n")
+
+    configs = [
+        ("color_mis + arboricity coloring", FastColorMIS(coloring="arboricity")),
+        ("color_mis + greedy Δ+1 coloring", FastColorMIS(coloring="greedy")),
+        ("luby (baseline)", FastLuby()),
+    ]
+    print(f"{'algorithm':<34} {'k':>5} {'ineq.':>8} {'min join':>9}")
+    print("-" * 60)
+    for label, alg in configs:
+        est = run_trials(alg, g, trials=trials, seed=2)
+        sample = alg.run(g, __import__("numpy").random.default_rng(0))
+        k = sample.info.get("k", "-")
+        print(f"{label:<34} {str(k):>5} {est.inequality:>8.2f} "
+              f"{est.min_probability:>9.3f}")
+
+    print("\nCorollary 18: with a constant-size palette (possible because")
+    print("planar graphs have constant arboricity), COLORMIS is fair in")
+    print("O(log² n) rounds — the greedy palette grows with Δ and loses")
+    print("the constant bound, and Luby's has no bound at all.")
+
+
+if __name__ == "__main__":
+    main()

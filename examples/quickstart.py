@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: fairness of MIS algorithms in three minutes.
+
+Builds a random tree, runs Luby's classic MIS algorithm and the paper's
+FAIRTREE side by side, and prints each algorithm's inequality factor
+(Definition 1: the max/min ratio of per-node join probabilities).
+
+Run:  python examples/quickstart.py [n_nodes] [trials]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import FastFairTree, FastLuby, run_trials
+from repro.analysis import cdf_spread_stats
+from repro.graphs import random_tree
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+    trials = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
+
+    tree = random_tree(n, seed=42).graph
+    print(f"Random tree: n={tree.n}, max degree={tree.max_degree}")
+    print(f"Estimating join probabilities over {trials} runs each...\n")
+
+    for alg in (FastLuby(), FastFairTree()):
+        est = run_trials(alg, tree, trials=trials, seed=7)
+        stats = cdf_spread_stats(est.probabilities)
+        print(f"{alg.name}")
+        print(f"  inequality factor : {est.inequality:8.2f}")
+        print(f"  min join prob     : {est.min_probability:8.3f}")
+        print(f"  max join prob     : {est.max_probability:8.3f}")
+        print(f"  nodes joining <10%: {stats['frac_below_0.10']:8.1%}")
+        print()
+
+    print("FAIRTREE guarantees every node joins with probability >= (1-ε)/4")
+    print("(Theorem 8), so its inequality factor stays below ~4; Luby's has")
+    print("no such guarantee and degrades with degree heterogeneity.")
+
+
+if __name__ == "__main__":
+    main()

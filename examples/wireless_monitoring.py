@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Wireless monitoring on WAP-derived trees (the paper's §IX scenario).
+
+The paper's second motivating application (§I-A): monitoring nodes (the
+MIS) log their neighbors' behaviour and fill local storage faster than
+non-monitors.  On real access-point topologies — rebuilt here with the
+paper's own pipeline over a synthetic campus point cloud — Luby's
+algorithm concentrates monitoring duty on a few nodes.
+
+The example elects a monitoring set daily for a simulated quarter and
+reports per-node expected storage consumption under both algorithms,
+plus the Table-I-style inequality factors for the two trees.
+
+Run:  python examples/wireless_monitoring.py [days] [city_n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import FastFairTree, FastLuby, run_trials
+from repro.graphs import campus_model, city_model, wap_tree
+
+#: GB of monitoring logs a node accumulates per day on monitoring duty.
+#: (Being in the MIS is the cost — §I-A: monitors "fill up [their]
+#: storage at a higher rate than [their] non-MIS neighbors".)
+GB_PER_DUTY_DAY = 0.25
+
+
+def storage_after(graph, algorithm, days: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    used = np.zeros(graph.n)
+    for _ in range(days):
+        member = algorithm.run(graph, rng).membership
+        used[member] += GB_PER_DUTY_DAY
+    return used
+
+
+def main() -> None:
+    days = int(sys.argv[1]) if len(sys.argv) > 1 else 90
+    city_n = int(sys.argv[2]) if len(sys.argv) > 2 else 1500
+
+    networks = [
+        ("Dartmouth-like campus", wap_tree(campus_model(seed=11))),
+        ("NYC-like city", wap_tree(city_model(n=city_n, seed=12))),
+    ]
+
+    for label, g in networks:
+        print(f"{label}: n={g.n}, max degree={g.max_degree}")
+        for alg in (FastLuby(), FastFairTree()):
+            est = run_trials(alg, g, trials=max(days * 4, 400), seed=3)
+            used = storage_after(g, alg, days, seed=4)
+            print(f"  {alg.name}")
+            print(f"    inequality factor        : {est.inequality:8.2f}")
+            print(f"    busiest node storage (GB): {used.max():8.2f}")
+            print(f"    median node storage (GB) : {np.median(used):8.2f}")
+        print()
+
+    print("The paper's Table I reports Luby inequality 22.75 (Dartmouth)")
+    print("and 168.49 (NYC, n=17834) vs FAIRTREE <= 3.25 — run with")
+    print("city_n=17834 to reproduce the full-scale shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — Fair Maximal Independent Sets (IPDPS 2014), full reproduction.
+
+A production-quality implementation of *Fair Maximal Independent Sets*
+(Fineman, Newport, Sherr, Wang): every algorithm of the paper on a
+faithful synchronous message-passing simulator, fast vectorized
+Monte-Carlo engines, and harnesses reproducing every table and figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import FastFairTree, FastLuby, run_trials
+    from repro.graphs import random_tree
+
+    tree = random_tree(500, seed=1).graph
+    fair = run_trials(FastFairTree(), tree, trials=2000, seed=0)
+    luby = run_trials(FastLuby(), tree, trials=2000, seed=0)
+    print("FairTree inequality:", fair.inequality)
+    print("Luby inequality:    ", luby.inequality)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from . import algorithms, analysis, core, exact, experiments, fast, graphs, runtime
+from .algorithms import (
+    ColeVishkinMIS,
+    ColorMIS,
+    CntrlFairBipart,
+    FairBipart,
+    FairRooted,
+    FairTree,
+    LubyMIS,
+)
+from .analysis import (
+    JoinEstimate,
+    estimate_join_probabilities,
+    inequality_factor,
+    is_independent_set,
+    is_maximal_independent_set,
+    run_trials,
+)
+from .core import MISAlgorithm, MISResult, available, make
+from .fast import (
+    FastColorMIS,
+    FastFairBipart,
+    FastFairRooted,
+    FastFairTree,
+    FastLuby,
+)
+from .graphs import RootedTree, StaticGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "algorithms",
+    "analysis",
+    "core",
+    "exact",
+    "experiments",
+    "fast",
+    "graphs",
+    "runtime",
+    "ColeVishkinMIS",
+    "ColorMIS",
+    "CntrlFairBipart",
+    "FairBipart",
+    "FairRooted",
+    "FairTree",
+    "LubyMIS",
+    "JoinEstimate",
+    "estimate_join_probabilities",
+    "inequality_factor",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "run_trials",
+    "MISAlgorithm",
+    "MISResult",
+    "available",
+    "make",
+    "FastColorMIS",
+    "FastFairBipart",
+    "FastFairRooted",
+    "FastFairTree",
+    "FastLuby",
+    "RootedTree",
+    "StaticGraph",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""Faithful node-process implementations of every algorithm in the paper.
+
+Importing this package registers all algorithms with
+:mod:`repro.core.registry` under the names::
+
+    luby, cntrl_fair_bipart, cole_vishkin, fair_rooted,
+    fair_tree, fair_bipart, color_mis
+"""
+
+from .base import ProtocolAlgorithm
+from .cntrl_fair_bipart import CFBCall, CntrlFairBipart, cfb_duration
+from .cole_vishkin import CVEngine, ColeVishkinMIS, cv_reduction_iterations
+from .color_mis import ColorMIS
+from .coloring import (
+    DistributedColoring,
+    GreedyTrialColoringEngine,
+    HPartitionColoringEngine,
+    run_coloring,
+)
+from .construct_block import ConstructBlockCall, block_duration, draw_radius
+from .fair_bipart import FairBipart, default_block_gamma
+from .fair_rooted import FairRooted
+from .fair_tree import FairTree, default_gamma
+from .finalize import FinalizeTail
+from .luby import LubyMIS
+from .random_ids import RandomizedIDs, make_randomized_cole_vishkin
+
+__all__ = [
+    "ProtocolAlgorithm",
+    "CFBCall",
+    "CntrlFairBipart",
+    "cfb_duration",
+    "CVEngine",
+    "ColeVishkinMIS",
+    "cv_reduction_iterations",
+    "ColorMIS",
+    "DistributedColoring",
+    "GreedyTrialColoringEngine",
+    "HPartitionColoringEngine",
+    "run_coloring",
+    "ConstructBlockCall",
+    "block_duration",
+    "draw_radius",
+    "FairBipart",
+    "default_block_gamma",
+    "FairRooted",
+    "FairTree",
+    "default_gamma",
+    "FinalizeTail",
+    "LubyMIS",
+    "RandomizedIDs",
+    "make_randomized_cole_vishkin",
+]

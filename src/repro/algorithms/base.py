@@ -1,0 +1,98 @@
+"""Shared machinery for the faithful (node-process) algorithm layer.
+
+:class:`ProtocolAlgorithm` adapts a per-vertex :class:`NodeProcess` factory
+to the uniform :class:`~repro.core.result.MISAlgorithm` contract used by
+the analysis layer, handling seed plumbing, execution, validation, and
+metrics collection in one place.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+from ..core.result import MISResult
+from ..graphs.graph import StaticGraph
+from ..runtime.network import DEFAULT_SLOT_LIMIT, SyncNetwork
+from ..runtime.node import NodeProcess
+
+__all__ = ["ProtocolAlgorithm", "mis_outputs_to_membership"]
+
+
+def mis_outputs_to_membership(outputs: np.ndarray) -> np.ndarray:
+    """Convert 0/1 per-node outputs to a boolean membership array."""
+    member = np.zeros(len(outputs), dtype=bool)
+    for v, out in enumerate(outputs):
+        if out is None:
+            raise ValueError(f"node {v} never terminated")
+        if out not in (0, 1, True, False):
+            raise ValueError(f"node {v} produced non-binary output {out!r}")
+        member[v] = bool(out)
+    return member
+
+
+class ProtocolAlgorithm(ABC):
+    """Base class for MIS algorithms expressed as node processes.
+
+    Subclasses implement :meth:`build_process`; they may also override
+    :meth:`prepare` to compute per-run shared inputs (e.g. a rooting, or
+    the stage budget γ derived from ``n``).
+
+    Parameters
+    ----------
+    slot_limit:
+        Per-message slot budget enforced by the network.
+    validate:
+        When true (default), every run is checked for independence and
+        maximality — the unconditional guarantees of Section III.
+    """
+
+    def __init__(
+        self, slot_limit: int = DEFAULT_SLOT_LIMIT, validate: bool = True
+    ) -> None:
+        self.slot_limit = slot_limit
+        self.validate = validate
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Stable identifier used in tables, benchmarks, and the registry."""
+
+    @abstractmethod
+    def build_process(self, v: int, graph: StaticGraph, shared: Any) -> NodeProcess:
+        """Create the process for vertex ``v``."""
+
+    def prepare(self, graph: StaticGraph, rng: np.random.Generator) -> Any:
+        """Compute shared per-run inputs (default: none)."""
+        return None
+
+    def max_rounds(self, graph: StaticGraph) -> int | None:
+        """Round safety valve; ``None`` uses the engine default."""
+        return None
+
+    def run(self, graph: StaticGraph, rng: np.random.Generator) -> MISResult:
+        """Execute once on *graph*, drawing all randomness from *rng*."""
+        shared = self.prepare(graph, rng)
+        seed = int(rng.integers(0, 2**63))
+        network = SyncNetwork(graph, slot_limit=self.slot_limit)
+        outcome = network.run(
+            lambda v: self.build_process(v, graph, shared),
+            seed=seed,
+            max_rounds=self.max_rounds(graph),
+        )
+        membership = mis_outputs_to_membership(outcome.outputs)
+        result = MISResult(
+            membership=membership,
+            rounds=outcome.metrics.rounds,
+            metrics=outcome.metrics,
+            info=self.run_info(shared),
+        )
+        if self.validate:
+            result.validate(graph)
+        return result
+
+    def run_info(self, shared: Any) -> dict[str, Any]:
+        """Algorithm-specific extras attached to each result."""
+        return {}

@@ -1,0 +1,206 @@
+"""CNTRLFAIRBIPART — the perfectly fair bipartite MIS subroutine (§V-A).
+
+Given an estimated diameter bound ``D̂``, the routine runs:
+
+1. **Leader election** (``D̂`` rounds of flooding): every participating
+   node repeatedly broadcasts the largest ID it has seen; after ``D̂``
+   rounds it adopts the largest as its leader.
+2. **Parity BFS** (``D̂ + 1`` rounds): each node that believes itself the
+   leader draws a uniform bit ``b`` and starts a BFS carrying ``(leader,
+   level, b)``.  A node at level ``i`` (from *its* leader) joins the MIS
+   iff ``i + b ≡ 0 (mod 2)``.  A leader with no participating neighbors
+   always joins.
+
+Lemma 7: if ``D̂ >= D(T)`` the output is a correct MIS of the tree and
+every node joins with probability exactly 1/2 (1 for a singleton).
+
+The routine is exposed two ways:
+
+* :class:`CFBCall` — a step-driven object a *host* process embeds, so that
+  FAIRTREE can run the routine three times over different participant and
+  peer sets while keeping global round alignment;
+* :class:`CntrlFairBipart` — a standalone algorithm (useful for testing
+  Lemma 7 directly) that computes ``D̂`` centrally when not supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..core.registry import register
+from ..core.result import MISResult
+from ..graphs.graph import StaticGraph
+from ..runtime.message import Message
+from ..runtime.node import NodeContext, NodeProcess
+from .base import ProtocolAlgorithm
+
+__all__ = ["CFBCall", "cfb_duration", "CntrlFairBipart", "CFBProcess"]
+
+
+def cfb_duration(d_hat: int) -> int:
+    """Total synchronous rounds consumed by one CNTRLFAIRBIPART call.
+
+    ``d_hat`` election broadcasts (decided at local round ``d_hat``) plus
+    ``d_hat`` BFS hops sharing the decision round: rounds ``0 .. 2*d_hat``.
+    """
+    if d_hat < 1:
+        raise ValueError("d_hat must be >= 1")
+    return 2 * d_hat + 1
+
+
+class CFBCall:
+    """One embedded CNTRLFAIRBIPART execution.
+
+    Parameters
+    ----------
+    d_hat:
+        Diameter estimate ``D̂`` (the ``γ`` of the host algorithm).
+    participating:
+        Whether the host vertex takes part.  Non-participants stay silent
+        but must still step the same number of rounds.
+    peers:
+        Neighbor IDs this call may communicate with (the host restricts
+        these to e.g. "uncut edges" or "neighbors also in I").
+
+    After :meth:`step` has been driven for :func:`cfb_duration` rounds,
+    :attr:`joined` holds the outcome.
+    """
+
+    def __init__(
+        self, d_hat: int, participating: bool, peers: Iterable[int]
+    ) -> None:
+        self.d_hat = int(d_hat)
+        self.participating = bool(participating)
+        self.peers: tuple[int, ...] = tuple(peers)
+        self.joined = False
+        self.leader: int | None = None
+        self.level: int | None = None
+        self._max_seen = -1
+        self._done_bfs = False
+
+    @property
+    def duration(self) -> int:
+        """Rounds this call occupies."""
+        return cfb_duration(self.d_hat)
+
+    # ------------------------------------------------------------------ #
+    def _bcast(self, ctx: NodeContext, payload: dict[str, Any]) -> None:
+        for w in self.peers:
+            ctx.send(w, payload)
+
+    def step(self, ctx: NodeContext, r: int, inbox: list[Message]) -> None:
+        """Advance one round (``r`` counts from 0 within the call)."""
+        if not self.participating:
+            return
+        d = self.d_hat
+        if r == 0:
+            self._max_seen = ctx.node_id
+            self._bcast(ctx, {"type": "cfb_max", "id": self._max_seen})
+            return
+        if r <= d:
+            for msg in inbox:
+                if msg.payload.get("type") == "cfb_max":
+                    self._max_seen = max(self._max_seen, int(msg.payload["id"]))
+            if r < d:
+                self._bcast(ctx, {"type": "cfb_max", "id": self._max_seen})
+                return
+            # r == d: election decided; leaders start the BFS.
+            self.leader = self._max_seen
+            if self.leader == ctx.node_id:
+                bit = int(ctx.rng.integers(0, 2))
+                self.level = 0
+                # Level 0 joins iff 0 + b ≡ 0 (mod 2); an isolated leader
+                # always joins (the Lemma 7 special case).
+                self.joined = (bit % 2 == 0) or not self.peers
+                self._bcast(
+                    ctx,
+                    {
+                        "type": "cfb_bfs",
+                        "leader": ctx.node_id,
+                        "level": 1,
+                        "bit": bit,
+                    },
+                )
+            return
+        # BFS propagation rounds: d < r <= 2d
+        if self.level is None:
+            for msg in inbox:
+                p = msg.payload
+                if (
+                    p.get("type") == "cfb_bfs"
+                    and int(p["leader"]) == self.leader
+                ):
+                    self.level = int(p["level"])
+                    bit = int(p["bit"])
+                    self.joined = (self.level + bit) % 2 == 0
+                    if r < 2 * d:
+                        self._bcast(
+                            ctx,
+                            {
+                                "type": "cfb_bfs",
+                                "leader": self.leader,
+                                "level": self.level + 1,
+                                "bit": bit,
+                            },
+                        )
+                    break
+
+
+class CFBProcess(NodeProcess):
+    """Standalone node process: a single CNTRLFAIRBIPART call, then output."""
+
+    def __init__(self, d_hat: int) -> None:
+        self._d_hat = d_hat
+        self._call: CFBCall | None = None
+        self._r = -1
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._call = CFBCall(self._d_hat, True, ctx.neighbor_ids)
+        self._step(ctx, [])
+
+    def on_round(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        self._step(ctx, inbox)
+
+    def _step(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        assert self._call is not None
+        self._r += 1
+        self._call.step(ctx, self._r, inbox)
+        if self._r + 1 >= self._call.duration:
+            ctx.terminate(1 if self._call.joined else 0)
+
+
+@register("cntrl_fair_bipart")
+class CntrlFairBipart(ProtocolAlgorithm):
+    """Standalone CNTRLFAIRBIPART (for connected bipartite graphs/trees).
+
+    Parameters
+    ----------
+    d_hat:
+        Diameter estimate.  When ``None`` the true diameter is computed
+        centrally in :meth:`prepare` — the model does not grant nodes this
+        knowledge, but the standalone form exists precisely to test
+        Lemma 7 under the "``D̂ >= D(T)``" hypothesis.  Host algorithms
+        (FAIRTREE) always pass their own ``γ``.
+
+    Note: output is only a *correct MIS* when the graph is connected and
+    bipartite and ``d_hat >= D``; :meth:`run` validates by default and will
+    raise otherwise.
+    """
+
+    def __init__(self, d_hat: int | None = None, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self.d_hat = d_hat
+
+    @property
+    def name(self) -> str:
+        return "cntrl_fair_bipart"
+
+    def prepare(self, graph: StaticGraph, rng: np.random.Generator) -> int:
+        if self.d_hat is not None:
+            return self.d_hat
+        return max(1, graph.diameter() if graph.n > 1 else 1)
+
+    def build_process(self, v: int, graph: StaticGraph, shared: int) -> NodeProcess:
+        return CFBProcess(shared)

@@ -1,0 +1,274 @@
+"""Distributed vertex colorings (substrate S12, §VII prerequisites).
+
+COLORMIS needs a distributed ``k``-coloring algorithm ``A``.  Two are
+provided:
+
+* :class:`GreedyTrialColoringEngine` — the classic random-trial coloring:
+  every uncolored node proposes a color from its local palette
+  (``{0..deg(v)}`` minus finalized neighbor colors) and keeps it when no
+  neighbor proposed the same; ``O(log n)`` iterations w.h.p., ``Δ+1``
+  colors overall.
+* :class:`HPartitionColoringEngine` — a Barenboim–Elkin-style [1]
+  low-arboricity coloring: an H-partition peels nodes of active degree
+  ``<= A = floor((2+ε)·a)`` into ``O(log n)`` classes, then classes are
+  colored from palette ``{0..A}`` in reverse peel order.  Yields an
+  ``(A+1)``-coloring — for planar graphs (``a <= 3``) a constant number of
+  colors, which is what Corollary 18 needs.  Our per-class trial coloring
+  makes this ``O(log² n)`` rounds rather than the cited ``O(a log n)``;
+  COLORMIS's total stays ``O(log² n)`` either way (documented deviation,
+  DESIGN.md §3).
+
+Both engines follow the step-driven embeddable convention of
+:class:`~.cntrl_fair_bipart.CFBCall` and are wrapped by the standalone
+:class:`DistributedColoring` runner for direct testing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from ..graphs.graph import StaticGraph
+from ..runtime.message import Message
+from ..runtime.network import DEFAULT_SLOT_LIMIT, SyncNetwork
+from ..runtime.node import NodeContext, NodeProcess
+from ..runtime.rng import SeedLike
+
+__all__ = [
+    "GreedyTrialColoringEngine",
+    "HPartitionColoringEngine",
+    "DistributedColoring",
+    "greedy_budget_iterations",
+    "hpartition_classes",
+    "run_coloring",
+]
+
+
+def greedy_budget_iterations(n: int, c: float = 4.0) -> int:
+    """Trial-coloring iteration budget giving w.h.p. success."""
+    return max(4, math.ceil(c * math.log2(max(n, 2))) + 4)
+
+
+def hpartition_classes(n: int) -> int:
+    """Peeling-iteration budget: enough for any constant-arboricity graph."""
+    return max(2, math.ceil(1.8 * math.log2(max(n, 2))) + 2)
+
+
+class GreedyTrialColoringEngine:
+    """Random-trial ``(deg+1)``-list coloring.
+
+    Iteration (2 rounds): propose a random available color; finalize when
+    no neighbor proposed the same color this iteration.  Finalized colors
+    are announced so neighbors shrink their palettes.  After the budget a
+    node may remain uncolored (``color is None``) — hosts must tolerate
+    this, exactly as §VII footnote 3 prescribes.
+    """
+
+    def __init__(self, peers: list[int], budget_iters: int) -> None:
+        self.peers = list(peers)
+        self.palette = list(range(len(self.peers) + 1))
+        self._budget = budget_iters
+        self.duration = 2 * budget_iters
+        self.color: int | None = None
+        self._proposal: int | None = None
+        self._taken: set[int] = set()
+
+    def _bcast(self, ctx: NodeContext, payload: dict[str, Any]) -> None:
+        for w in self.peers:
+            ctx.send(w, payload)
+
+    def step(self, ctx: NodeContext, r: int, inbox: list[Message]) -> None:
+        """Advance one round (``r`` from 0 within the call)."""
+        sub = r % 2
+        if sub == 0:
+            # absorb finalizations announced in the previous iteration
+            for m in inbox:
+                if m.payload.get("type") == "col_fin":
+                    self._taken.add(int(m.payload["c"]))
+            if self.color is not None:
+                return
+            available = [c for c in self.palette if c not in self._taken]
+            if not available:
+                self._proposal = None
+                return
+            self._proposal = int(
+                available[int(ctx.rng.integers(0, len(available)))]
+            )
+            self._bcast(ctx, {"type": "col_prop", "c": self._proposal})
+        else:
+            if self.color is not None or self._proposal is None:
+                return
+            conflict = any(
+                m.payload.get("type") == "col_prop"
+                and int(m.payload["c"]) == self._proposal
+                for m in inbox
+            )
+            if not conflict:
+                self.color = self._proposal
+                self._bcast(ctx, {"type": "col_fin", "c": self.color})
+
+
+class HPartitionColoringEngine:
+    """Arboricity-driven coloring via H-partition + reverse-order trials.
+
+    Parameters
+    ----------
+    cap:
+        The degree cap ``A = floor((2+ε)·a)``; nodes peel when their
+        active degree drops to ``A`` or below, and the final palette is
+        ``{0..A}`` (``A+1`` colors).
+    classes:
+        Number of peel iterations (``O(log n)`` suffices for any graph of
+        arboricity ``a``).
+    trial_iters:
+        Trial-coloring iterations allotted to each class window.
+    """
+
+    def __init__(
+        self, peers: list[int], cap: int, classes: int, trial_iters: int
+    ) -> None:
+        self.peers = list(peers)
+        self.cap = int(cap)
+        self.classes = int(classes)
+        self.trial_iters = int(trial_iters)
+        self.duration = 2 * classes + (classes + 1) * 2 * trial_iters
+        self.color: int | None = None
+        self.h_class: int | None = None
+        self._active_nbrs = set(self.peers)
+        self._taken: set[int] = set()
+        self._proposal: int | None = None
+
+    def _bcast(self, ctx: NodeContext, payload: dict[str, Any]) -> None:
+        for w in self.peers:
+            ctx.send(w, payload)
+
+    def step(self, ctx: NodeContext, r: int, inbox: list[Message]) -> None:
+        """Advance one round (``r`` from 0 within the call)."""
+        peel_rounds = 2 * self.classes
+        if r < peel_rounds:
+            it, sub = divmod(r, 2)
+            if sub == 0:
+                # absorb peel announcements from the previous iteration
+                for m in inbox:
+                    if m.payload.get("type") == "peel":
+                        self._active_nbrs.discard(m.sender)
+                if self.h_class is None and len(self._active_nbrs) <= self.cap:
+                    self.h_class = it
+                    self._bcast(ctx, {"type": "peel"})
+            return
+        if r == peel_rounds and self.h_class is None:
+            self.h_class = self.classes  # overflow class (cap too small)
+        # -- phase 2: color classes in reverse peel order ------------------- #
+        local = r - peel_rounds
+        window, wr = divmod(local, 2 * self.trial_iters)
+        my_window = self.classes - (self.h_class or 0)
+        sub = wr % 2
+        if sub == 0:
+            for m in inbox:
+                if m.payload.get("type") == "col_fin":
+                    self._taken.add(int(m.payload["c"]))
+            if window != my_window or self.color is not None:
+                return
+            available = [
+                c for c in range(self.cap + 1) if c not in self._taken
+            ]
+            if not available:
+                self._proposal = None
+                return
+            self._proposal = int(
+                available[int(ctx.rng.integers(0, len(available)))]
+            )
+            self._bcast(ctx, {"type": "col_prop", "c": self._proposal})
+        else:
+            if (
+                window != my_window
+                or self.color is not None
+                or self._proposal is None
+            ):
+                return
+            conflict = any(
+                m.payload.get("type") == "col_prop"
+                and int(m.payload["c"]) == self._proposal
+                for m in inbox
+            )
+            if not conflict:
+                self.color = self._proposal
+                self._bcast(ctx, {"type": "col_fin", "c": self.color})
+
+
+class _ColoringProcess(NodeProcess):
+    """Standalone wrapper driving one coloring engine to completion."""
+
+    def __init__(self, engine_factory) -> None:
+        self._factory = engine_factory
+        self._engine = None
+        self._r = -1
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._engine = self._factory(ctx)
+        self._step(ctx, [])
+
+    def on_round(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        self._step(ctx, inbox)
+
+    def _step(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        self._r += 1
+        self._engine.step(ctx, self._r, inbox)
+        if self._r + 1 >= self._engine.duration:
+            color = self._engine.color
+            ctx.terminate(-1 if color is None else int(color))
+
+
+class DistributedColoring:
+    """Standalone runner for the coloring engines (testing / experiments).
+
+    ``kind``: ``"greedy"`` or ``"arboricity"``.  Returns an int array of
+    colors with ``-1`` marking the (w.h.p. absent) failures.
+    """
+
+    def __init__(
+        self,
+        kind: str = "greedy",
+        cap: int | None = None,
+        slot_limit: int = DEFAULT_SLOT_LIMIT,
+    ) -> None:
+        if kind not in ("greedy", "arboricity"):
+            raise ValueError(f"unknown coloring kind {kind!r}")
+        self.kind = kind
+        self.cap = cap
+        self.slot_limit = slot_limit
+
+    def run(self, graph: StaticGraph, seed: SeedLike = None) -> np.ndarray:
+        n = graph.n
+        if self.kind == "greedy":
+            budget = greedy_budget_iterations(n)
+
+            def factory(ctx: NodeContext):
+                return GreedyTrialColoringEngine(list(ctx.neighbor_ids), budget)
+
+        else:
+            from ..graphs.properties import arboricity_upper_bound
+
+            a = arboricity_upper_bound(graph)
+            cap = self.cap if self.cap is not None else max(1, int(2.5 * a))
+            classes = hpartition_classes(n)
+            trials = greedy_budget_iterations(n)
+
+            def factory(ctx: NodeContext):
+                return HPartitionColoringEngine(
+                    list(ctx.neighbor_ids), cap, classes, trials
+                )
+
+        network = SyncNetwork(graph, slot_limit=self.slot_limit)
+        outcome = network.run(lambda v: _ColoringProcess(factory), seed=seed)
+        colors = np.array([int(o) for o in outcome.outputs], dtype=np.int64)
+        return colors
+
+
+def run_coloring(
+    graph: StaticGraph, kind: str = "greedy", seed: SeedLike = None
+) -> np.ndarray:
+    """Convenience wrapper around :class:`DistributedColoring`."""
+    return DistributedColoring(kind=kind).run(graph, seed=seed)

@@ -1,0 +1,193 @@
+"""Linial–Saks ``Construct_Block`` with bounded messages (§VI-A, [12]).
+
+Every node draws a communication radius from the truncated geometric
+distribution ``π`` (``Pr[r = k] = p^k (1-p)`` for ``k < γ``, ``p^γ`` at
+``k = γ``) and floods *leader tables*: ``L[i]`` is the largest ID seen
+with ``i`` range remaining, with a piggybacked value that is either the
+leader candidate's random bit, parity-flipped per hop (FAIRBIPART), or its
+random color, unchanged per hop (COLORMIS).
+
+After ``γ`` *superrounds* a node's leader is the maximum ID anywhere in
+its table; if that ID appears only at index 0 the node is a *boundary*
+node (distance exactly ``r_u`` from the leader) and joins no block.
+
+Message sizes are honoured faithfully: a table holds up to ``γ + 1``
+entries of three scalars each, so a superround spans
+``ceil((γ+1) / entries_per_message)`` engine rounds and each round carries
+one chunk — this is exactly why FAIRBIPART costs ``O(log² n)`` rounds
+under the ``O(log n)``-bit message model (Lemma 15).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Literal
+
+import numpy as np
+
+from ..runtime.message import Message
+from ..runtime.node import NodeContext
+
+__all__ = ["ConstructBlockCall", "block_duration", "draw_radius", "DEFAULT_P"]
+
+#: The paper fixes ``p = 1/2`` for its analysis (Lemma 16).
+DEFAULT_P = 0.5
+
+
+def draw_radius(rng: np.random.Generator, gamma: int, p: float = DEFAULT_P) -> int:
+    """Sample from the truncated geometric distribution ``π``."""
+    if gamma < 1:
+        raise ValueError("gamma must be >= 1")
+    # Pr[r >= k] = p^k; draw by inverse transform on a geometric tail.
+    u = rng.random()
+    k = 0
+    threshold = p
+    while k < gamma and u < threshold:
+        k += 1
+        threshold *= p
+    return k
+
+
+def entries_per_message(slot_limit: int) -> int:
+    """How many (index, id, value) triples fit in one message."""
+    per = (slot_limit - 1) // 3  # one slot for the type tag
+    return max(1, per)
+
+
+def superround_length(gamma: int, slot_limit: int) -> int:
+    """Engine rounds needed to ship a full table once."""
+    return math.ceil((gamma + 1) / entries_per_message(slot_limit))
+
+
+def block_duration(gamma: int, slot_limit: int) -> int:
+    """Total engine rounds for one Construct_Block call."""
+    return gamma * superround_length(gamma, slot_limit) + 1
+
+
+class ConstructBlockCall:
+    """One embedded Construct_Block execution.
+
+    Parameters
+    ----------
+    gamma:
+        Maximum radius ``γ`` (the paper fixes ``γ = 2·lg n`` for the
+        inequality-8 bound; larger drives fairness toward 4).
+    p:
+        Geometric parameter of ``π`` (paper: 1/2).
+    mode:
+        ``"bit"`` — value flips parity each hop (FAIRBIPART);
+        ``"color"`` — value propagates unchanged (COLORMIS).
+    value:
+        This node's candidate-leader value (its random bit or its
+        uniformly drawn color).
+    slot_limit:
+        The network's per-message slot budget — determines chunking.
+    """
+
+    def __init__(
+        self,
+        gamma: int,
+        participating: bool,
+        peers: list[int],
+        mode: Literal["bit", "color"],
+        value: int,
+        radius: int,
+        slot_limit: int,
+    ) -> None:
+        if mode not in ("bit", "color"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.gamma = gamma
+        self.participating = participating
+        self.peers = list(peers)
+        self.mode = mode
+        self.radius = radius
+        self._sr_len = superround_length(gamma, slot_limit)
+        self._chunk = entries_per_message(slot_limit)
+        self.duration = block_duration(gamma, slot_limit)
+        # leader tables: L[i] = max ID seen with i range remaining
+        self.table_id = np.full(gamma + 1, -1, dtype=np.int64)
+        self.table_val = np.full(gamma + 1, -1, dtype=np.int64)
+        self.table_id[radius] = -2  # placeholder; filled with own id on start
+        self._own_value = int(value)
+        self._pending: list[tuple[int, int, int]] = []
+        self._outgoing: list[tuple[int, int, int]] = []
+        # results
+        self.in_block = False
+        self.leader: int | None = None
+        self.leader_value: int | None = None
+
+    # ------------------------------------------------------------------ #
+    def _merge_pending(self) -> None:
+        """Fold buffered neighbor entries into the table (one hop)."""
+        for i, vid, val in self._pending:
+            j = i - 1
+            if j < 0:
+                continue
+            new_val = (1 - val) if self.mode == "bit" else val
+            if vid > self.table_id[j]:
+                self.table_id[j] = vid
+                self.table_val[j] = new_val
+        self._pending.clear()
+
+    def _serialize(self) -> None:
+        """Snapshot the current table into the outgoing chunk queue."""
+        live = np.nonzero(self.table_id >= 0)[0]
+        self._outgoing = [
+            (int(i), int(self.table_id[i]), int(self.table_val[i])) for i in live
+        ]
+
+    def _send_chunk(self, ctx: NodeContext) -> None:
+        if not self._outgoing:
+            return
+        chunk, self._outgoing = (
+            self._outgoing[: self._chunk],
+            self._outgoing[self._chunk :],
+        )
+        flat: list[int] = []
+        for entry in chunk:
+            flat.extend(entry)
+        for w in self.peers:
+            ctx.send(w, {"type": "cb", "entries": flat})
+
+    def _receive(self, inbox: list[Message]) -> None:
+        for msg in inbox:
+            p = msg.payload
+            if p.get("type") != "cb":
+                continue
+            flat = p["entries"]
+            for k in range(0, len(flat), 3):
+                self._pending.append(
+                    (int(flat[k]), int(flat[k + 1]), int(flat[k + 2]))
+                )
+
+    # ------------------------------------------------------------------ #
+    def step(self, ctx: NodeContext, r: int, inbox: list[Message]) -> None:
+        """Advance one engine round (``r`` counts from 0 within the call)."""
+        if not self.participating:
+            return
+        if r == 0:
+            self.table_id[self.radius] = ctx.node_id
+            self.table_val[self.radius] = self._own_value
+        self._receive(inbox)
+        if r % self._sr_len == 0:
+            # Superround boundary: fold in everything heard during the
+            # previous superround, then snapshot and start sending.
+            self._merge_pending()
+            if r == self.duration - 1:
+                self._decide(ctx)
+                return
+            self._serialize()
+        self._send_chunk(ctx)
+
+    def _decide(self, ctx: NodeContext) -> None:
+        best = int(self.table_id.max())
+        if best < 0:  # cannot happen: own entry is always present
+            return
+        self.leader = best
+        idx = np.nonzero(self.table_id == best)[0]
+        top = int(idx.max())
+        if top == 0:
+            self.in_block = False  # boundary node
+        else:
+            self.in_block = True
+            self.leader_value = int(self.table_val[top])

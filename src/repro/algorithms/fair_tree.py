@@ -1,0 +1,219 @@
+"""FAIRTREE — the fair ``O(log n)`` MIS algorithm for unrooted trees (§V).
+
+Stage program (Figure 2 of the paper, with the synchronization rounds the
+prose implies made explicit):
+
+====  ========================  =============================================
+idx   rounds                    action
+====  ========================  =============================================
+S0    2                         *Cut*: per-edge coin — the lower-ID endpoint
+                                draws ``cut ∈ {0,1}`` u.a.r. and tells the
+                                other endpoint.
+S1    2γ+1                      CNTRLFAIRBIPART(D̂=γ) over ``cut=0`` edges →
+                                candidate set ``I₁``.
+S2    2                         sync: learn neighbors' ``I₁`` membership.
+S3    2γ+1                      *Resolve*: CNTRLFAIRBIPART over the subgraph
+                                induced by ``I₁``; members keep their seat
+                                iff they join again → ``I₂``.
+S4    3                         sync: learn neighbors' ``I₂`` membership and
+                                which neighbors are still uncovered.
+S5    2γ+1                      *Maximalize*: CNTRLFAIRBIPART over uncovered
+                                nodes → ``I₃``.
+S6    5                         *Fix* (shared :class:`FinalizeTail`): sync
+                                ``I₃`` membership, drop independence
+                                violations, resolve coverage; terminate
+                                decided nodes.
+S7    open-ended                Luby fallback on any still-uncovered nodes
+                                (fires only when some CFB call failed, an
+                                event of probability ε ≤ 1/n for default γ).
+====  ========================  =============================================
+
+Join probability: ≥ (1−ε)/4 for every node (Theorem 8), hence inequality
+factor at most ``4/(1−ε)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from ..core.registry import register
+from ..graphs.graph import StaticGraph
+from ..runtime.message import Message
+from ..runtime.node import NodeContext, NodeProcess
+from ..runtime.staged import StagedProcess
+from .base import ProtocolAlgorithm
+from .cntrl_fair_bipart import CFBCall, cfb_duration
+from .finalize import FINALIZE_FIXED_ROUNDS, FinalizeTail
+
+__all__ = ["FairTree", "FairTreeProcess", "default_gamma"]
+
+
+def default_gamma(n: int, c: float = 3.0) -> int:
+    """Stage budget ``γ = ceil(c·log₂ n) + 2``.
+
+    The Lemma 11 union bound needs ``2^{-γ}`` to beat the ``O(n²)`` paths
+    per stage with slack ``1/(3n)``; ``c = 3`` makes ε < 1/n for n ≥ 2.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return max(1, math.ceil(c * math.log2(max(n, 2)))) + 2
+
+
+class FairTreeProcess(StagedProcess):
+    """Per-vertex state machine for FAIRTREE."""
+
+    def __init__(self, gamma: int) -> None:
+        super().__init__()
+        self._gamma = gamma
+        self._cut: dict[int, int] = {}  # neighbor -> cut bit
+        self._cfb: CFBCall | None = None
+        self._in_i = False  # current membership in the evolving set I
+        self._nbr_mem: dict[int, bool] = {}  # neighbors' membership snapshot
+        self._participate3 = False
+        self._nbr_part3: set[int] = set()
+        self._tail: FinalizeTail | None = None
+
+    @property
+    def used_fallback(self) -> bool:
+        """True when the low-probability Luby fallback fired."""
+        return self._tail is not None and self._tail.used_luby
+
+    # ------------------------------------------------------------------ #
+    def stage_lengths(self, ctx: NodeContext) -> list[int | None]:
+        d = cfb_duration(self._gamma)
+        return [2, d, 2, d, 3, d, FINALIZE_FIXED_ROUNDS, None]
+
+    # ------------------------------------------------------------------ #
+    def on_stage_start(self, ctx: NodeContext, stage: int) -> None:
+        g = self._gamma
+        if stage == 1:
+            peers = [w for w, bit in self._cut.items() if bit == 0]
+            self._cfb = CFBCall(g, participating=True, peers=peers)
+        elif stage == 3:
+            peers = [w for w, m in self._nbr_mem.items() if m]
+            self._cfb = CFBCall(g, participating=self._in_i, peers=peers)
+        elif stage == 5:
+            peers = sorted(self._nbr_part3)
+            self._cfb = CFBCall(g, participating=self._participate3, peers=peers)
+        elif stage == 6:
+            self._tail = FinalizeTail(in_set=self._in_i)
+
+    def on_stage_round(
+        self, ctx: NodeContext, stage: int, r: int, inbox: list[Message]
+    ) -> None:
+        handler = getattr(self, f"_stage{stage}")
+        handler(ctx, r, inbox)
+
+    # -- S0: edge-cut negotiation ------------------------------------------ #
+    def _stage0(self, ctx: NodeContext, r: int, inbox: list[Message]) -> None:
+        if r == 0:
+            for w in ctx.neighbor_ids:
+                if ctx.node_id < w:
+                    bit = int(ctx.rng.integers(0, 2))
+                    self._cut[w] = bit
+                    ctx.send(w, {"type": "cut", "bit": bit})
+        else:
+            for msg in inbox:
+                if msg.payload.get("type") == "cut":
+                    self._cut[msg.sender] = int(msg.payload["bit"])
+
+    # -- S1/S3/S5: the three CNTRLFAIRBIPART calls -------------------------- #
+    def _run_cfb(self, ctx: NodeContext, r: int, inbox: list[Message]) -> None:
+        assert self._cfb is not None
+        self._cfb.step(ctx, r, inbox)
+
+    def _stage1(self, ctx: NodeContext, r: int, inbox: list[Message]) -> None:
+        self._run_cfb(ctx, r, inbox)
+        if r + 1 == self._cfb.duration:
+            self._in_i = self._cfb.joined  # I₁
+
+    def _stage3(self, ctx: NodeContext, r: int, inbox: list[Message]) -> None:
+        self._run_cfb(ctx, r, inbox)
+        if r + 1 == self._cfb.duration and self._in_i:
+            self._in_i = self._cfb.joined  # keep seat iff joined again → I₂
+
+    def _stage5(self, ctx: NodeContext, r: int, inbox: list[Message]) -> None:
+        self._run_cfb(ctx, r, inbox)
+        if r + 1 == self._cfb.duration and self._participate3:
+            self._in_i = self._in_i or self._cfb.joined  # I₃ = I₂ ∪ joined
+
+    # -- S2: membership sync -------------------------------------------- #
+    def _stage2(self, ctx: NodeContext, r: int, inbox: list[Message]) -> None:
+        if r == 0:
+            ctx.broadcast({"type": "mem", "in": self._in_i})
+        else:
+            self._nbr_mem = {
+                msg.sender: bool(msg.payload["in"])
+                for msg in inbox
+                if msg.payload.get("type") == "mem"
+            }
+
+    # -- S4: membership sync + stage-3 participant discovery ----------------- #
+    def _stage4(self, ctx: NodeContext, r: int, inbox: list[Message]) -> None:
+        if r == 0:
+            ctx.broadcast({"type": "mem", "in": self._in_i})
+        elif r == 1:
+            self._nbr_mem = {
+                msg.sender: bool(msg.payload["in"])
+                for msg in inbox
+                if msg.payload.get("type") == "mem"
+            }
+            uncovered = not self._in_i and not any(self._nbr_mem.values())
+            self._participate3 = uncovered
+            ctx.broadcast({"type": "part3", "in": uncovered})
+        else:
+            self._nbr_part3 = {
+                msg.sender
+                for msg in inbox
+                if msg.payload.get("type") == "part3" and msg.payload["in"]
+            }
+
+    # -- S6/S7: shared finalize tail (fix + coverage + Luby fallback) --------- #
+    def _stage6(self, ctx: NodeContext, r: int, inbox: list[Message]) -> None:
+        assert self._tail is not None
+        self._tail.fixed_step(ctx, r, inbox)
+        self._in_i = self._tail.in_set
+
+    def _stage7(self, ctx: NodeContext, r: int, inbox: list[Message]) -> None:
+        assert self._tail is not None
+        self._tail.luby_step(ctx, r, inbox)
+
+
+@register("fair_tree")
+class FairTree(ProtocolAlgorithm):
+    """FAIRTREE as a :class:`~repro.core.result.MISAlgorithm`.
+
+    Parameters
+    ----------
+    gamma_c:
+        Constant ``c`` in ``γ = ceil(c·log₂ n) + 2`` (default 3.0, the
+        value that makes the Lemma 11 failure bound ε < 1/n).  Smaller
+        values trade fairness for speed — see the ablation benchmarks.
+    gamma:
+        Explicit γ override (wins over ``gamma_c``).
+    """
+
+    def __init__(
+        self,
+        gamma_c: float = 3.0,
+        gamma: int | None = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.gamma_c = gamma_c
+        self.gamma = gamma
+
+    @property
+    def name(self) -> str:
+        return "fair_tree"
+
+    def prepare(self, graph: StaticGraph, rng: np.random.Generator) -> int:
+        return self.gamma if self.gamma is not None else default_gamma(
+            graph.n, self.gamma_c
+        )
+
+    def build_process(self, v: int, graph: StaticGraph, shared: int) -> NodeProcess:
+        return FairTreeProcess(shared)

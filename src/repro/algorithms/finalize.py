@@ -1,0 +1,97 @@
+"""Shared closing stages for block-based algorithms (§VI–§VII).
+
+Both FAIRBIPART and COLORMIS end the same way: the independent set built
+from blocks is synchronized with neighbors, any independence violation is
+dropped (a no-op on the graph families the algorithms target, but it makes
+the implementations total on arbitrary inputs), coverage is resolved, and
+the still-uncovered nodes run LUBY'S to restore maximality.
+
+:class:`FinalizeTail` packages those rounds so host processes embed it as
+their last two stages: a fixed 5-round sync/fix stage followed by an
+open-ended Luby stage.
+"""
+
+from __future__ import annotations
+
+from ..runtime.message import Message
+from ..runtime.node import NodeContext
+from .luby import LubyProcess
+
+__all__ = ["FinalizeTail", "FINALIZE_FIXED_ROUNDS"]
+
+#: Rounds consumed by the fixed part of the tail (mem sync + fix + status).
+FINALIZE_FIXED_ROUNDS = 5
+
+
+class FinalizeTail:
+    """Embeddable finishing sequence.
+
+    Fixed stage (5 rounds):
+
+    ====  =====================================================
+    r     action
+    ====  =====================================================
+    0     broadcast membership
+    1     learn neighbors' membership; drop self on violation;
+          broadcast fixed membership
+    2     learn fixed memberships → coverage; broadcast status
+    3     learn which neighbors remain uncovered
+    4     terminate decided nodes (1 in set / 0 covered)
+    ====  =====================================================
+
+    Open stage: LUBY'S restricted to uncovered neighbors; host forwards
+    rounds to :meth:`luby_step` until the engine terminates the node.
+    """
+
+    def __init__(self, in_set: bool) -> None:
+        self.in_set = in_set
+        self._nbr_mem: dict[int, bool] = {}
+        self._covered = False
+        self._active_nbrs: set[int] = set()
+        self._luby: LubyProcess | None = None
+        self.used_luby = False
+
+    # -- fixed stage -------------------------------------------------------- #
+    def fixed_step(self, ctx: NodeContext, r: int, inbox: list[Message]) -> None:
+        """Drive one of the 5 fixed rounds."""
+        if r == 0:
+            ctx.broadcast({"type": "mem", "in": self.in_set})
+        elif r == 1:
+            self._nbr_mem = {
+                m.sender: bool(m.payload["in"])
+                for m in inbox
+                if m.payload.get("type") == "mem"
+            }
+            if self.in_set and any(self._nbr_mem.values()):
+                self.in_set = False  # independence violation: step down
+            ctx.broadcast({"type": "memfix", "in": self.in_set})
+        elif r == 2:
+            nbr_fixed = any(
+                m.payload["in"]
+                for m in inbox
+                if m.payload.get("type") == "memfix"
+            )
+            self._covered = self.in_set or nbr_fixed
+            ctx.broadcast({"type": "status", "covered": self._covered})
+        elif r == 3:
+            self._active_nbrs = {
+                m.sender
+                for m in inbox
+                if m.payload.get("type") == "status" and not m.payload["covered"]
+            }
+        else:  # r == 4
+            if self.in_set:
+                ctx.terminate(1)
+            elif self._covered:
+                ctx.terminate(0)
+
+    # -- open Luby stage ------------------------------------------------------ #
+    def luby_step(self, ctx: NodeContext, r: int, inbox: list[Message]) -> None:
+        """Drive the fallback/maximalization Luby rounds."""
+        if r == 0:
+            self.used_luby = True
+            self._luby = LubyProcess(restrict_to=self._active_nbrs)
+            self._luby.on_start(ctx)
+        else:
+            assert self._luby is not None
+            self._luby.on_round(ctx, inbox)

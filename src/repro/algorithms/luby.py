@@ -1,0 +1,229 @@
+"""Luby's distributed MIS algorithm [13] — the paper's baseline.
+
+Two classic variants are provided:
+
+* ``"priority"`` — each iteration every active node draws a random
+  priority and joins if it beats all active neighbors (ties broken by ID).
+  This is the simple permutation formulation, terminates in ``O(log n)``
+  rounds w.h.p., and is the variant the paper's simulator uses.
+* ``"degree"`` — the original marking formulation: an active node marks
+  itself with probability ``1/(2d(v))``; a mark survives unless a marked
+  neighbor has higher degree (ties by ID); survivors join.  Degree-0 nodes
+  join outright.
+
+Both produce a correct MIS unconditionally; the paper's point is that
+neither is *fair* — e.g. inequality ``Theta(n)`` on the star.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.registry import register
+from ..core.result import MISResult
+from ..graphs.graph import StaticGraph
+from ..runtime.message import Message
+from ..runtime.node import NodeContext, NodeProcess
+from .base import ProtocolAlgorithm
+
+__all__ = ["LubyMIS", "LubyProcess", "LubyDegreeProcess"]
+
+#: Priority values are drawn from this many bits; collisions are broken by
+#: node ID, so correctness never depends on uniqueness.
+PRIORITY_BITS = 60
+
+
+class LubyProcess(NodeProcess):
+    """Per-vertex state machine for the priority variant.
+
+    Iteration layout (3 rounds per iteration):
+
+    ======  ================================================================
+    round   action
+    ======  ================================================================
+    draw    process ``exit`` notices, draw priority, broadcast ``prio``
+    decide  if own (priority, id) beats all active neighbors: broadcast
+            ``join`` and terminate(1)
+    clean   if a neighbor joined: broadcast ``exit`` and terminate(0)
+    ======  ================================================================
+    """
+
+    def __init__(self, restrict_to: set[int] | None = None) -> None:
+        #: neighbors still competing; ``None`` means "all my neighbors".
+        self._active: set[int] | None = (
+            set(restrict_to) if restrict_to is not None else None
+        )
+        self._phase = 0  # 0=draw, 1=decide, 2=clean
+        self._priority = 0
+
+    # -- helpers --------------------------------------------------------- #
+    def _active_set(self, ctx: NodeContext) -> set[int]:
+        if self._active is None:
+            self._active = set(ctx.neighbor_ids)
+        return self._active
+
+    def _send_all_active(self, ctx: NodeContext, payload: Any) -> None:
+        for w in self._active_set(ctx):
+            ctx.send(w, payload)
+
+    # -- lifecycle -------------------------------------------------------- #
+    def on_start(self, ctx: NodeContext) -> None:
+        self._begin_iteration(ctx, [])
+
+    def on_round(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        if self._phase == 1:
+            self._decide(ctx, inbox)
+        elif self._phase == 2:
+            self._clean(ctx, inbox)
+        else:
+            self._begin_iteration(ctx, inbox)
+
+    # -- phases ------------------------------------------------------------ #
+    def _begin_iteration(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        active = self._active_set(ctx)
+        for msg in inbox:
+            if msg.payload.get("type") == "exit":
+                active.discard(msg.sender)
+        self._priority = int(ctx.rng.integers(0, 1 << PRIORITY_BITS))
+        self._send_all_active(ctx, {"type": "prio", "value": self._priority})
+        self._phase = 1
+
+    def _decide(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        mine = (self._priority, ctx.node_id)
+        beaten = False
+        for msg in inbox:
+            if msg.payload.get("type") != "prio":
+                continue
+            theirs = (int(msg.payload["value"]), msg.sender)
+            if theirs > mine:
+                beaten = True
+        if not beaten:
+            self._send_all_active(ctx, {"type": "join"})
+            ctx.terminate(1)
+            return
+        self._phase = 2
+
+    def _clean(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        if any(msg.payload.get("type") == "join" for msg in inbox):
+            self._send_all_active(ctx, {"type": "exit"})
+            ctx.terminate(0)
+            return
+        # Idle for the remainder of this round; the *next* round starts a
+        # fresh iteration and will see the exit notices sent this round.
+        self._phase = 0
+
+
+class LubyDegreeProcess(NodeProcess):
+    """Per-vertex state machine for the ``1/(2d)`` marking variant.
+
+    Iteration layout (4 rounds): exchange current degrees; mark with
+    probability ``1/(2d)`` and announce (marked, degree); resolve mark
+    conflicts in favour of the higher (degree, id); joiners announce and
+    covered nodes exit.
+    """
+
+    def __init__(self, restrict_to: set[int] | None = None) -> None:
+        self._active: set[int] | None = (
+            set(restrict_to) if restrict_to is not None else None
+        )
+        self._phase = 0
+        self._marked = False
+        self._degree = 0
+        self._neighbor_degrees: dict[int, int] = {}
+
+    def _active_set(self, ctx: NodeContext) -> set[int]:
+        if self._active is None:
+            self._active = set(ctx.neighbor_ids)
+        return self._active
+
+    def _send_all_active(self, ctx: NodeContext, payload: Any) -> None:
+        for w in self._active_set(ctx):
+            ctx.send(w, payload)
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._exchange_degrees(ctx, [])
+
+    def on_round(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        if self._phase == 1:
+            self._mark(ctx, inbox)
+        elif self._phase == 2:
+            self._resolve(ctx, inbox)
+        elif self._phase == 3:
+            self._clean(ctx, inbox)
+        else:
+            self._exchange_degrees(ctx, inbox)
+
+    def _exchange_degrees(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        active = self._active_set(ctx)
+        for msg in inbox:
+            if msg.payload.get("type") == "exit":
+                active.discard(msg.sender)
+        self._degree = len(active)
+        if self._degree == 0:
+            ctx.terminate(1)
+            return
+        self._send_all_active(ctx, {"type": "deg", "value": self._degree})
+        self._phase = 1
+
+    def _mark(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        self._neighbor_degrees = {
+            msg.sender: int(msg.payload["value"])
+            for msg in inbox
+            if msg.payload.get("type") == "deg"
+        }
+        self._marked = bool(ctx.rng.random() < 1.0 / (2.0 * self._degree))
+        self._send_all_active(
+            ctx, {"type": "mark", "marked": self._marked, "degree": self._degree}
+        )
+        self._phase = 2
+
+    def _resolve(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        if self._marked:
+            mine = (self._degree, ctx.node_id)
+            for msg in inbox:
+                if msg.payload.get("type") == "mark" and msg.payload["marked"]:
+                    theirs = (int(msg.payload["degree"]), msg.sender)
+                    if theirs > mine:
+                        self._marked = False
+                        break
+        if self._marked:
+            self._send_all_active(ctx, {"type": "join"})
+            ctx.terminate(1)
+            return
+        self._phase = 3
+
+    def _clean(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        if any(msg.payload.get("type") == "join" for msg in inbox):
+            self._send_all_active(ctx, {"type": "exit"})
+            ctx.terminate(0)
+            return
+        # Idle; next round re-enters the degree exchange with the exit
+        # notices sent this round available in its inbox.
+        self._phase = 0
+
+
+@register("luby")
+class LubyMIS(ProtocolAlgorithm):
+    """Luby's MIS as a :class:`~repro.core.result.MISAlgorithm`.
+
+    Parameters
+    ----------
+    variant:
+        ``"priority"`` (default; the paper's simulated baseline) or
+        ``"degree"``.
+    """
+
+    def __init__(self, variant: str = "priority", **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        if variant not in ("priority", "degree"):
+            raise ValueError(f"unknown Luby variant {variant!r}")
+        self.variant = variant
+
+    @property
+    def name(self) -> str:
+        return "luby" if self.variant == "priority" else "luby_degree"
+
+    def build_process(self, v: int, graph: StaticGraph, shared: Any) -> NodeProcess:
+        if self.variant == "priority":
+            return LubyProcess()
+        return LubyDegreeProcess()

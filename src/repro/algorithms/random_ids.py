@@ -1,0 +1,66 @@
+"""Random-ID wrapper: fairness of deterministic algorithms (§II remark).
+
+Section II observes that for a *fixed* ID assignment a deterministic
+algorithm (e.g. Cole–Vishkin) has infinite inequality factor on any
+connected graph with n > 1 — but "if we assume ... the unique IDs used by
+the deterministic algorithm are assigned according to some probability
+distribution, its fairness becomes once again non-trivial."
+
+:class:`RandomizedIDs` realizes that setting: each run relabels the
+vertices by a uniformly random permutation before handing the graph to
+the wrapped algorithm, and maps the output back.  Wrapping
+:class:`~repro.algorithms.cole_vishkin.ColeVishkinMIS` this way yields a
+randomized MIS algorithm whose fairness can be measured like any other —
+the companion experiment shows it is *not* fair (position in the tree
+still matters even with random IDs).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.registry import register
+from ..core.result import MISAlgorithm, MISResult
+from ..graphs.graph import StaticGraph
+
+__all__ = ["RandomizedIDs", "make_randomized_cole_vishkin"]
+
+
+class RandomizedIDs:
+    """Wrap any MIS algorithm with per-run uniformly random vertex IDs."""
+
+    def __init__(self, inner: MISAlgorithm) -> None:
+        self.inner = inner
+        self._cache: dict[int, StaticGraph] = {}
+
+    @property
+    def name(self) -> str:
+        return f"{self.inner.name}+random_ids"
+
+    def run(self, graph: StaticGraph, rng: np.random.Generator) -> MISResult:
+        perm = rng.permutation(graph.n)  # perm[v] = new label of v
+        if graph.m:
+            relabeled = StaticGraph.from_edges(
+                graph.n, ((int(perm[u]), int(perm[v])) for u, v in graph.edges)
+            )
+        else:
+            relabeled = graph
+        inner_result = self.inner.run(relabeled, rng)
+        member = np.zeros(graph.n, dtype=bool)
+        member[:] = inner_result.membership[perm]
+        return MISResult(
+            membership=member,
+            rounds=inner_result.rounds,
+            metrics=inner_result.metrics,
+            info={**dict(inner_result.info), "wrapper": "random_ids"},
+        )
+
+
+@register("cole_vishkin_random_ids")
+def make_randomized_cole_vishkin(**kwargs: Any) -> RandomizedIDs:
+    """Cole–Vishkin under random ID assignment (the §II setting)."""
+    from .cole_vishkin import ColeVishkinMIS
+
+    return RandomizedIDs(ColeVishkinMIS(**kwargs))

@@ -1,0 +1,62 @@
+"""Fairness estimation, validity checks, CDFs, and theory constants."""
+
+from .cdf import CDF, cdf_spread_stats, empirical_cdf
+from .fairness import (
+    JoinEstimate,
+    estimate_from_counts,
+    inequality_factor,
+    wilson_interval,
+)
+from .montecarlo import estimate_join_probabilities, run_trials
+from .theory import (
+    colormis_min_join_probability,
+    cone_inequality_lower_bound,
+    fairbipart_block_probability,
+    fairbipart_inequality_bound,
+    fairbipart_min_join_probability,
+    fairrooted_inequality_bound,
+    fairtree_epsilon_bound,
+    fairtree_inequality_bound,
+    fairtree_min_join_probability,
+    log_star,
+    star_luby_center_probability,
+    star_luby_inequality,
+)
+from .workload import DutyReport, expected_duty_spread, simulate_duty
+from .validation import (
+    coverage_mask,
+    is_independent_set,
+    is_maximal_independent_set,
+    violating_edges,
+)
+
+__all__ = [
+    "CDF",
+    "cdf_spread_stats",
+    "empirical_cdf",
+    "JoinEstimate",
+    "estimate_from_counts",
+    "inequality_factor",
+    "wilson_interval",
+    "estimate_join_probabilities",
+    "run_trials",
+    "colormis_min_join_probability",
+    "cone_inequality_lower_bound",
+    "fairbipart_block_probability",
+    "fairbipart_inequality_bound",
+    "fairbipart_min_join_probability",
+    "fairrooted_inequality_bound",
+    "fairtree_epsilon_bound",
+    "fairtree_inequality_bound",
+    "fairtree_min_join_probability",
+    "log_star",
+    "star_luby_center_probability",
+    "star_luby_inequality",
+    "coverage_mask",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "violating_edges",
+    "DutyReport",
+    "expected_duty_spread",
+    "simulate_duty",
+]

@@ -1,0 +1,79 @@
+"""Terminal rendering of the evaluation artifacts (no plotting deps).
+
+The paper's Figure 4 is a set of CDF curves; this module renders the same
+series as Unicode line charts so the reproduction remains dependency-free
+(matplotlib is deliberately not required).  Used by the CLI and the
+figure-4 example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cdf import CDF
+
+__all__ = ["render_cdf", "render_histogram", "render_series"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def render_series(
+    curves: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "F(x)",
+) -> str:
+    """Render one or more (x, y) curves into a character grid.
+
+    ``curves`` maps a label to monotone (x, y) arrays with y in [0, 1].
+    Each curve is drawn with its own glyph; axes are annotated with the
+    global x-range.
+    """
+    if not curves:
+        raise ValueError("need at least one curve")
+    glyphs = "*o+x#@"
+    xmin = min(float(np.min(x)) for x, _ in curves.values())
+    xmax = max(float(np.max(x)) for x, _ in curves.values())
+    span = max(xmax - xmin, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for (label, (x, y)), glyph in zip(curves.items(), glyphs):
+        xs = np.asarray(x, dtype=np.float64)
+        ys = np.asarray(y, dtype=np.float64)
+        cols = np.clip(((xs - xmin) / span * (width - 1)).astype(int), 0, width - 1)
+        rows = np.clip(((1.0 - ys) * (height - 1)).astype(int), 0, height - 1)
+        for c, r in zip(cols.tolist(), rows.tolist()):
+            grid[r][c] = glyph
+    lines = ["1.0 ┤" + "".join(row) for row in grid[:1]]
+    for row in grid[1:-1]:
+        lines.append("    │" + "".join(row))
+    lines.append("0.0 ┤" + "".join(grid[-1]))
+    lines.append("    └" + "─" * width)
+    lines.append(f"     {xmin:<10.3g}{x_label:^{max(width - 20, 4)}}{xmax:>10.3g}")
+    legend = "   ".join(
+        f"{glyph} {label}" for (label, _), glyph in zip(curves.items(), glyphs)
+    )
+    lines.append("     " + legend)
+    return "\n".join(lines)
+
+
+def render_cdf(cdfs: dict[str, CDF], width: int = 64, height: int = 16) -> str:
+    """Render empirical CDFs (the Figure 4 panels) as a line chart."""
+    curves = {label: (c.x, c.y) for label, c in cdfs.items()}
+    return render_series(
+        curves, width=width, height=height, x_label="join frequency"
+    )
+
+
+def render_histogram(
+    values: np.ndarray, bins: int = 32, width: int | None = None
+) -> str:
+    """One-line sparkline histogram of per-node join frequencies."""
+    v = np.asarray(values, dtype=np.float64)
+    counts, _ = np.histogram(v, bins=bins, range=(0.0, 1.0))
+    top = max(int(counts.max()), 1)
+    cells = [
+        _BLOCKS[min(int(np.ceil(c / top * (len(_BLOCKS) - 1))), len(_BLOCKS) - 1)]
+        for c in counts
+    ]
+    return "0.0 |" + "".join(cells) + "| 1.0"

@@ -1,0 +1,133 @@
+"""Join-probability estimation and the inequality factor (Definition 1).
+
+The paper's evaluation estimates ``P_{A,G}(v)`` as the fraction of 10,000
+runs in which ``v`` joined, then reports ``F_A(G) = max_u P(u) / min_v
+P(v)``.  This module provides that plug-in estimator plus the statistical
+scaffolding a careful reproduction needs:
+
+* Wilson confidence intervals on each node's join probability;
+* a *conservative* inequality estimate (lower bound of the max over upper
+  bound of the min) so tests can assert theorems without flaking;
+* division-by-zero → ``inf`` exactly as Definition 1 prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "JoinEstimate",
+    "estimate_from_counts",
+    "inequality_factor",
+    "wilson_interval",
+]
+
+
+def wilson_interval(
+    successes: np.ndarray, trials: int, z: float = 1.96
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Wilson score interval for binomial proportions."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    k = np.asarray(successes, dtype=np.float64)
+    p = k / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * np.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return np.clip(center - half, 0.0, 1.0), np.clip(center + half, 0.0, 1.0)
+
+
+def inequality_factor(probabilities: np.ndarray) -> float:
+    """``max / min`` of join probabilities; 0/0 and x/0 evaluate to inf.
+
+    (Definition 1 of the paper defines division by zero as infinity.)
+    """
+    p = np.asarray(probabilities, dtype=np.float64)
+    if p.size == 0:
+        raise ValueError("need at least one node")
+    lo = float(p.min())
+    hi = float(p.max())
+    if lo <= 0.0:
+        return float("inf")
+    return hi / lo
+
+
+@dataclass(frozen=True)
+class JoinEstimate:
+    """Monte-Carlo estimate of per-node join probabilities.
+
+    Attributes
+    ----------
+    counts:
+        Per-node join counts over ``trials`` runs.
+    trials:
+        Number of Monte-Carlo runs.
+    """
+
+    counts: np.ndarray
+    trials: int
+
+    def __post_init__(self) -> None:
+        if self.trials <= 0:
+            raise ValueError("trials must be positive")
+        c = np.asarray(self.counts, dtype=np.int64)
+        if c.min(initial=0) < 0 or c.max(initial=0) > self.trials:
+            raise ValueError("counts out of [0, trials]")
+        object.__setattr__(self, "counts", c)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Plug-in estimate ``counts / trials`` (what the paper plots)."""
+        return self.counts / self.trials
+
+    @property
+    def inequality(self) -> float:
+        """Plug-in inequality factor (the paper's Table I statistic)."""
+        return inequality_factor(self.probabilities)
+
+    def inequality_bounds(self, z: float = 1.96) -> tuple[float, float]:
+        """``(lower, upper)`` bounds on the inequality factor.
+
+        Lower: smallest max/min compatible with the Wilson intervals;
+        upper: largest.  Tests assert theorem bounds against the *lower*
+        bound (can the data refute the theorem?) and sanity against the
+        upper.
+        """
+        lo, hi = wilson_interval(self.counts, self.trials, z)
+        max_lo = float(lo.max())
+        min_hi = float(hi.min())
+        max_hi = float(hi.max())
+        min_lo = float(lo.min())
+        lower = max_lo / min_hi if min_hi > 0 else float("inf")
+        upper = max_hi / min_lo if min_lo > 0 else float("inf")
+        return max(1.0, lower), upper
+
+    @property
+    def min_probability(self) -> float:
+        """Smallest per-node join-probability estimate."""
+        return float(self.probabilities.min())
+
+    @property
+    def max_probability(self) -> float:
+        """Largest per-node join-probability estimate."""
+        return float(self.probabilities.max())
+
+    def merge(self, other: "JoinEstimate") -> "JoinEstimate":
+        """Pool two independent estimates of the same graph/algorithm."""
+        if self.counts.shape != other.counts.shape:
+            raise ValueError("estimates cover different node sets")
+        return JoinEstimate(
+            counts=self.counts + other.counts,
+            trials=self.trials + other.trials,
+        )
+
+
+def estimate_from_counts(counts: np.ndarray, trials: int) -> JoinEstimate:
+    """Build a :class:`JoinEstimate` from raw join counts."""
+    return JoinEstimate(counts=np.asarray(counts), trials=trials)

@@ -1,0 +1,111 @@
+"""Monte-Carlo trial running (serial and multiprocess).
+
+The evaluation of Section IX is embarrassingly parallel: independent runs
+of a randomized algorithm on a fixed graph.  Seeds are spawned with
+``SeedSequence.spawn`` (the collision-free idiom for process pools) and
+each worker accumulates a join-count vector; counts are summed into a
+:class:`~repro.analysis.fairness.JoinEstimate`.
+
+Workers receive the algorithm and graph once via the pool initializer —
+not per task — so large graphs are pickled a single time per process.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from ..core.result import MISAlgorithm
+from ..graphs.graph import StaticGraph
+from ..runtime.rng import SeedLike, spawn_trial_seeds
+from .fairness import JoinEstimate
+from .validation import is_maximal_independent_set
+
+__all__ = ["run_trials", "estimate_join_probabilities"]
+
+# Worker-process state installed by the pool initializer.
+_WORKER: dict[str, Any] = {}
+
+
+def _init_worker(algorithm: MISAlgorithm, graph: StaticGraph) -> None:
+    _WORKER["algorithm"] = algorithm
+    _WORKER["graph"] = graph
+
+
+def _run_chunk(seeds: list[np.random.SeedSequence]) -> np.ndarray:
+    algorithm: MISAlgorithm = _WORKER["algorithm"]
+    graph: StaticGraph = _WORKER["graph"]
+    counts = np.zeros(graph.n, dtype=np.int64)
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        counts += algorithm.run(graph, rng).membership
+    return counts
+
+
+def run_trials(
+    algorithm: MISAlgorithm,
+    graph: StaticGraph,
+    trials: int,
+    seed: SeedLike = None,
+    n_jobs: int = 1,
+    validate_runs: bool = False,
+) -> JoinEstimate:
+    """Run *trials* independent executions and tally per-node joins.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes; ``1`` runs inline, ``0`` or negative uses the
+        CPU count.
+    validate_runs:
+        Assert independence + maximality of every run (serial path only;
+        algorithms constructed with ``validate=True`` already do this
+        internally).
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    seeds = spawn_trial_seeds(seed, trials)
+    if n_jobs == 1 or trials < 8:
+        counts = np.zeros(graph.n, dtype=np.int64)
+        for s in seeds:
+            rng = np.random.default_rng(s)
+            member = algorithm.run(graph, rng).membership
+            if validate_runs and not is_maximal_independent_set(graph, member):
+                raise AssertionError(
+                    f"{algorithm.name} produced an invalid MIS"
+                )
+            counts += member
+        return JoinEstimate(counts=counts, trials=trials)
+
+    import multiprocessing as mp
+
+    if n_jobs <= 0:
+        n_jobs = os.cpu_count() or 1
+    n_jobs = min(n_jobs, trials)
+    chunk_count = n_jobs * 4
+    chunks = [seeds[i::chunk_count] for i in range(chunk_count)]
+    chunks = [c for c in chunks if c]
+    ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context()
+    with ctx.Pool(
+        processes=n_jobs,
+        initializer=_init_worker,
+        initargs=(algorithm, graph),
+    ) as pool:
+        partials = pool.map(_run_chunk, chunks)
+    counts = np.sum(partials, axis=0).astype(np.int64)
+    return JoinEstimate(counts=counts, trials=trials)
+
+
+def estimate_join_probabilities(
+    algorithm: MISAlgorithm,
+    graph: StaticGraph,
+    trials: int,
+    seed: SeedLike = None,
+    n_jobs: int = 1,
+) -> np.ndarray:
+    """Convenience: per-node join-probability estimates as an array."""
+    return run_trials(
+        algorithm, graph, trials, seed=seed, n_jobs=n_jobs
+    ).probabilities

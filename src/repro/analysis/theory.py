@@ -1,0 +1,103 @@
+"""Closed-form theoretical quantities from the paper's analysis.
+
+Each function documents the theorem/lemma it encodes so experiments can
+print "paper bound vs measured" side by side (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "fairrooted_inequality_bound",
+    "fairtree_epsilon_bound",
+    "fairtree_inequality_bound",
+    "fairtree_min_join_probability",
+    "fairbipart_block_probability",
+    "fairbipart_min_join_probability",
+    "fairbipart_inequality_bound",
+    "colormis_min_join_probability",
+    "cone_inequality_lower_bound",
+    "star_luby_center_probability",
+    "star_luby_inequality",
+    "log_star",
+]
+
+
+def fairrooted_inequality_bound() -> float:
+    """Theorem 3: ``F_FAIRROOTED(rooted trees) <= 4``."""
+    return 4.0
+
+
+def fairtree_epsilon_bound(n: int) -> float:
+    """Theorem 8 failure mass: ``ε <= 1/n`` (for the paper's γ constant)."""
+    return 1.0 / max(n, 1)
+
+
+def fairtree_min_join_probability(n: int) -> float:
+    """Theorem 8: every node joins with probability ``>= (1-ε)/4``."""
+    return (1.0 - fairtree_epsilon_bound(n)) / 4.0
+
+
+def fairtree_inequality_bound(n: int) -> float:
+    """Implied inequality bound ``4/(1-ε)`` (→ 4 as n grows)."""
+    return 4.0 / (1.0 - fairtree_epsilon_bound(n))
+
+
+def fairbipart_block_probability(n: int, gamma: int, p: float = 0.5) -> float:
+    """Lemma 12(i): ``Pr[v joins a block] >= p·(1 - p^γ)^n``."""
+    return p * (1.0 - p**gamma) ** n
+
+
+def fairbipart_min_join_probability(
+    n: int, gamma: int | None = None, p: float = 0.5
+) -> float:
+    """Lemma 16: block probability × 1/2 ≥ 1/8 for ``γ = 2·lg n, n >= 2``."""
+    if gamma is None:
+        gamma = max(1, math.ceil(2 * math.log2(max(n, 2))))
+    return fairbipart_block_probability(n, gamma, p) * 0.5
+
+
+def fairbipart_inequality_bound() -> float:
+    """Theorem 13: ``F_FAIRBIPART(bipartite) <= 8``."""
+    return 8.0
+
+
+def colormis_min_join_probability(n: int, k: int, gamma: int | None = None) -> float:
+    """Theorem 17: block probability × ``1/k`` — join is ``Ω(1/k)``."""
+    if gamma is None:
+        gamma = max(1, math.ceil(2 * math.log2(max(n, 2))))
+    return fairbipart_block_probability(n, gamma) / max(k, 1)
+
+
+def cone_inequality_lower_bound(k: int) -> float:
+    """Theorem 19: every MIS algorithm has ``F >= k`` on the cone ``C_k``.
+
+    (The proof gives ``P(u_0)/P(u*) >= p_S / (p_S/k) = k``.)
+    """
+    return float(k)
+
+
+def star_luby_center_probability(n: int) -> float:
+    """Priority-Luby on the star ``S_n``: the center joins iff it draws
+    the global maximum in round 1 — probability exactly ``1/n``."""
+    return 1.0 / n
+
+
+def star_luby_inequality(n: int) -> float:
+    """Section I: Luby's inequality on the star is ``Θ(n)``.
+
+    Leaves join unless the center wins round 1, so
+    ``F = (1 - 1/n) / (1/n) = n - 1``.
+    """
+    return float(n - 1)
+
+
+def log_star(n: int) -> int:
+    """Iterated logarithm (base 2) — the FAIRROOTED round scale."""
+    count = 0
+    x = float(n)
+    while x > 1.0:
+        x = math.log2(x)
+        count += 1
+    return count

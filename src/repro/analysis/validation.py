@@ -1,0 +1,55 @@
+"""MIS validity checks (vectorized).
+
+Independence and maximality must hold on *every* execution (Section III);
+these helpers are the analysis-side counterparts of
+:meth:`repro.core.result.MISResult.validate` for raw membership arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import StaticGraph
+
+__all__ = [
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "coverage_mask",
+    "violating_edges",
+]
+
+
+def is_independent_set(graph: StaticGraph, membership: np.ndarray) -> bool:
+    """True iff no edge has both endpoints in the set."""
+    m = np.asarray(membership, dtype=bool)
+    es, ed = graph.edge_src, graph.edge_dst
+    if es.size == 0:
+        return True
+    return not bool(np.any(m[es] & m[ed]))
+
+
+def coverage_mask(graph: StaticGraph, membership: np.ndarray) -> np.ndarray:
+    """Vertices that are in the set or adjacent to a member."""
+    m = np.asarray(membership, dtype=bool)
+    es, ed = graph.edge_src, graph.edge_dst
+    covered = m.copy()
+    if es.size:
+        covered[ed[m[es]]] = True
+    return covered
+
+
+def is_maximal_independent_set(graph: StaticGraph, membership: np.ndarray) -> bool:
+    """True iff the set is independent and dominates every vertex."""
+    return is_independent_set(graph, membership) and bool(
+        coverage_mask(graph, membership).all()
+    )
+
+
+def violating_edges(graph: StaticGraph, membership: np.ndarray) -> np.ndarray:
+    """``(k, 2)`` array of edges with both endpoints in the set."""
+    m = np.asarray(membership, dtype=bool)
+    e = graph.edges
+    if e.shape[0] == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    bad = m[e[:, 0]] & m[e[:, 1]]
+    return e[bad]

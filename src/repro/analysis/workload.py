@@ -1,0 +1,114 @@
+"""Workload models for the paper's motivating applications (§I-A).
+
+The paper motivates fairness through repeated MIS election: being in the
+set carries a per-epoch cost (backbone relaying, monitoring storage).
+This module turns that story into measurable quantities:
+
+* :func:`simulate_duty` — elect an MIS for ``epochs`` rounds and count
+  each node's time on duty;
+* :class:`DutyReport` — spread statistics (max/min duty ratio — the
+  epoch-level realization of the inequality factor — plus budget
+  exhaustion analysis);
+* :func:`expected_duty_spread` — the closed-form limit: duty fractions
+  converge to join probabilities, so the duty spread converges to the
+  inequality factor.
+
+The ``network_backbone`` and ``wireless_monitoring`` examples are thin
+front-ends over these functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.result import MISAlgorithm
+from ..graphs.graph import StaticGraph
+from ..runtime.rng import SeedLike, generator_from
+from .fairness import JoinEstimate
+
+__all__ = ["DutyReport", "simulate_duty", "expected_duty_spread"]
+
+
+@dataclass(frozen=True)
+class DutyReport:
+    """Outcome of a repeated-election duty simulation.
+
+    Attributes
+    ----------
+    duty:
+        Per-node epochs-on-duty counts.
+    epochs:
+        Number of elections simulated.
+    first_exhausted_epoch:
+        First epoch in which some node's duty exceeded ``budget`` epochs,
+        or ``None`` if the budget was never exceeded.
+    budget:
+        The duty budget used for exhaustion analysis.
+    """
+
+    duty: np.ndarray
+    epochs: int
+    first_exhausted_epoch: int | None
+    budget: float
+
+    @property
+    def spread(self) -> float:
+        """Max/min duty ratio (∞ if some node never served)."""
+        lo = float(self.duty.min())
+        if lo <= 0:
+            return float("inf")
+        return float(self.duty.max()) / lo
+
+    @property
+    def max_duty_fraction(self) -> float:
+        """Fraction of epochs served by the most-drafted node."""
+        return float(self.duty.max()) / self.epochs
+
+    @property
+    def estimate(self) -> JoinEstimate:
+        """The duty counts as a join-probability estimate."""
+        return JoinEstimate(counts=self.duty.astype(np.int64), trials=self.epochs)
+
+
+def simulate_duty(
+    graph: StaticGraph,
+    algorithm: MISAlgorithm,
+    epochs: int,
+    seed: SeedLike = None,
+    budget_fraction: float = 0.85,
+) -> DutyReport:
+    """Re-elect an MIS for *epochs* rounds; track per-node duty.
+
+    ``budget_fraction`` sets the exhaustion threshold as a fraction of
+    the total epochs (a node "dies" once it has served more than that).
+    """
+    if epochs <= 0:
+        raise ValueError("epochs must be positive")
+    rng = generator_from(seed)
+    duty = np.zeros(graph.n, dtype=np.int64)
+    budget = budget_fraction * epochs
+    first_exhausted: int | None = None
+    for epoch in range(1, epochs + 1):
+        member = algorithm.run(graph, rng).membership
+        duty += member
+        if first_exhausted is None and duty.max() > budget:
+            first_exhausted = epoch
+    return DutyReport(
+        duty=duty,
+        epochs=epochs,
+        first_exhausted_epoch=first_exhausted,
+        budget=budget,
+    )
+
+
+def expected_duty_spread(estimate: JoinEstimate) -> float:
+    """Asymptotic duty spread = the inequality factor.
+
+    By the law of large numbers each node's duty fraction converges to
+    its join probability, so the long-run max/min duty ratio *is*
+    ``F_A(G)`` — this is why inequality is the right fairness statistic
+    for the §I-A applications.
+    """
+    return estimate.inequality

@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``      registered algorithms
+``run``       one MIS execution on a graph spec, printed summary
+``estimate``  Monte-Carlo join probabilities + inequality factor
+``table1``    regenerate Table I
+``figure4``   regenerate Figure 4 (ASCII CDF panels)
+``star``      the §I star demonstration
+``cone``      the §VIII lower-bound sweep
+``bounds``    Theorems 3/8/13/17 checks
+``rounds``    round-complexity measurement (faithful layer)
+``optimal``   exact optimal fairness (LP) on small families
+
+Graph specs (``--graph``)::
+
+    tree:N[:SEED]     random labeled tree
+    path:N            path graph
+    star:N            star graph
+    cycle:N           cycle
+    binary:DEPTH      complete binary tree
+    kary:B,D          complete B-ary tree of depth D
+    alt:B,D           alternating tree
+    grid:RxC          grid graph
+    trigrid:RxC       triangulated grid (planar, non-bipartite)
+    apex:RxC          apex grid (planar, high degree)
+    cone:K            the lower-bound cone graph
+    campus[:SEED]     Dartmouth-like WAP MST
+    city:N[:SEED]     NYC-like WAP MST
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.registry import available, make
+from .graphs.graph import StaticGraph
+
+__all__ = ["main", "parse_graph_spec"]
+
+
+def parse_graph_spec(spec: str) -> StaticGraph:
+    """Build a graph from a CLI spec string (see module docstring)."""
+    from .graphs import generators as gen
+    from .graphs.geometric import campus_model, city_model, wap_tree
+
+    kind, _, rest = spec.partition(":")
+    parts = rest.split(":") if rest else []
+
+    def ints(csv: str) -> list[int]:
+        return [int(x) for x in csv.replace("x", ",").split(",")]
+
+    try:
+        if kind == "tree":
+            n = int(parts[0])
+            seed = int(parts[1]) if len(parts) > 1 else 0
+            return gen.random_tree(n, seed=seed).graph
+        if kind == "path":
+            return gen.path_graph(int(parts[0]))
+        if kind == "star":
+            return gen.star_graph(int(parts[0]))
+        if kind == "cycle":
+            return gen.cycle_graph(int(parts[0]))
+        if kind == "binary":
+            return gen.complete_tree(2, int(parts[0])).graph
+        if kind == "kary":
+            b, d = ints(parts[0])
+            return gen.complete_tree(b, d).graph
+        if kind == "alt":
+            b, d = ints(parts[0])
+            return gen.alternating_tree(b, d).graph
+        if kind == "grid":
+            r, c = ints(parts[0])
+            return gen.grid_graph(r, c)
+        if kind == "trigrid":
+            r, c = ints(parts[0])
+            return gen.triangulated_grid(r, c)
+        if kind == "apex":
+            r, c = ints(parts[0])
+            return gen.apex_grid(r, c)
+        if kind == "cone":
+            return gen.cone_graph(int(parts[0]))
+        if kind == "campus":
+            seed = int(parts[0]) if parts else 11
+            return wap_tree(campus_model(seed=seed))
+        if kind == "city":
+            n = int(parts[0]) if parts else 2500
+            seed = int(parts[1]) if len(parts) > 1 else 12
+            return wap_tree(city_model(n=n, seed=seed))
+    except (ValueError, IndexError) as exc:
+        raise SystemExit(f"bad graph spec {spec!r}: {exc}") from exc
+    raise SystemExit(f"unknown graph kind {kind!r} (see --help)")
+
+
+def _cmd_list(_args: argparse.Namespace) -> None:
+    for name in available():
+        print(name)
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    graph = parse_graph_spec(args.graph)
+    alg = make(args.algorithm)
+    result = alg.run(graph, np.random.default_rng(args.seed))
+    result.validate(graph)
+    print(f"graph     : {args.graph} (n={graph.n}, m={graph.m})")
+    print(f"algorithm : {alg.name}")
+    print(f"MIS size  : {result.size}")
+    if result.rounds:
+        print(f"rounds    : {result.rounds}")
+    if result.info:
+        print(f"info      : {dict(result.info)}")
+
+
+def _cmd_estimate(args: argparse.Namespace) -> None:
+    from .analysis.ascii import render_histogram
+    from .analysis.montecarlo import run_trials
+
+    graph = parse_graph_spec(args.graph)
+    alg = make(args.algorithm)
+    est = run_trials(alg, graph, args.trials, seed=args.seed, n_jobs=args.jobs)
+    lower, upper = est.inequality_bounds()
+    print(f"graph        : {args.graph} (n={graph.n})")
+    print(f"algorithm    : {alg.name}   trials: {args.trials}")
+    print(f"inequality   : {est.inequality:.3f}   (95% CI [{lower:.2f}, {upper:.2f}])")
+    print(f"min/max join : {est.min_probability:.3f} / {est.max_probability:.3f}")
+    print("join-frequency histogram:")
+    print("  " + render_histogram(est.probabilities))
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from .experiments.table1 import format_table1, run_table1
+
+    rows = run_table1(
+        trials=args.trials, seed=args.seed, city_n=args.city_n, n_jobs=args.jobs
+    )
+    print(format_table1(rows))
+
+
+def _cmd_figure4(args: argparse.Namespace) -> None:
+    from .analysis.ascii import render_cdf
+    from .experiments.figure4 import format_figure4, run_figure4
+
+    series = run_figure4(
+        trials=args.trials, seed=args.seed, city_n=args.city_n, n_jobs=args.jobs
+    )
+    print(format_figure4(series))
+    panels: dict[str, dict[str, object]] = {}
+    for s in series:
+        panels.setdefault(s.panel, {})[f"{s.algorithm[:12]}:{s.tree[:18]}"] = s.cdf
+    for panel, cdfs in panels.items():
+        print(f"\nFigure 4 ({panel}):")
+        print(render_cdf(cdfs))  # type: ignore[arg-type]
+
+
+def _cmd_star(args: argparse.Namespace) -> None:
+    from .experiments.star import format_star, run_star_experiment
+
+    print(format_star(run_star_experiment(trials=args.trials, seed=args.seed)))
+
+
+def _cmd_cone(args: argparse.Namespace) -> None:
+    from .experiments.cone import format_cone, run_cone_experiment
+
+    print(format_cone(run_cone_experiment(trials=args.trials, seed=args.seed)))
+
+
+def _cmd_bounds(args: argparse.Namespace) -> None:
+    from .experiments.bounds import format_bounds, run_all_bounds
+
+    print(format_bounds(run_all_bounds(trials=args.trials, seed=args.seed)))
+
+
+def _cmd_rounds(args: argparse.Namespace) -> None:
+    from .experiments.rounds import format_rounds, run_rounds_experiment
+
+    print(format_rounds(run_rounds_experiment(seed=args.seed)))
+
+
+def _cmd_optimal(args: argparse.Namespace) -> None:
+    from .experiments.optimal import format_optimal, run_optimal_experiment
+
+    print(format_optimal(run_optimal_experiment(trials=args.trials, seed=args.seed)))
+
+
+def _cmd_families(args: argparse.Namespace) -> None:
+    from .experiments.families import format_family_sweep, run_family_sweep
+
+    print(format_family_sweep(run_family_sweep(trials=args.trials, seed=args.seed)))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fair Maximal Independent Sets (IPDPS 2014) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered algorithms").set_defaults(
+        fn=_cmd_list
+    )
+
+    def common(p: argparse.ArgumentParser, trials_default: int = 2000) -> None:
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--trials", type=int, default=trials_default)
+        p.add_argument("--jobs", type=int, default=1)
+
+    p = sub.add_parser("run", help="one execution, validated")
+    p.add_argument("--graph", required=True)
+    p.add_argument("--algorithm", default="fair_tree_fast")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("estimate", help="Monte-Carlo fairness estimate")
+    p.add_argument("--graph", required=True)
+    p.add_argument("--algorithm", default="fair_tree_fast")
+    common(p)
+    p.set_defaults(fn=_cmd_estimate)
+
+    for name, fn, help_text in (
+        ("table1", _cmd_table1, "regenerate Table I"),
+        ("figure4", _cmd_figure4, "regenerate Figure 4 (ASCII)"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        common(p)
+        p.add_argument("--city-n", type=int, default=2500)
+        p.set_defaults(fn=fn)
+
+    for name, fn, help_text, default_trials in (
+        ("star", _cmd_star, "§I star demonstration", 4000),
+        ("cone", _cmd_cone, "§VIII lower-bound sweep", 6000),
+        ("bounds", _cmd_bounds, "theorem bound checks", 3000),
+        ("optimal", _cmd_optimal, "exact optimal fairness (LP)", 3000),
+        ("families", _cmd_families, "fairness landscape matrix", 1500),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        common(p, default_trials)
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("rounds", help="round complexity (faithful layer)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_rounds)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Core contracts: the fair-MIS problem statement, results, and registry."""
+
+from .registry import AlgorithmNotFound, available, make, register
+from .result import InvalidMISError, MISAlgorithm, MISResult
+
+__all__ = [
+    "AlgorithmNotFound",
+    "available",
+    "make",
+    "register",
+    "InvalidMISError",
+    "MISAlgorithm",
+    "MISResult",
+]

@@ -1,0 +1,52 @@
+"""Name-based registry of MIS algorithm constructors.
+
+The experiment harness and the CLI-style examples refer to algorithms by
+short names ("luby", "fair_tree", ...).  Registration happens at import of
+the implementing module; :func:`make` instantiates with keyword overrides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .result import MISAlgorithm
+
+__all__ = ["register", "make", "available", "AlgorithmNotFound"]
+
+_REGISTRY: dict[str, Callable[..., MISAlgorithm]] = {}
+
+
+class AlgorithmNotFound(KeyError):
+    """Requested algorithm name has not been registered."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(
+            f"unknown algorithm {name!r}; available: {sorted(_REGISTRY)}"
+        )
+        self.name = name
+
+
+def register(name: str) -> Callable[[Callable[..., MISAlgorithm]], Callable[..., MISAlgorithm]]:
+    """Class decorator registering an algorithm constructor under *name*."""
+
+    def deco(ctor: Callable[..., MISAlgorithm]) -> Callable[..., MISAlgorithm]:
+        if name in _REGISTRY:
+            raise ValueError(f"algorithm {name!r} registered twice")
+        _REGISTRY[name] = ctor
+        return ctor
+
+    return deco
+
+
+def make(name: str, **kwargs: Any) -> MISAlgorithm:
+    """Instantiate a registered algorithm by name."""
+    try:
+        ctor = _REGISTRY[name]
+    except KeyError:
+        raise AlgorithmNotFound(name) from None
+    return ctor(**kwargs)
+
+
+def available() -> list[str]:
+    """Sorted list of registered algorithm names."""
+    return sorted(_REGISTRY)

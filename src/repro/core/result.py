@@ -1,0 +1,100 @@
+"""Result and contract types for the fair-MIS problem (Section III).
+
+Every algorithm in this library — faithful node-process or fast vectorized
+— returns a :class:`MISResult`, and exposes itself through the
+:class:`MISAlgorithm` protocol so the analysis layer can treat all engines
+uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..graphs.graph import StaticGraph
+from ..runtime.metrics import RunMetrics
+
+__all__ = ["MISResult", "MISAlgorithm", "InvalidMISError"]
+
+
+class InvalidMISError(AssertionError):
+    """An algorithm produced a set violating independence or maximality."""
+
+
+@dataclass
+class MISResult:
+    """Outcome of one MIS execution.
+
+    Attributes
+    ----------
+    membership:
+        Boolean array of length ``n``; ``True`` means the vertex output 1.
+    rounds:
+        Synchronous rounds consumed (0 for fast engines that do not model
+        rounds explicitly, unless they track them).
+    metrics:
+        Full runtime metrics when produced by the faithful layer.
+    info:
+        Algorithm-specific extras (e.g. ``fallback_used`` for FAIRTREE,
+        ``colors_used`` for COLORMIS).
+    """
+
+    membership: np.ndarray
+    rounds: int = 0
+    metrics: RunMetrics | None = None
+    info: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.membership = np.asarray(self.membership, dtype=bool)
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the independent set."""
+        return int(self.membership.sum())
+
+    def validate(self, graph: StaticGraph) -> "MISResult":
+        """Assert independence and maximality against *graph*; returns self.
+
+        Independence and maximality must hold on *every* execution
+        (Section III requires them unconditionally; only termination is
+        probabilistic), so this check is cheap insurance everywhere.
+        """
+        m = self.membership
+        if m.shape != (graph.n,):
+            raise InvalidMISError(
+                f"membership has shape {m.shape}, expected ({graph.n},)"
+            )
+        es, ed = graph.edge_src, graph.edge_dst
+        if es.size and bool(np.any(m[es] & m[ed])):
+            bad = np.nonzero(m[es] & m[ed])[0][0]
+            raise InvalidMISError(
+                f"independence violated on edge ({es[bad]}, {ed[bad]})"
+            )
+        covered = m.copy()
+        if es.size:
+            covered |= np.bincount(
+                ed, weights=m[es].astype(np.float64), minlength=graph.n
+            ).astype(bool)
+        if not bool(covered.all()):
+            v = int(np.nonzero(~covered)[0][0])
+            raise InvalidMISError(f"maximality violated at vertex {v}")
+        return self
+
+
+@runtime_checkable
+class MISAlgorithm(Protocol):
+    """Uniform callable contract used by the analysis/experiment layers.
+
+    Implementations must be deterministic given ``(graph, rng state)``.
+    """
+
+    @property
+    def name(self) -> str:
+        """Short stable identifier (used in tables and benchmarks)."""
+        ...
+
+    def run(self, graph: StaticGraph, rng: np.random.Generator) -> MISResult:
+        """Execute once and return the resulting MIS."""
+        ...

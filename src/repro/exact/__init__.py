@@ -1,0 +1,21 @@
+"""Exact small-graph analysis: MIS enumeration, optimal fairness, and
+centralized baselines.
+
+Importing registers ``centralized_fair_bipartite`` and ``uniform_mis``
+with the algorithm registry.
+"""
+
+from .centralized import CentralizedFairBipartite, UniformMISSampler
+from .enumerate import count_mis, maximal_independent_sets, mis_membership_matrix
+from .optimal import OptimalFairness, feasible_inequality, optimal_inequality
+
+__all__ = [
+    "CentralizedFairBipartite",
+    "UniformMISSampler",
+    "count_mis",
+    "maximal_independent_sets",
+    "mis_membership_matrix",
+    "OptimalFairness",
+    "feasible_inequality",
+    "optimal_inequality",
+]

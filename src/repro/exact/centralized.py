@@ -1,0 +1,98 @@
+"""Centralized perfectly fair MIS algorithms (the §V remark).
+
+Section V opens by noting "it is not difficult to create a *centralized*
+algorithm A′ that guarantees P(u) = P(v) for all u, v" on any bipartite
+graph — the real contribution is doing it distributedly.  This module
+supplies that centralized A′ (as the natural baseline the fair
+distributed algorithms approximate) plus a uniform-over-MIS sampler for
+exact small-graph studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.registry import register
+from ..core.result import MISResult
+from ..graphs.graph import GraphValidationError, StaticGraph
+from .enumerate import mis_membership_matrix
+
+__all__ = ["CentralizedFairBipartite", "UniformMISSampler"]
+
+
+@register("centralized_fair_bipartite")
+class CentralizedFairBipartite:
+    """The §V centralized A′: perfectly fair on bipartite graphs.
+
+    Per connected component, flip one coin to pick a side of the
+    bipartition; that side (plus any isolated vertices of the other side,
+    which have no neighbors and must join for maximality) is the MIS.
+    Every non-isolated vertex joins with probability exactly 1/2 and
+    isolated vertices with probability 1, so ``F = 1`` on every connected
+    bipartite graph with ``n > 1`` — the target the distributed
+    CNTRLFAIRBIPART matches (Lemma 7).
+    """
+
+    def __init__(self, validate: bool = True) -> None:
+        self.validate = validate
+
+    @property
+    def name(self) -> str:
+        return "centralized_fair_bipartite"
+
+    def run(self, graph: StaticGraph, rng: np.random.Generator) -> MISResult:
+        sides = graph.bipartition()
+        if sides is None:
+            raise GraphValidationError("graph is not bipartite")
+        count, labels = graph.connected_components()
+        coin = rng.integers(0, 2, size=max(count, 1))
+        member = sides == coin[labels]
+        # isolated vertices always join (their component is a single
+        # vertex, so the coin covers them only half the time otherwise)
+        member |= graph.degrees == 0
+        result = MISResult(membership=member, info={"engine": "centralized"})
+        if self.validate:
+            result.validate(graph)
+        return result
+
+
+@register("uniform_mis")
+class UniformMISSampler:
+    """Samples uniformly among *all* maximal independent sets.
+
+    A natural centralized baseline for fairness studies: its join
+    probabilities are exactly ``(# MIS containing v) / (# MIS)``.  Not
+    fair in general (e.g. the star: the center is in 1 of 2 sets, each
+    leaf also in 1 of 2 — actually fair there; the cone is the
+    counterexample), and exponential-time — use on small graphs only.
+    """
+
+    def __init__(self, validate: bool = False) -> None:
+        self.validate = validate
+        self._cache: tuple[StaticGraph, np.ndarray] | None = None
+
+    @property
+    def name(self) -> str:
+        return "uniform_mis"
+
+    def _sets(self, graph: StaticGraph) -> np.ndarray:
+        if self._cache is not None and self._cache[0] is graph:
+            return self._cache[1]
+        sets = mis_membership_matrix(graph)
+        self._cache = (graph, sets)
+        return sets
+
+    def exact_probabilities(self, graph: StaticGraph) -> np.ndarray:
+        """Closed-form join probabilities (no sampling)."""
+        sets = self._sets(graph)
+        return sets.mean(axis=0)
+
+    def run(self, graph: StaticGraph, rng: np.random.Generator) -> MISResult:
+        sets = self._sets(graph)
+        idx = int(rng.integers(0, len(sets)))
+        result = MISResult(
+            membership=sets[idx].copy(), info={"engine": "exact-uniform"}
+        )
+        if self.validate:
+            result.validate(graph)
+        return result

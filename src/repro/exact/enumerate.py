@@ -1,0 +1,93 @@
+"""Exact enumeration of maximal independent sets (small graphs).
+
+A bitset Bron–Kerbosch (with pivoting) over the *complement* graph lists
+every maximal independent set of graphs up to a few dozen vertices.  The
+exact layer turns Monte-Carlo claims into checkable identities: every
+algorithm's output must be one of these sets, and distributions over them
+are the object the optimal-fairness LP (:mod:`repro.exact.optimal`)
+optimizes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..graphs.graph import StaticGraph
+
+__all__ = ["maximal_independent_sets", "mis_membership_matrix", "count_mis"]
+
+#: Enumeration guard: Bron–Kerbosch is exponential; MIS counts explode
+#: beyond this size (worst case 3^(n/3)).
+MAX_EXACT_N = 40
+
+
+def _nonneighbor_masks(graph: StaticGraph) -> list[int]:
+    """Bitmask per vertex of its *non*-neighbors (excluding itself).
+
+    An independent set of ``G`` is a clique of the complement, so
+    Bron–Kerbosch runs over these masks.
+    """
+    n = graph.n
+    full = (1 << n) - 1
+    masks = []
+    for v in range(n):
+        m = full & ~(1 << v)
+        for w in graph.neighbors(v):
+            m &= ~(1 << int(w))
+        masks.append(m)
+    return masks
+
+
+def maximal_independent_sets(graph: StaticGraph) -> Iterator[frozenset[int]]:
+    """Yield every maximal independent set of *graph* exactly once.
+
+    Bron–Kerbosch with Tomita pivoting on the complement graph.  Raises
+    for graphs larger than :data:`MAX_EXACT_N`.
+    """
+    n = graph.n
+    if n > MAX_EXACT_N:
+        raise ValueError(
+            f"exact enumeration limited to n <= {MAX_EXACT_N} (got {n})"
+        )
+    if n == 0:
+        yield frozenset()
+        return
+    nbr = _nonneighbor_masks(graph)
+    full = (1 << n) - 1
+
+    def bits(x: int) -> Iterator[int]:
+        while x:
+            lsb = x & -x
+            yield lsb.bit_length() - 1
+            x ^= lsb
+
+    def bk(r: int, p: int, x: int) -> Iterator[int]:
+        if p == 0 and x == 0:
+            yield r
+            return
+        # pivot: vertex of P ∪ X maximizing |P ∩ N'(u)|
+        pivot = max(bits(p | x), key=lambda u: bin(p & nbr[u]).count("1"))
+        for v in list(bits(p & ~nbr[pivot])):
+            vb = 1 << v
+            yield from bk(r | vb, p & nbr[v], x & nbr[v])
+            p &= ~vb
+            x |= vb
+
+    for mask in bk(0, full, 0):
+        yield frozenset(i for i in range(n) if (mask >> i) & 1)
+
+
+def mis_membership_matrix(graph: StaticGraph) -> np.ndarray:
+    """All maximal independent sets as a ``(num_sets, n)`` bool matrix."""
+    sets = list(maximal_independent_sets(graph))
+    out = np.zeros((len(sets), graph.n), dtype=bool)
+    for i, s in enumerate(sets):
+        out[i, list(s)] = True
+    return out
+
+
+def count_mis(graph: StaticGraph) -> int:
+    """Number of maximal independent sets."""
+    return sum(1 for _ in maximal_independent_sets(graph))

@@ -1,0 +1,136 @@
+"""Optimal fairness of a graph, computed exactly (small graphs).
+
+Any MIS algorithm — distributed or not — induces a probability
+distribution over the maximal independent sets of the input graph, so the
+best achievable inequality factor is
+
+    F*(G) = min over distributions π   max_{u,v}  P_π(u) / P_π(v).
+
+With the MIS family enumerated, "does a distribution with inequality
+≤ r exist?" is a linear feasibility problem (variables π_S and a floor
+``t``: ``t ≤ P(v) ≤ r·t`` for all ``v``), so ``F*`` falls out of a
+bisection over ``r``.
+
+This answers the paper's structural question *exactly* on small graphs:
+
+* trees / bipartite graphs: ``F* = 1`` (the §V centralized remark);
+* the cone ``C_k``: ``F* = k`` — making Theorem 19's Ω(n) tight and
+  measurable (experiment E12, `benchmarks/test_optimal_fairness.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import StaticGraph
+from .enumerate import mis_membership_matrix
+
+__all__ = ["OptimalFairness", "optimal_inequality", "feasible_inequality"]
+
+
+@dataclass(frozen=True)
+class OptimalFairness:
+    """Result of the optimal-fairness computation.
+
+    Attributes
+    ----------
+    inequality:
+        ``F*(G)`` up to the bisection tolerance.
+    distribution:
+        Optimal MIS distribution (aligned with ``sets``).
+    probabilities:
+        Per-node join probabilities under that distribution.
+    sets:
+        ``(num_sets, n)`` membership matrix of all maximal independent
+        sets.
+    """
+
+    inequality: float
+    distribution: np.ndarray
+    probabilities: np.ndarray
+    sets: np.ndarray
+
+
+def feasible_inequality(
+    sets: np.ndarray, ratio: float
+) -> np.ndarray | None:
+    """Return a distribution achieving inequality <= *ratio*, or None.
+
+    Feasibility LP over variables ``(π_1..π_S, t)``::
+
+        Σ π = 1,   π >= 0,   t >= t_min,
+        P(v) = Σ_{S ∋ v} π_S >= t        for all v,
+        P(v)                  <= ratio·t  for all v.
+    """
+    from scipy.optimize import linprog
+
+    num_sets, n = sets.shape
+    if n == 0:
+        return np.ones(max(num_sets, 1)) / max(num_sets, 1)
+    a = sets.astype(np.float64).T  # (n, num_sets): P = a @ π
+
+    # inequality constraints in the form A_ub x <= b_ub, x = (π, t)
+    rows = []
+    rhs = []
+    for v in range(n):
+        rows.append(np.concatenate([-a[v], [1.0]]))  # t - P(v) <= 0
+        rhs.append(0.0)
+        rows.append(np.concatenate([a[v], [-ratio]]))  # P(v) - r t <= 0
+        rhs.append(0.0)
+    a_ub = np.array(rows)
+    b_ub = np.array(rhs)
+    a_eq = np.concatenate([np.ones(num_sets), [0.0]])[None, :]
+    b_eq = np.array([1.0])
+    bounds = [(0.0, None)] * num_sets + [(1e-9, None)]
+    # maximize t so degenerate all-zero solutions are excluded
+    c = np.zeros(num_sets + 1)
+    c[-1] = -1.0
+    res = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not res.success or res.x is None:
+        return None
+    pi = np.maximum(res.x[:num_sets], 0.0)
+    total = pi.sum()
+    if total <= 0:
+        return None
+    return pi / total
+
+
+def optimal_inequality(
+    graph: StaticGraph, tol: float = 1e-4, max_ratio: float | None = None
+) -> OptimalFairness:
+    """Compute ``F*(G)`` by bisection over the feasibility LP."""
+    sets = mis_membership_matrix(graph)
+    if graph.n == 0:
+        return OptimalFairness(1.0, np.ones(1), np.empty(0), sets)
+    hi = float(max_ratio if max_ratio is not None else graph.n + 1)
+    lo = 1.0
+    best = feasible_inequality(sets, hi)
+    if best is None:
+        raise RuntimeError(
+            "no feasible distribution at the maximum ratio — a vertex is "
+            "in no maximal independent set, which is impossible"
+        )
+    if (dist := feasible_inequality(sets, 1.0)) is not None:
+        best, hi = dist, 1.0
+    else:
+        while hi - lo > tol:
+            mid = 0.5 * (lo + hi)
+            dist = feasible_inequality(sets, mid)
+            if dist is None:
+                lo = mid
+            else:
+                best, hi = dist, mid
+    probs = sets.astype(np.float64).T @ best
+    return OptimalFairness(
+        inequality=hi, distribution=best, probabilities=probs, sets=sets
+    )

@@ -1,0 +1,93 @@
+"""Experiment harnesses for every table, figure, and theorem (DESIGN.md §5)."""
+
+from .ablation import (
+    GammaSweepRow,
+    format_gamma_sweep,
+    run_fairbipart_gamma_sweep,
+    run_fairtree_gamma_sweep,
+    run_luby_variant_comparison,
+)
+from .bounds import (
+    BoundCheck,
+    check_colormis_bound,
+    check_fairbipart_bound,
+    check_fairrooted_bound,
+    check_fairtree_bound,
+    format_bounds,
+    run_all_bounds,
+)
+from .cone import ConeRow, format_cone, run_cone_experiment
+from .convergence import (
+    ConvergenceRow,
+    format_convergence,
+    run_convergence_experiment,
+)
+from .datasets import (
+    DEFAULT_CITY_N,
+    EvalTree,
+    alternating_tree_b10,
+    alternating_tree_b30,
+    binary_tree,
+    campus_tree,
+    city_tree,
+    five_ary_tree,
+    table1_trees,
+)
+from .families import FamilyCell, format_family_sweep, run_family_sweep
+from .figure4 import Figure4Series, format_figure4, run_figure4
+from .messages import MessageRow, format_messages, run_message_experiment
+from .optimal import OptimalRow, format_optimal, run_optimal_experiment
+from .rounds import RoundsRow, format_rounds, run_rounds_experiment
+from .star import StarRow, format_star, run_star_experiment
+from .table1 import Table1Row, format_table1, run_table1
+
+__all__ = [
+    "GammaSweepRow",
+    "format_gamma_sweep",
+    "run_fairbipart_gamma_sweep",
+    "run_fairtree_gamma_sweep",
+    "run_luby_variant_comparison",
+    "BoundCheck",
+    "check_colormis_bound",
+    "check_fairbipart_bound",
+    "check_fairrooted_bound",
+    "check_fairtree_bound",
+    "format_bounds",
+    "run_all_bounds",
+    "ConeRow",
+    "format_cone",
+    "run_cone_experiment",
+    "ConvergenceRow",
+    "format_convergence",
+    "run_convergence_experiment",
+    "DEFAULT_CITY_N",
+    "EvalTree",
+    "alternating_tree_b10",
+    "alternating_tree_b30",
+    "binary_tree",
+    "campus_tree",
+    "city_tree",
+    "five_ary_tree",
+    "table1_trees",
+    "FamilyCell",
+    "format_family_sweep",
+    "run_family_sweep",
+    "Figure4Series",
+    "format_figure4",
+    "run_figure4",
+    "MessageRow",
+    "format_messages",
+    "run_message_experiment",
+    "OptimalRow",
+    "format_optimal",
+    "run_optimal_experiment",
+    "RoundsRow",
+    "format_rounds",
+    "run_rounds_experiment",
+    "StarRow",
+    "format_star",
+    "run_star_experiment",
+    "Table1Row",
+    "format_table1",
+    "run_table1",
+]

@@ -1,0 +1,188 @@
+"""Experiments E7–E10: measure every fairness theorem's bound.
+
+Each runner returns a :class:`BoundCheck` carrying the paper bound, the
+measured statistic, and a conservative (Wilson-adjusted) verdict, so the
+benchmark suite can regress the paper's *claims* and EXPERIMENTS.md can
+print paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.fairness import JoinEstimate
+from ..analysis.montecarlo import run_trials
+from ..analysis.theory import (
+    colormis_min_join_probability,
+    fairbipart_inequality_bound,
+    fairbipart_min_join_probability,
+    fairrooted_inequality_bound,
+    fairtree_min_join_probability,
+)
+from ..core.result import MISAlgorithm
+from ..fast.blocks import FastColorMIS, FastFairBipart
+from ..fast.fair_rooted import FastFairRooted
+from ..fast.fair_tree import FastFairTree
+from ..graphs.generators import random_tree, random_bipartite, triangulated_grid
+from ..graphs.graph import StaticGraph
+from ..runtime.rng import SeedLike
+
+__all__ = [
+    "BoundCheck",
+    "check_fairrooted_bound",
+    "check_fairtree_bound",
+    "check_fairbipart_bound",
+    "check_colormis_bound",
+    "run_all_bounds",
+    "format_bounds",
+]
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """Paper bound vs measured statistic for one theorem."""
+
+    theorem: str
+    algorithm: str
+    graph_desc: str
+    n: int
+    statistic: str
+    measured: float
+    paper_bound: float
+    satisfied: bool
+    trials: int
+
+
+def _measure(
+    alg: MISAlgorithm,
+    graph: StaticGraph,
+    trials: int,
+    seed: SeedLike,
+) -> JoinEstimate:
+    return run_trials(alg, graph, trials, seed=seed)
+
+
+def check_fairrooted_bound(
+    n: int = 120, trials: int = 4000, seed: SeedLike = 0
+) -> BoundCheck:
+    """Theorem 3: FAIRROOTED inequality ≤ 4 on rooted trees."""
+    tree = random_tree(n, seed=seed)
+    est = _measure(FastFairRooted(tree=tree), tree.graph, trials, seed)
+    lower, _ = est.inequality_bounds()
+    bound = fairrooted_inequality_bound()
+    return BoundCheck(
+        theorem="Theorem 3",
+        algorithm="fair_rooted",
+        graph_desc=f"random rooted tree",
+        n=n,
+        statistic="inequality factor",
+        measured=est.inequality,
+        paper_bound=bound,
+        satisfied=lower <= bound,
+        trials=trials,
+    )
+
+
+def check_fairtree_bound(
+    n: int = 120, trials: int = 4000, seed: SeedLike = 0
+) -> BoundCheck:
+    """Theorem 8: FAIRTREE min join probability ≥ (1-ε)/4 on trees."""
+    tree = random_tree(n, seed=seed)
+    est = _measure(FastFairTree(), tree.graph, trials, seed)
+    bound = fairtree_min_join_probability(n)
+    import numpy as np
+
+    from ..analysis.fairness import wilson_interval
+
+    _, hi = wilson_interval(est.counts, est.trials)
+    measured = est.min_probability
+    return BoundCheck(
+        theorem="Theorem 8",
+        algorithm="fair_tree",
+        graph_desc="random unrooted tree",
+        n=n,
+        statistic="min join probability",
+        measured=measured,
+        paper_bound=bound,
+        satisfied=bool(np.all(hi >= bound)),
+        trials=trials,
+    )
+
+
+def check_fairbipart_bound(
+    a: int = 40, b: int = 40, p: float = 0.08, trials: int = 3000, seed: SeedLike = 0
+) -> BoundCheck:
+    """Theorem 13 / Lemma 16: FAIRBIPART min join ≥ 1/8 on bipartite graphs."""
+    graph = random_bipartite(a, b, p, seed=seed)
+    est = _measure(FastFairBipart(), graph, trials, seed)
+    n = graph.n
+    bound = min(1.0 / 8.0, fairbipart_min_join_probability(n))
+    import numpy as np
+
+    from ..analysis.fairness import wilson_interval
+
+    _, hi = wilson_interval(est.counts, est.trials)
+    return BoundCheck(
+        theorem="Theorem 13",
+        algorithm="fair_bipart",
+        graph_desc=f"random bipartite G({a},{b},{p})",
+        n=n,
+        statistic="min join probability",
+        measured=est.min_probability,
+        paper_bound=bound,
+        satisfied=bool(np.all(hi >= bound)),
+        trials=trials,
+    )
+
+
+def check_colormis_bound(
+    rows: int = 8, cols: int = 8, trials: int = 3000, seed: SeedLike = 0
+) -> BoundCheck:
+    """Theorem 17 / Corollary 18: COLORMIS join ≥ Ω(1/k) on planar graphs."""
+    graph = triangulated_grid(rows, cols)
+    alg = FastColorMIS()
+    est = _measure(alg, graph, trials, seed)
+    k = graph.max_degree + 1
+    bound = colormis_min_join_probability(graph.n, k)
+    import numpy as np
+
+    from ..analysis.fairness import wilson_interval
+
+    _, hi = wilson_interval(est.counts, est.trials)
+    return BoundCheck(
+        theorem="Theorem 17",
+        algorithm="color_mis",
+        graph_desc=f"triangulated {rows}x{cols} grid (planar)",
+        n=graph.n,
+        statistic=f"min join probability (k={k})",
+        measured=est.min_probability,
+        paper_bound=bound,
+        satisfied=bool(np.all(hi >= bound)),
+        trials=trials,
+    )
+
+
+def run_all_bounds(trials: int = 3000, seed: SeedLike = 0) -> list[BoundCheck]:
+    """Run every theorem check with a common trial budget."""
+    return [
+        check_fairrooted_bound(trials=trials, seed=seed),
+        check_fairtree_bound(trials=trials, seed=seed),
+        check_fairbipart_bound(trials=trials, seed=seed),
+        check_colormis_bound(trials=trials, seed=seed),
+    ]
+
+
+def format_bounds(checks: list[BoundCheck]) -> str:
+    """Render theorem checks as paper-vs-measured rows."""
+    header = (
+        f"{'Theorem':<12} {'Algorithm':<14} {'Graph':<32} "
+        f"{'Statistic':<28} {'Measured':>9} {'Bound':>9} {'OK':>4}"
+    )
+    lines = [header, "-" * len(header)]
+    for c in checks:
+        lines.append(
+            f"{c.theorem:<12} {c.algorithm:<14} {c.graph_desc:<32} "
+            f"{c.statistic:<28} {c.measured:>9.3f} {c.paper_bound:>9.3f} "
+            f"{str(c.satisfied):>4}"
+        )
+    return "\n".join(lines)

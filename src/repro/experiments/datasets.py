@@ -1,0 +1,130 @@
+"""The six evaluation trees of Table I (and their scalable variants).
+
+Synthetic trees are exact (same ``n`` as the paper); the two "real-world"
+trees are rebuilt with the paper's own pipeline (distance-threshold graph
+→ MST) over synthetic WAP point clouds — see DESIGN.md §3 for the
+substitution rationale.  ``city_tree`` defaults to a laptop-scale ``n``;
+pass ``n=17834`` for the paper's full size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs.generators import alternating_tree, complete_tree
+from ..graphs.geometric import campus_model, city_model, wap_tree
+from ..graphs.graph import StaticGraph
+from ..runtime.rng import SeedLike
+
+__all__ = [
+    "EvalTree",
+    "binary_tree",
+    "five_ary_tree",
+    "alternating_tree_b10",
+    "alternating_tree_b30",
+    "campus_tree",
+    "city_tree",
+    "table1_trees",
+    "DEFAULT_CITY_N",
+]
+
+#: Default laptop-scale size for the NYC-like tree (paper: 17,834).
+DEFAULT_CITY_N = 2500
+
+
+@dataclass(frozen=True)
+class EvalTree:
+    """One evaluation topology with its Table I metadata."""
+
+    key: str
+    label: str
+    category: str  # "complete" | "alternating" | "realworld"
+    graph: StaticGraph
+    paper_luby: float
+    paper_fairtree: float
+
+
+def binary_tree() -> EvalTree:
+    """Complete binary tree, depth 10 (|V| = 2047)."""
+    return EvalTree(
+        key="binary",
+        label="Binary tree (Branch=2, Depth=10)",
+        category="complete",
+        graph=complete_tree(2, 10).graph,
+        paper_luby=3.07,
+        paper_fairtree=2.22,
+    )
+
+
+def five_ary_tree() -> EvalTree:
+    """Complete 5-ary tree, depth 5 (|V| = 3906)."""
+    return EvalTree(
+        key="5ary",
+        label="5-ary tree (Branch=5, Depth=5)",
+        category="complete",
+        graph=complete_tree(5, 5).graph,
+        paper_luby=6.42,
+        paper_fairtree=3.09,
+    )
+
+
+def alternating_tree_b10() -> EvalTree:
+    """Alternating tree, branch 10 at even depths, depth 5 (|V| = 1221)."""
+    return EvalTree(
+        key="alt10",
+        label="Alternating (Branch=10, Depth=5)",
+        category="alternating",
+        graph=alternating_tree(10, 5).graph,
+        paper_luby=11.92,
+        paper_fairtree=3.15,
+    )
+
+
+def alternating_tree_b30() -> EvalTree:
+    """Alternating tree, branch 30 at even depths, depth 3 (|V| = 961)."""
+    return EvalTree(
+        key="alt30",
+        label="Alternating (Branch=30, Depth=3)",
+        category="alternating",
+        graph=alternating_tree(30, 3).graph,
+        paper_luby=36.59,
+        paper_fairtree=3.09,
+    )
+
+
+def campus_tree(seed: SeedLike = 11) -> EvalTree:
+    """Dartmouth-like campus WAP MST (|V| = 178)."""
+    return EvalTree(
+        key="campus",
+        label="Dartmouth-like campus (synthetic)",
+        category="realworld",
+        graph=wap_tree(campus_model(seed=seed)),
+        paper_luby=22.75,
+        paper_fairtree=3.07,
+    )
+
+
+def city_tree(n: int = DEFAULT_CITY_N, seed: SeedLike = 12) -> EvalTree:
+    """NYC-like city WAP MST (paper: |V| = 17,834; default scaled)."""
+    return EvalTree(
+        key="city",
+        label=f"New-York-like city (synthetic, n={n})",
+        category="realworld",
+        graph=wap_tree(city_model(n=n, seed=seed)),
+        paper_luby=168.49,
+        paper_fairtree=3.25,
+    )
+
+
+def table1_trees(
+    city_n: int = DEFAULT_CITY_N, seed: SeedLike = 11
+) -> list[EvalTree]:
+    """All six Table I topologies in paper order."""
+    return [
+        binary_tree(),
+        five_ary_tree(),
+        alternating_tree_b10(),
+        alternating_tree_b30(),
+        campus_tree(seed=seed),
+        city_tree(n=city_n, seed=seed),
+    ]

@@ -1,0 +1,126 @@
+"""Experiment E14 (extension): the fairness landscape across families.
+
+A cross-product sweep — every fair algorithm and the Luby baseline over a
+matrix of graph families — summarizing *who is fair where*.  This is the
+"coverage map" a downstream user consults before picking an algorithm:
+
+* FAIRROOTED / FAIRTREE: fair exactly on (rooted/unrooted) trees;
+* FAIRBIPART: fair on bipartite graphs (trees included, slower);
+* COLORMIS: O(k)-fair wherever a small coloring exists (planar);
+* everything: unfair on the cone (Theorem 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.montecarlo import run_trials
+from ..core.result import MISAlgorithm
+from ..fast.blocks import FastColorMIS, FastFairBipart
+from ..fast.fair_rooted import FastFairRooted
+from ..fast.fair_tree import FastFairTree
+from ..fast.luby import FastLuby
+from ..graphs.generators import (
+    caterpillar,
+    cone_graph,
+    grid_graph,
+    random_bipartite,
+    random_tree,
+    star_graph,
+    triangulated_grid,
+)
+from ..graphs.graph import StaticGraph
+from ..runtime.rng import SeedLike
+
+__all__ = ["FamilyCell", "run_family_sweep", "format_family_sweep"]
+
+
+@dataclass(frozen=True)
+class FamilyCell:
+    """One (family, algorithm) cell of the landscape."""
+
+    family: str
+    n: int
+    algorithm: str
+    inequality: float
+    min_join: float
+    guaranteed_fair: bool  # does the paper give this pair a constant bound?
+
+
+#: The paper's guarantees: algorithm name -> families it is provably fair on.
+_GUARANTEES: dict[str, set[str]] = {
+    "fair_rooted_fast": {"tree", "star", "caterpillar"},
+    "fair_tree_fast": {"tree", "star", "caterpillar"},
+    "fair_bipart_fast": {"tree", "star", "caterpillar", "grid", "bipartite"},
+    "color_mis_fast": {
+        "tree",
+        "star",
+        "caterpillar",
+        "grid",
+        "bipartite",
+        "planar",
+    },
+    "luby_fast": set(),
+}
+
+
+def _family_matrix(seed: SeedLike) -> list[tuple[str, StaticGraph]]:
+    return [
+        ("tree", random_tree(80, seed=seed).graph),
+        ("star", star_graph(40)),
+        ("caterpillar", caterpillar(8, 4).graph),
+        ("grid", grid_graph(7, 7)),
+        ("bipartite", random_bipartite(20, 20, 0.12, seed=seed)),
+        ("planar", triangulated_grid(7, 7)),
+        ("cone", cone_graph(8)),
+    ]
+
+
+def _algorithms(tree_only_ok: bool) -> list[MISAlgorithm]:
+    algs: list[MISAlgorithm] = [
+        FastLuby(),
+        FastFairTree(),
+        FastFairBipart(),
+        FastColorMIS(),
+    ]
+    if tree_only_ok:
+        algs.insert(1, FastFairRooted())
+    return algs
+
+
+def run_family_sweep(
+    trials: int = 1500, seed: SeedLike = 0
+) -> list[FamilyCell]:
+    """Run the full (family × algorithm) fairness matrix."""
+    cells: list[FamilyCell] = []
+    for family, graph in _family_matrix(seed):
+        is_tree = graph.is_forest()
+        for alg in _algorithms(tree_only_ok=is_tree):
+            est = run_trials(alg, graph, trials, seed=seed)
+            cells.append(
+                FamilyCell(
+                    family=family,
+                    n=graph.n,
+                    algorithm=alg.name,
+                    inequality=est.inequality,
+                    min_join=est.min_probability,
+                    guaranteed_fair=family in _GUARANTEES.get(alg.name, set()),
+                )
+            )
+    return cells
+
+
+def format_family_sweep(cells: list[FamilyCell]) -> str:
+    """Render the landscape as a matrix-ish table."""
+    header = (
+        f"{'Family':<12} {'n':>5} {'Algorithm':<18} {'Ineq.':>8} "
+        f"{'minP':>7} {'guaranteed':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for c in cells:
+        mark = "fair" if c.guaranteed_fair else "-"
+        lines.append(
+            f"{c.family:<12} {c.n:>5} {c.algorithm:<18} {c.inequality:>8.2f} "
+            f"{c.min_join:>7.3f} {mark:>11}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Experiment E15 (extension): message and bit complexity.
+
+The model bounds per-message size at ``O(log n)`` bits; total traffic is
+the other axis of communication cost.  The faithful runtime counts every
+message and slot, so this experiment reports, per algorithm and size:
+messages per node, slots per node, and the growth trend — the numbers a
+deployment would budget radio time against.
+
+Expected shapes: Luby and FAIRROOTED are ``O(m·log)``-ish light;
+FAIRTREE pays its three γ-round CFB floods; FAIRBIPART's chunked leader
+tables dominate everything (Θ(γ²) rounds of table traffic — the §VI
+price of generality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.fair_bipart import FairBipart
+from ..algorithms.fair_rooted import FairRooted
+from ..algorithms.fair_tree import FairTree
+from ..algorithms.luby import LubyMIS
+from ..core.result import MISAlgorithm
+from ..graphs.generators import random_tree
+from ..runtime.rng import SeedLike, generator_from
+
+__all__ = ["MessageRow", "run_message_experiment", "format_messages"]
+
+
+@dataclass(frozen=True)
+class MessageRow:
+    """Traffic statistics for one (algorithm, n) cell."""
+
+    algorithm: str
+    n: int
+    rounds: float
+    messages_per_node: float
+    slots_per_node: float
+    max_message_slots: int
+    repeats: int
+
+
+def run_message_experiment(
+    sizes: tuple[int, ...] = (16, 32, 64),
+    repeats: int = 3,
+    seed: SeedLike = 0,
+    algorithms: list[MISAlgorithm] | None = None,
+) -> list[MessageRow]:
+    """Measure faithful-layer traffic on random trees of growing size."""
+    if algorithms is None:
+        algorithms = [LubyMIS(), FairRooted(), FairTree(), FairBipart()]
+    rng = generator_from(seed)
+    rows: list[MessageRow] = []
+    for alg in algorithms:
+        for n in sizes:
+            graph = random_tree(n, seed=int(rng.integers(2**31))).graph
+            msgs, slots, rounds, max_slots = [], [], [], 0
+            for _ in range(repeats):
+                res = alg.run(graph, rng)
+                assert res.metrics is not None
+                msgs.append(res.metrics.total_messages)
+                slots.append(res.metrics.total_slots)
+                rounds.append(res.metrics.rounds)
+                max_slots = max(max_slots, res.metrics.max_slots_per_message)
+            rows.append(
+                MessageRow(
+                    algorithm=alg.name,
+                    n=n,
+                    rounds=float(np.mean(rounds)),
+                    messages_per_node=float(np.mean(msgs)) / n,
+                    slots_per_node=float(np.mean(slots)) / n,
+                    max_message_slots=max_slots,
+                    repeats=repeats,
+                )
+            )
+    return rows
+
+
+def format_messages(rows: list[MessageRow]) -> str:
+    """Render the traffic table."""
+    header = (
+        f"{'Algorithm':<14} {'n':>6} {'rounds':>8} {'msg/node':>10} "
+        f"{'slots/node':>11} {'max msg':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.algorithm:<14} {r.n:>6} {r.rounds:>8.1f} "
+            f"{r.messages_per_node:>10.1f} {r.slots_per_node:>11.1f} "
+            f"{r.max_message_slots:>8}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Experiment E11: measured round complexity of the faithful layer.
+
+The paper's complexity claims (Lemma 5: ``O(log* n)`` for FAIRROOTED;
+Lemma 9: ``O(log n)`` for FAIRTREE; Lemma 15: ``O(log² n)`` for
+FAIRBIPART; [13]: ``O(log n)`` for Luby) are about synchronous rounds —
+only the faithful node-process layer counts them, so this experiment runs
+that layer on growing instances and reports rounds alongside the claimed
+scale function.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..algorithms.fair_bipart import FairBipart
+from ..algorithms.fair_rooted import FairRooted
+from ..algorithms.fair_tree import FairTree
+from ..algorithms.luby import LubyMIS
+from ..analysis.theory import log_star
+from ..core.result import MISAlgorithm
+from ..graphs.generators import random_tree
+from ..graphs.graph import StaticGraph
+from ..runtime.rng import SeedLike, generator_from
+
+__all__ = ["RoundsRow", "run_rounds_experiment", "format_rounds"]
+
+
+@dataclass(frozen=True)
+class RoundsRow:
+    """Measured rounds for one (algorithm, n) cell."""
+
+    algorithm: str
+    n: int
+    rounds_mean: float
+    rounds_max: int
+    scale: str
+    scale_value: float
+    repeats: int
+
+    @property
+    def normalized(self) -> float:
+        """rounds / claimed scale — should stay bounded as n grows."""
+        return self.rounds_mean / max(self.scale_value, 1.0)
+
+
+_SCALES: dict[str, tuple[str, Callable[[int], float]]] = {
+    "luby": ("log n", lambda n: math.log2(max(n, 2))),
+    "fair_rooted": ("log* n", lambda n: float(max(log_star(n), 1))),
+    "fair_tree": ("log n", lambda n: math.log2(max(n, 2))),
+    "fair_bipart": ("log^2 n", lambda n: math.log2(max(n, 2)) ** 2),
+}
+
+
+def run_rounds_experiment(
+    sizes: tuple[int, ...] = (16, 32, 64, 128),
+    repeats: int = 3,
+    seed: SeedLike = 0,
+    algorithms: list[MISAlgorithm] | None = None,
+) -> list[RoundsRow]:
+    """Measure faithful-layer rounds on random trees of growing size."""
+    if algorithms is None:
+        algorithms = [LubyMIS(), FairRooted(), FairTree(), FairBipart()]
+    rng = generator_from(seed)
+    rows: list[RoundsRow] = []
+    for alg in algorithms:
+        scale_name, scale_fn = _SCALES.get(
+            alg.name, ("log n", lambda n: math.log2(max(n, 2)))
+        )
+        for n in sizes:
+            graph: StaticGraph = random_tree(n, seed=int(rng.integers(2**31))).graph
+            rounds = [alg.run(graph, rng).rounds for _ in range(repeats)]
+            rows.append(
+                RoundsRow(
+                    algorithm=alg.name,
+                    n=n,
+                    rounds_mean=float(np.mean(rounds)),
+                    rounds_max=int(np.max(rounds)),
+                    scale=scale_name,
+                    scale_value=scale_fn(n),
+                    repeats=repeats,
+                )
+            )
+    return rows
+
+
+def format_rounds(rows: list[RoundsRow]) -> str:
+    """Render round measurements with their normalized scale ratios."""
+    header = (
+        f"{'Algorithm':<14} {'n':>6} {'rounds':>8} {'scale':>8} "
+        f"{'rounds/scale':>13}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.algorithm:<14} {r.n:>6} {r.rounds_mean:>8.1f} "
+            f"{r.scale_value:>8.1f} {r.normalized:>13.2f}   ({r.scale})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Trial-batched execution via disjoint-union vectorization.
+
+A Monte-Carlo batch of ``C`` independent trials of a per-round vectorized
+algorithm is *exactly* one run of that algorithm on the disjoint union of
+``C`` copies of the graph: components never interact, every copy draws
+its own randomness, and the per-round numpy kernels amortize their fixed
+cost over ``C·n`` vertices instead of ``n`` (the guides' "vectorize the
+outer loop too" move).  The only subtlety is that size-derived parameters
+(FAIRTREE's γ, Luby's iteration cap) must be computed from the *base*
+graph's ``n``, not the union's — the runners below pin them explicitly.
+
+Speedups are largest for small graphs and round-dominated algorithms
+(~5-20×); see ``benchmarks/test_engine_speed.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.fairness import JoinEstimate
+from ..graphs.graph import StaticGraph
+from ..algorithms.fair_tree import default_gamma
+from ..runtime.rng import SeedLike, generator_from
+from .fair_tree import fair_tree_run
+from .luby import luby_sweep
+
+__all__ = ["disjoint_power", "batched_luby_trials", "batched_fair_tree_trials"]
+
+
+def disjoint_power(graph: StaticGraph, copies: int) -> StaticGraph:
+    """The disjoint union of ``copies`` relabeled copies of *graph*.
+
+    Copy ``c`` occupies vertices ``[c*n, (c+1)*n)``.
+    """
+    if copies < 1:
+        raise ValueError("copies must be >= 1")
+    n, e = graph.n, graph.edges
+    if copies == 1:
+        return graph
+    offsets = (np.arange(copies, dtype=np.int64) * n)[:, None, None]
+    tiled = (e[None, :, :] + offsets).reshape(-1, 2)
+    return StaticGraph(n=n * copies, edges=tiled)
+
+
+def _fold_counts(member: np.ndarray, copies: int, n: int) -> np.ndarray:
+    """Sum per-copy membership into per-base-vertex join counts."""
+    return member.reshape(copies, n).sum(axis=0).astype(np.int64)
+
+
+def batched_luby_trials(
+    graph: StaticGraph,
+    trials: int,
+    seed: SeedLike = None,
+    batch: int = 64,
+) -> JoinEstimate:
+    """Luby (priority variant) join counts over *trials* runs.
+
+    Statistically equivalent to :func:`repro.analysis.montecarlo.run_trials`
+    with :class:`~repro.fast.luby.FastLuby` (different stream layout, same
+    distribution), several times faster on small/medium graphs.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    rng = generator_from(seed)
+    n = graph.n
+    counts = np.zeros(n, dtype=np.int64)
+    done = 0
+    while done < trials:
+        copies = min(batch, trials - done)
+        union = disjoint_power(graph, copies)
+        member, _ = luby_sweep(union, rng)
+        counts += _fold_counts(member, copies, n)
+        done += copies
+    return JoinEstimate(counts=counts, trials=trials)
+
+
+def batched_fair_tree_trials(
+    graph: StaticGraph,
+    trials: int,
+    seed: SeedLike = None,
+    batch: int = 64,
+    gamma_c: float = 3.0,
+    gamma: int | None = None,
+) -> JoinEstimate:
+    """FAIRTREE join counts over *trials* runs (batched).
+
+    ``γ`` is pinned to the *base* graph's size so the batched algorithm is
+    parameter-identical to the per-trial one.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    rng = generator_from(seed)
+    n = graph.n
+    g_eff = gamma if gamma is not None else default_gamma(n, gamma_c)
+    counts = np.zeros(n, dtype=np.int64)
+    done = 0
+    while done < trials:
+        copies = min(batch, trials - done)
+        union = disjoint_power(graph, copies)
+        member, _ = fair_tree_run(union, rng, gamma=g_eff)
+        counts += _fold_counts(member, copies, n)
+        done += copies
+    return JoinEstimate(counts=counts, trials=trials)

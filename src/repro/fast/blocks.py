@@ -1,0 +1,316 @@
+"""Vectorized Linial–Saks ``Construct_Block`` (§VI-A) and the block-based
+algorithms FAIRBIPART and COLORMIS on top of it.
+
+Leader tables are a dense ``(n, γ+1)`` int64 matrix of packed
+``id·base + value`` keys (``base = 2`` for parity bits, ``base = k`` for
+colors); one superround is a single ``np.maximum.at`` scatter of the
+shifted table slice over the symmetric edge list — ``O(γ·m)`` work per
+superround, ``O(γ²·m)`` per call, matching the faithful engine's
+``O(log² n)`` round structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.registry import register
+from ..core.result import MISResult
+from ..graphs.graph import StaticGraph
+from ..algorithms.fair_bipart import default_block_gamma
+from .engine import neighbor_any, neighbor_count
+from .luby import luby_sweep
+
+__all__ = [
+    "draw_radii",
+    "construct_block_fast",
+    "FastFairBipart",
+    "FastColorMIS",
+]
+
+
+def draw_radii(
+    rng: np.random.Generator, n: int, gamma: int, p: float = 0.5
+) -> np.ndarray:
+    """Vectorized sampling from the truncated geometric ``π``.
+
+    ``Pr[r >= k] = p^k`` for ``k <= γ``, so ``r = min(γ, floor(log_p U))``.
+    """
+    u = np.maximum(rng.random(n), 1e-300)  # guard log(0)
+    raw = np.floor(np.log(u) / np.log(p))
+    return np.minimum(raw.astype(np.int64), gamma)
+
+
+def construct_block_fast(
+    graph: StaticGraph,
+    rng: np.random.Generator,
+    gamma: int,
+    values: np.ndarray,
+    mode: str,
+    value_base: int,
+    p: float = 0.5,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One Construct_Block call.
+
+    Parameters
+    ----------
+    values:
+        Per-node candidate-leader value (random bit or random color).
+    mode:
+        ``"bit"`` (parity-flip per hop) or ``"color"`` (unchanged).
+    value_base:
+        Packing base — must exceed every value (2 for bits, k for colors).
+
+    Returns ``(in_block, leader, leader_value)``; ``leader_value`` is -1
+    outside blocks.
+    """
+    if mode not in ("bit", "color"):
+        raise ValueError(f"unknown mode {mode!r}")
+    n = graph.n
+    es, ed = graph.edge_src, graph.edge_dst
+    radii = draw_radii(rng, n, gamma, p)
+
+    # key = id * base + value ; -1 = empty entry
+    table = np.full((n, gamma + 1), -1, dtype=np.int64)
+    ids = np.arange(n, dtype=np.int64)
+    table[ids, radii] = ids * value_base + values
+
+    if es.size:
+        col_base = ed[:, None] * (gamma + 1)  # flattened row offsets
+        dst_idx = (col_base + np.arange(gamma, dtype=np.int64)[None, :]).ravel()
+    for _ in range(gamma):
+        if es.size == 0:
+            break
+        src = table[es][:, 1:]  # entries at index 1..γ, shifted to 0..γ-1
+        if mode == "bit":
+            # flip the parity bit of non-empty entries
+            flipped = (src // value_base) * value_base + (
+                (value_base - 1) - (src % value_base)
+            )
+            src = np.where(src >= 0, flipped, np.int64(-1))
+        flat = table.ravel()
+        np.maximum.at(flat, dst_idx, src.ravel())
+        table = flat.reshape(n, gamma + 1)
+
+    best = table.max(axis=1)
+    leader = np.where(best >= 0, best // value_base, np.int64(-1))
+    # highest index holding the leader's id = true-distance entry
+    is_best = (table // value_base) == leader[:, None]
+    is_best &= table >= 0
+    rev_top = np.argmax(is_best[:, ::-1], axis=1)
+    top_idx = gamma - rev_top
+    has_any = is_best.any(axis=1)
+    in_block = has_any & (top_idx > 0)
+    leader_value = np.where(
+        in_block, table[ids, np.clip(top_idx, 0, gamma)] % value_base, np.int64(-1)
+    )
+    return in_block, leader, leader_value
+
+
+def _finalize_fast(
+    graph: StaticGraph,
+    rng: np.random.Generator,
+    candidate: np.ndarray,
+) -> tuple[np.ndarray, dict[str, Any]]:
+    """Shared tail: drop violations, cover, Luby the remainder."""
+    n = graph.n
+    es, ed = graph.edge_src, graph.edge_dst
+    conflict = candidate & neighbor_any(candidate, es, ed, n)
+    fixed = candidate & ~conflict
+    covered = fixed | neighbor_any(fixed, es, ed, n)
+    member = fixed
+    luby_nodes = int((~covered).sum())
+    if luby_nodes:
+        extra, _ = luby_sweep(graph, rng, active=~covered)
+        member = fixed | extra
+    return member, {"luby_nodes": luby_nodes}
+
+
+@register("fair_bipart_fast")
+class FastFairBipart:
+    """Vectorized FAIRBIPART (§VI); parameters as the faithful version."""
+
+    def __init__(
+        self,
+        gamma_c: float = 2.0,
+        gamma: int | None = None,
+        p: float = 0.5,
+        validate: bool = False,
+    ) -> None:
+        self.gamma_c = gamma_c
+        self.gamma = gamma
+        self.p = p
+        self.validate = validate
+
+    @property
+    def name(self) -> str:
+        return "fair_bipart_fast"
+
+    def run(self, graph: StaticGraph, rng: np.random.Generator) -> MISResult:
+        gamma = (
+            self.gamma
+            if self.gamma is not None
+            else default_block_gamma(graph.n, self.gamma_c)
+        )
+        bits = rng.integers(0, 2, size=graph.n, dtype=np.int64)
+        in_block, _, leader_val = construct_block_fast(
+            graph, rng, gamma, bits, mode="bit", value_base=2, p=self.p
+        )
+        candidate = in_block & (leader_val == 1)
+        member, tail_info = _finalize_fast(graph, rng, candidate)
+        info = {
+            "engine": "fast",
+            "gamma": gamma,
+            "block_fraction": float(in_block.mean()) if graph.n else 0.0,
+            **tail_info,
+        }
+        result = MISResult(membership=member, info=info)
+        if self.validate:
+            result.validate(graph)
+        return result
+
+
+def greedy_coloring_fast(
+    graph: StaticGraph,
+    rng: np.random.Generator,
+    iterations: int,
+) -> np.ndarray:
+    """Vectorized random-trial ``(deg+1)``-list coloring; -1 = uncolored."""
+    n = graph.n
+    es, ed = graph.edge_src, graph.edge_dst
+    deg = graph.degrees
+    colors = np.full(n, -1, dtype=np.int64)
+    for _ in range(iterations):
+        todo = colors < 0
+        if not todo.any():
+            break
+        prop = rng.integers(0, deg + 1, size=n)
+        prop = np.where(todo, prop, colors)
+        if es.size:
+            # reject: proposal equals a neighbor's color or proposal
+            clash = np.zeros(n, dtype=bool)
+            same = prop[es] == prop[ed]
+            clash[ed[same]] = True
+        else:
+            clash = np.zeros(n, dtype=bool)
+        colors = np.where(todo & ~clash, prop, colors)
+    return colors
+
+
+def arboricity_coloring_fast(
+    graph: StaticGraph,
+    rng: np.random.Generator,
+    cap: int,
+    iterations: int,
+) -> np.ndarray:
+    """Vectorized H-partition coloring (cap+1 colors); -1 = uncolored.
+
+    Peels vertices of active degree <= ``cap`` into classes, then colors
+    classes in reverse peel order with palette ``{0..cap}`` by random
+    trials — the fast-layer counterpart of
+    :class:`repro.algorithms.coloring.HPartitionColoringEngine`.
+    """
+    n = graph.n
+    es, ed = graph.edge_src, graph.edge_dst
+    h_class = np.full(n, -1, dtype=np.int64)
+    active = np.ones(n, dtype=bool)
+    cls = 0
+    while active.any():
+        deg = neighbor_count(active, es, ed, n) if es.size else np.zeros(n, int)
+        peel = active & (deg <= cap)
+        if not peel.any():  # cap too small for this subgraph: dump the rest
+            h_class[active] = cls
+            break
+        h_class[peel] = cls
+        active &= ~peel
+        cls += 1
+    colors = np.full(n, -1, dtype=np.int64)
+    for c in range(int(h_class.max()), -1, -1):
+        in_class = h_class == c
+        for _ in range(iterations):
+            todo = in_class & (colors < 0)
+            if not todo.any():
+                break
+            prop = rng.integers(0, cap + 1, size=n)
+            prop = np.where(todo, prop, colors)
+            clash = np.zeros(n, dtype=bool)
+            if es.size:
+                both = (prop[es] >= 0) & (prop[ed] >= 0)
+                same = (prop[es] == prop[ed]) & both
+                clash[ed[same]] = True
+            colors = np.where(todo & ~clash, prop, colors)
+    return colors
+
+
+@register("color_mis_fast")
+class FastColorMIS:
+    """Vectorized COLORMIS (§VII).
+
+    ``coloring="greedy"`` (default) uses the ``Δ+1`` trial coloring;
+    ``coloring="arboricity"`` uses the H-partition coloring whose palette
+    depends on arboricity, not maximum degree — the Corollary 18 route to
+    constant fairness on planar graphs.
+    """
+
+    def __init__(
+        self,
+        k: int | None = None,
+        coloring: str = "greedy",
+        gamma_c: float = 2.0,
+        gamma: int | None = None,
+        p: float = 0.5,
+        validate: bool = False,
+    ) -> None:
+        if coloring not in ("greedy", "arboricity"):
+            raise ValueError(f"unknown coloring kind {coloring!r}")
+        self.k = k
+        self.coloring = coloring
+        self.gamma_c = gamma_c
+        self.gamma = gamma
+        self.p = p
+        self.validate = validate
+
+    @property
+    def name(self) -> str:
+        return (
+            "color_mis_fast"
+            if self.coloring == "greedy"
+            else "color_mis_arb_fast"
+        )
+
+    def run(self, graph: StaticGraph, rng: np.random.Generator) -> MISResult:
+        n = graph.n
+        gamma = (
+            self.gamma
+            if self.gamma is not None
+            else default_block_gamma(n, self.gamma_c)
+        )
+        iterations = 4 * (int(np.log2(max(n, 2))) + 4)
+        if self.coloring == "greedy":
+            k = self.k if self.k is not None else graph.max_degree + 1
+            colors = greedy_coloring_fast(graph, rng, iterations)
+        else:
+            from ..graphs.properties import arboricity_upper_bound
+
+            cap = max(1, int(2.5 * arboricity_upper_bound(graph)))
+            k = self.k if self.k is not None else cap + 1
+            colors = arboricity_coloring_fast(graph, rng, cap, iterations)
+        k = max(1, k)
+        chosen = rng.integers(0, k, size=n, dtype=np.int64)
+        in_block, _, leader_val = construct_block_fast(
+            graph, rng, gamma, chosen, mode="color", value_base=k, p=self.p
+        )
+        candidate = in_block & (colors >= 0) & (leader_val == colors)
+        member, tail_info = _finalize_fast(graph, rng, candidate)
+        info = {
+            "engine": "fast",
+            "gamma": gamma,
+            "k": k,
+            "uncolored": int((colors < 0).sum()),
+            **tail_info,
+        }
+        result = MISResult(membership=member, info=info)
+        if self.validate:
+            result.validate(graph)
+        return result

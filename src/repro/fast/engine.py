@@ -1,0 +1,104 @@
+"""Shared vectorized primitives for the fast engines (substrate S14).
+
+Per the HPC guides, every per-round operation is expressed as a scatter
+over the symmetric edge list (``np.maximum.at`` / ``np.bincount``) instead
+of per-vertex Python loops — one ``O(m)`` numpy kernel per round instead
+of ``O(n)`` interpreter iterations.
+
+All helpers take the symmetric edge arrays ``es → ed`` (every undirected
+edge appears in both directions) and an optional boolean ``edge_mask``
+aligned with them, so staged algorithms can restrict communication to
+"uncut" or "both endpoints active" edges without rebuilding structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "neighbor_any",
+    "neighbor_max",
+    "neighbor_count",
+    "edge_both",
+    "priority_keys",
+]
+
+
+def neighbor_any(
+    mask: np.ndarray,
+    es: np.ndarray,
+    ed: np.ndarray,
+    n: int,
+    edge_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """``out[v] = any(mask[u] for u ~ v)`` over (optionally masked) edges."""
+    out = np.zeros(n, dtype=bool)
+    if es.size == 0:
+        return out
+    hit = mask[es]
+    if edge_mask is not None:
+        hit = hit & edge_mask
+    out[ed[hit]] = True
+    return out
+
+
+def neighbor_max(
+    values: np.ndarray,
+    es: np.ndarray,
+    ed: np.ndarray,
+    n: int,
+    edge_mask: np.ndarray | None = None,
+    fill: int = -1,
+) -> np.ndarray:
+    """``out[v] = max(values[u] for u ~ v)`` (``fill`` when no neighbor)."""
+    out = np.full(n, fill, dtype=values.dtype)
+    if es.size == 0:
+        return out
+    if edge_mask is not None:
+        np.maximum.at(out, ed[edge_mask], values[es[edge_mask]])
+    else:
+        np.maximum.at(out, ed, values[es])
+    return out
+
+
+def neighbor_count(
+    mask: np.ndarray,
+    es: np.ndarray,
+    ed: np.ndarray,
+    n: int,
+    edge_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """``out[v] = #{u ~ v : mask[u]}`` over (optionally masked) edges."""
+    if es.size == 0:
+        return np.zeros(n, dtype=np.int64)
+    hit = mask[es]
+    if edge_mask is not None:
+        hit = hit & edge_mask
+    return np.bincount(ed[hit], minlength=n).astype(np.int64)
+
+
+def edge_both(
+    mask: np.ndarray, es: np.ndarray, ed: np.ndarray
+) -> np.ndarray:
+    """Edge mask selecting edges with *both* endpoints in ``mask``."""
+    if es.size == 0:
+        return np.zeros(0, dtype=bool)
+    return mask[es] & mask[ed]
+
+
+#: Bits reserved for the random part of a tie-broken priority key.
+PRIORITY_BITS = 38
+
+
+def priority_keys(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Random priorities with ID tie-break packed into one int64 key.
+
+    ``key = (random << ceil(log2 n)) | id`` reproduces the faithful
+    engine's lexicographic ``(priority, id)`` comparison in a single
+    vectorized ``>``; supports ``n`` up to ``2^24``.
+    """
+    id_bits = max(1, int(n - 1).bit_length())
+    if id_bits > 24:
+        raise ValueError("fast engine supports n < 2^24")
+    rand = rng.integers(0, 1 << PRIORITY_BITS, size=n, dtype=np.int64)
+    return (rand << id_bits) | np.arange(n, dtype=np.int64)

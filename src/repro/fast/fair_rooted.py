@@ -1,0 +1,170 @@
+"""Vectorized FAIRROOTED (§IV) + vectorized Cole–Vishkin.
+
+Stage 1 is two vectorized coin arrays; stage 2 runs a fully vectorized
+Cole–Vishkin reduction (the lowest-differing-bit computation is exact in
+float64 ``log2`` because the isolated bit is a power of two ≤ 2⁶³) and the
+six-phase color-class sweep over the uncovered subforest.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.registry import register
+from ..core.result import MISResult
+from ..graphs.graph import RootedTree, StaticGraph
+from ..algorithms.cole_vishkin import cv_reduction_iterations
+from .engine import edge_both, neighbor_any
+
+__all__ = [
+    "FastFairRooted",
+    "FastColeVishkin",
+    "fair_rooted_run",
+    "cole_vishkin_colors",
+]
+
+
+def cole_vishkin_colors(
+    n: int,
+    parent: np.ndarray,
+    participating: np.ndarray,
+) -> np.ndarray:
+    """Vectorized CV color reduction to {0..5} over a rooted subforest.
+
+    ``parent[v]`` must point to a participating parent or be ``-1``;
+    non-participants keep color ``-1``.
+    """
+    colors = np.arange(n, dtype=np.int64)
+    iters = cv_reduction_iterations(max(n - 1, 1))
+    has_parent = participating & (parent >= 0)
+    roots = participating & (parent < 0)
+    safe_parent = np.where(has_parent, parent, 0)
+    for _ in range(iters):
+        pc = colors[safe_parent]
+        # roots fabricate a differing virtual parent color
+        pc = np.where(roots, np.where(colors == 0, 1, 0), pc)
+        diff = colors ^ pc
+        lsb = diff & -diff
+        # exact for powers of two up to 2^62
+        idx = np.where(diff != 0, np.log2(np.maximum(lsb, 1)).astype(np.int64), 0)
+        bit = (colors >> idx) & 1
+        new = 2 * idx + bit
+        colors = np.where(participating, new, colors)
+    out = np.where(participating, colors, -1)
+    return out
+
+
+def fair_rooted_run(
+    graph: StaticGraph,
+    parent: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, dict[str, Any]]:
+    """One FAIRROOTED execution; returns ``(membership, info)``."""
+    n = graph.n
+    es, ed = graph.edge_src, graph.edge_dst
+
+    # -- Stage 1: random tags ------------------------------------------------ #
+    tags = rng.integers(0, 2, size=n, dtype=np.int64)
+    virtual = rng.integers(0, 2, size=n, dtype=np.int64)  # roots' sentinels
+    parent_tag = np.where(parent >= 0, tags[np.where(parent >= 0, parent, 0)], virtual)
+    i1 = (tags == 0) & (parent_tag == 1)
+    covered = i1 | neighbor_any(i1, es, ed, n)
+
+    # -- Stage 2: Cole–Vishkin MIS over the uncovered subforest --------------- #
+    resid = ~covered
+    resid_parent = np.where(
+        (parent >= 0) & resid & resid[np.where(parent >= 0, parent, 0)],
+        parent,
+        -1,
+    )
+    colors = cole_vishkin_colors(n, resid_parent, resid)
+    member = i1.copy()
+    cv_covered = np.zeros(n, dtype=bool)
+    emask = edge_both(resid, es, ed)
+    for c in range(6):
+        join = resid & (colors == c) & ~cv_covered & ~member
+        member |= join
+        cv_covered |= neighbor_any(join, es, ed, n, edge_mask=emask)
+    info = {"engine": "fast", "stage1_size": int(i1.sum())}
+    return member, info
+
+
+@register("cole_vishkin_fast")
+class FastColeVishkin:
+    """Vectorized Cole–Vishkin MIS for rooted trees/forests.
+
+    Deterministic given the rooting/IDs — its main uses are as the
+    FAIRROOTED stage-2 subroutine and, wrapped in
+    :class:`~repro.algorithms.random_ids.RandomizedIDs`, as the §II
+    "deterministic algorithm under random IDs" study subject.
+    """
+
+    def __init__(self, tree: RootedTree | None = None, validate: bool = False) -> None:
+        self.tree = tree
+        self.validate = validate
+        self._cache: tuple[StaticGraph, np.ndarray] | None = None
+
+    @property
+    def name(self) -> str:
+        return "cole_vishkin_fast"
+
+    def _parents(self, graph: StaticGraph) -> np.ndarray:
+        if self.tree is not None:
+            return self.tree.parent
+        if self._cache is not None and self._cache[0] is graph:
+            return self._cache[1]
+        parent = RootedTree.from_graph(graph).parent
+        self._cache = (graph, parent)
+        return parent
+
+    def run(self, graph: StaticGraph, rng: np.random.Generator) -> MISResult:
+        n = graph.n
+        parent = self._parents(graph)
+        colors = cole_vishkin_colors(n, parent, np.ones(n, dtype=bool))
+        es, ed = graph.edge_src, graph.edge_dst
+        member = np.zeros(n, dtype=bool)
+        covered = np.zeros(n, dtype=bool)
+        for c in range(6):
+            join = (colors == c) & ~covered & ~member
+            member |= join
+            covered |= neighbor_any(join, es, ed, n)
+        result = MISResult(membership=member, info={"engine": "fast"})
+        if self.validate:
+            result.validate(graph)
+        return result
+
+
+@register("fair_rooted_fast")
+class FastFairRooted:
+    """Vectorized FAIRROOTED as a :class:`~repro.core.result.MISAlgorithm`.
+
+    Accepts an explicit :class:`RootedTree` or roots the input tree
+    deterministically from vertex 0 (cached per graph).
+    """
+
+    def __init__(self, tree: RootedTree | None = None, validate: bool = False) -> None:
+        self.tree = tree
+        self.validate = validate
+        self._cache: tuple[StaticGraph, np.ndarray] | None = None
+
+    @property
+    def name(self) -> str:
+        return "fair_rooted_fast"
+
+    def _parents(self, graph: StaticGraph) -> np.ndarray:
+        if self.tree is not None:
+            return self.tree.parent
+        if self._cache is not None and self._cache[0] is graph:
+            return self._cache[1]
+        parent = RootedTree.from_graph(graph).parent
+        self._cache = (graph, parent)
+        return parent
+
+    def run(self, graph: StaticGraph, rng: np.random.Generator) -> MISResult:
+        member, info = fair_rooted_run(graph, self._parents(graph), rng)
+        result = MISResult(membership=member, info=info)
+        if self.validate:
+            result.validate(graph)
+        return result

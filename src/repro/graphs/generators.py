@@ -1,0 +1,347 @@
+"""Graph family generators (substrate S2).
+
+Every topology the paper evaluates or reasons about is constructed here:
+
+* the synthetic evaluation trees of Section IX (complete ``k``-ary trees
+  and *alternating* trees);
+* the motivating star graph of Section I;
+* the *cone* graph of the Section VIII lower bound;
+* supporting families for the theory experiments: paths, caterpillars,
+  brooms, random trees, random bipartite graphs, planar grids and
+  triangulated grids.
+
+All generators return :class:`~repro.graphs.graph.StaticGraph` (or
+:class:`~repro.graphs.graph.RootedTree` where a rooting is natural) and are
+deterministic given their arguments (random families take a seed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.rng import SeedLike, generator_from
+from .graph import GraphValidationError, RootedTree, StaticGraph
+
+__all__ = [
+    "empty_graph",
+    "singleton",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "complete_tree",
+    "alternating_tree",
+    "caterpillar",
+    "broom",
+    "spider",
+    "random_tree",
+    "random_bipartite",
+    "complete_bipartite",
+    "grid_graph",
+    "triangulated_grid",
+    "cone_graph",
+    "double_broom",
+    "random_planar_like",
+]
+
+
+# --------------------------------------------------------------------- #
+# trivial families
+# --------------------------------------------------------------------- #
+def empty_graph(n: int) -> StaticGraph:
+    """``n`` isolated vertices."""
+    return StaticGraph.from_edges(n, [])
+
+
+def singleton() -> StaticGraph:
+    """The one-vertex graph."""
+    return empty_graph(1)
+
+
+def path_graph(n: int) -> StaticGraph:
+    """The path ``P_n``."""
+    return StaticGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> StaticGraph:
+    """The cycle ``C_n`` (requires ``n >= 3``)."""
+    if n < 3:
+        raise GraphValidationError("a cycle needs at least 3 vertices")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return StaticGraph.from_edges(n, edges)
+
+
+def star_graph(n: int) -> StaticGraph:
+    """Star on ``n`` vertices, center 0 — the Section I motivating example
+    where Luby's inequality factor is ``Theta(n)``."""
+    if n < 1:
+        raise GraphValidationError("a star needs at least 1 vertex")
+    return StaticGraph.from_edges(n, [(0, i) for i in range(1, n)])
+
+
+def complete_graph(n: int) -> StaticGraph:
+    """The clique ``K_n``."""
+    return StaticGraph.from_edges(
+        n, [(i, j) for i in range(n) for j in range(i + 1, n)]
+    )
+
+
+# --------------------------------------------------------------------- #
+# evaluation trees (Section IX)
+# --------------------------------------------------------------------- #
+def complete_tree(branching: int, depth: int) -> RootedTree:
+    """Complete ``branching``-ary tree with the given depth (root depth 0).
+
+    ``complete_tree(2, 10)`` is the paper's binary tree (n=2047);
+    ``complete_tree(5, 5)`` its 5-ary tree (n=3906).
+    """
+    if branching < 1 or depth < 0:
+        raise GraphValidationError("branching >= 1 and depth >= 0 required")
+    edges: list[tuple[int, int]] = []
+    parent = [-1]
+    frontier = [0]
+    next_id = 1
+    for _ in range(depth):
+        new_frontier: list[int] = []
+        for u in frontier:
+            for _ in range(branching):
+                edges.append((u, next_id))
+                parent.append(u)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    graph = StaticGraph.from_edges(next_id, edges)
+    return RootedTree(graph=graph, parent=np.asarray(parent, dtype=np.int64))
+
+
+def alternating_tree(branching: int, depth: int) -> RootedTree:
+    """The paper's *alternating tree*: even-depth internal nodes have
+    ``branching`` children, odd-depth internal nodes have exactly one.
+
+    ``alternating_tree(10, 5)`` gives n=1221; ``alternating_tree(30, 3)``
+    gives n=961 — the Table I configurations.  These isolate the impact of
+    local degree variation on Luby's fairness.
+    """
+    if branching < 2 or depth < 0:
+        raise GraphValidationError("branching >= 2 and depth >= 0 required")
+    edges: list[tuple[int, int]] = []
+    parent = [-1]
+    frontier = [0]
+    next_id = 1
+    for level in range(depth):
+        fanout = branching if level % 2 == 0 else 1
+        new_frontier: list[int] = []
+        for u in frontier:
+            for _ in range(fanout):
+                edges.append((u, next_id))
+                parent.append(u)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    graph = StaticGraph.from_edges(next_id, edges)
+    return RootedTree(graph=graph, parent=np.asarray(parent, dtype=np.int64))
+
+
+def caterpillar(spine: int, legs_per_node: int) -> RootedTree:
+    """A path of ``spine`` vertices, each with ``legs_per_node`` pendant
+    leaves — a classic high-inequality shape for Luby."""
+    if spine < 1 or legs_per_node < 0:
+        raise GraphValidationError("spine >= 1 and legs >= 0 required")
+    edges: list[tuple[int, int]] = []
+    parent = [-1]
+    for i in range(1, spine):
+        edges.append((i - 1, i))
+        parent.append(i - 1)
+    next_id = spine
+    for i in range(spine):
+        for _ in range(legs_per_node):
+            edges.append((i, next_id))
+            parent.append(i)
+            next_id += 1
+    graph = StaticGraph.from_edges(next_id, edges)
+    return RootedTree(graph=graph, parent=np.asarray(parent, dtype=np.int64))
+
+
+def broom(handle: int, bristles: int) -> RootedTree:
+    """A path of ``handle`` vertices whose far end holds ``bristles``
+    leaves (star tail)."""
+    if handle < 1 or bristles < 0:
+        raise GraphValidationError("handle >= 1 and bristles >= 0 required")
+    edges = [(i - 1, i) for i in range(1, handle)]
+    parent = [-1] + list(range(handle - 1))
+    next_id = handle
+    for _ in range(bristles):
+        edges.append((handle - 1, next_id))
+        parent.append(handle - 1)
+        next_id += 1
+    graph = StaticGraph.from_edges(next_id, edges)
+    return RootedTree(graph=graph, parent=np.asarray(parent, dtype=np.int64))
+
+
+def double_broom(handle: int, bristles: int) -> StaticGraph:
+    """A path with ``bristles`` leaves attached at *both* ends."""
+    if handle < 2:
+        raise GraphValidationError("handle >= 2 required")
+    edges = [(i - 1, i) for i in range(1, handle)]
+    next_id = handle
+    for end in (0, handle - 1):
+        for _ in range(bristles):
+            edges.append((end, next_id))
+            next_id += 1
+    return StaticGraph.from_edges(next_id, edges)
+
+
+def spider(legs: int, leg_length: int) -> RootedTree:
+    """``legs`` disjoint paths of ``leg_length`` vertices joined at a hub."""
+    if legs < 1 or leg_length < 1:
+        raise GraphValidationError("legs >= 1 and leg_length >= 1 required")
+    edges: list[tuple[int, int]] = []
+    parent = [-1]
+    next_id = 1
+    for _ in range(legs):
+        prev = 0
+        for _ in range(leg_length):
+            edges.append((prev, next_id))
+            parent.append(prev)
+            prev = next_id
+            next_id += 1
+    graph = StaticGraph.from_edges(next_id, edges)
+    return RootedTree(graph=graph, parent=np.asarray(parent, dtype=np.int64))
+
+
+def random_tree(n: int, seed: SeedLike = None) -> RootedTree:
+    """Uniformly random labeled tree on ``n`` vertices (Prüfer decode)."""
+    if n < 1:
+        raise GraphValidationError("n >= 1 required")
+    if n == 1:
+        return RootedTree(graph=empty_graph(1), parent=np.array([-1]))
+    if n == 2:
+        return RootedTree(
+            graph=StaticGraph.from_edges(2, [(0, 1)]),
+            parent=np.array([-1, 0]),
+        )
+    rng = generator_from(seed)
+    prufer = rng.integers(0, n, size=n - 2)
+    degree = np.bincount(prufer, minlength=n) + 1
+    edges: list[tuple[int, int]] = []
+    # classic O(n log n) Prüfer decoding with a sorted leaf pool
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for code in prufer.tolist():
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, code))
+        degree[code] -= 1
+        if degree[code] == 1:
+            heapq.heappush(leaves, code)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    graph = StaticGraph.from_edges(n, edges)
+    return RootedTree.from_graph(graph, root=0)
+
+
+# --------------------------------------------------------------------- #
+# bipartite and planar families (Sections VI–VII)
+# --------------------------------------------------------------------- #
+def complete_bipartite(a: int, b: int) -> StaticGraph:
+    """``K_{a,b}`` with left part ``0..a-1``."""
+    if a < 0 or b < 0:
+        raise GraphValidationError("part sizes must be non-negative")
+    return StaticGraph.from_edges(
+        a + b, [(i, a + j) for i in range(a) for j in range(b)]
+    )
+
+
+def random_bipartite(a: int, b: int, p: float, seed: SeedLike = None) -> StaticGraph:
+    """Bipartite ``G(a, b, p)``: each cross edge present independently."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphValidationError("p must be a probability")
+    rng = generator_from(seed)
+    mask = rng.random((a, b)) < p
+    lefts, rights = np.nonzero(mask)
+    edges = list(zip(lefts.tolist(), (rights + a).tolist()))
+    return StaticGraph.from_edges(a + b, edges)
+
+
+def grid_graph(rows: int, cols: int) -> StaticGraph:
+    """The ``rows x cols`` grid — planar and bipartite."""
+    if rows < 1 or cols < 1:
+        raise GraphValidationError("rows, cols >= 1 required")
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    return StaticGraph.from_edges(rows * cols, edges)
+
+
+def triangulated_grid(rows: int, cols: int) -> StaticGraph:
+    """Grid plus one diagonal per cell — planar, *not* bipartite,
+    arboricity <= 3; exercises COLORMIS on Corollary 18's family."""
+    base = grid_graph(rows, cols)
+    edges = list(map(tuple, base.edges.tolist()))
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            edges.append((r * cols + c, (r + 1) * cols + c + 1))
+    return StaticGraph.from_edges(rows * cols, edges)
+
+
+def apex_grid(rows: int, cols: int) -> StaticGraph:
+    """A grid plus one apex vertex adjacent to every boundary cell.
+
+    Still planar (the apex sits in the outer face) and has arboricity
+    <= 3, but the apex's degree is ``2(rows+cols) - 4`` — the family where
+    arboricity-based coloring (k = O(1)) beats greedy (k = Δ+1), i.e.
+    Corollary 18's sweet spot.  The apex is the last vertex.
+    """
+    base = grid_graph(rows, cols)
+    apex = rows * cols
+    edges = list(map(tuple, base.edges.tolist()))
+    for r in range(rows):
+        for c in range(cols):
+            if r in (0, rows - 1) or c in (0, cols - 1):
+                edges.append((r * cols + c, apex))
+    return StaticGraph.from_edges(rows * cols + 1, edges)
+
+
+def random_planar_like(n: int, seed: SeedLike = None) -> StaticGraph:
+    """Random planar graph via Delaunay triangulation of random points.
+
+    Used as a realistic low-arboricity workload for COLORMIS.
+    """
+    if n < 3:
+        return path_graph(max(n, 1))
+    rng = generator_from(seed)
+    from scipy.spatial import Delaunay
+
+    points = rng.random((n, 2))
+    tri = Delaunay(points)
+    edges: set[tuple[int, int]] = set()
+    for simplex in tri.simplices:
+        a, b, c = map(int, simplex)
+        for u, v in ((a, b), (b, c), (a, c)):
+            edges.add((min(u, v), max(u, v)))
+    return StaticGraph.from_edges(n, sorted(edges))
+
+
+# --------------------------------------------------------------------- #
+# lower-bound topology (Section VIII)
+# --------------------------------------------------------------------- #
+def cone_graph(k: int) -> StaticGraph:
+    """The cone ``C``: clique on ``u_1..u_2k`` plus apex ``u_0`` adjacent
+    to ``u_1..u_k``.  Theorem 19: every MIS algorithm has inequality factor
+    ``Omega(n)`` here.  Vertex 0 is the apex."""
+    if k < 1:
+        raise GraphValidationError("k >= 1 required")
+    n = 2 * k + 1
+    edges = [(i, j) for i in range(1, n) for j in range(i + 1, n)]
+    edges += [(0, i) for i in range(1, k + 1)]
+    return StaticGraph.from_edges(n, edges)

@@ -1,0 +1,242 @@
+"""Geometric wireless-access-point models and MST extraction (substrate S3).
+
+Section IX builds its "real-world" trees from WAP coordinates (Dartmouth
+campus, New York City) by (1) imposing a maximum physical distance that an
+edge may represent and (2) taking a minimum spanning tree of the resulting
+graph.  The raw traces (CRAWDAD, Wigle.NET) are not redistributable and
+this environment has no network access, so this module synthesizes point
+clouds with the same *structural* character and then applies the paper's
+own pipeline verbatim:
+
+* :func:`campus_model` — Gaussian building clusters on a campus quad
+  (Dartmouth-like, default n=178 to match Table I);
+* :func:`city_model` — a street grid with heavy-tailed block densities
+  (NYC-like, scalable up to the paper's n=17,834).
+
+What matters for the fairness phenomenon is the MST's degree/depth
+heterogeneity — dense hubs inside clusters, long chains between clusters —
+which clustered point processes reproduce.  See DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..runtime.rng import SeedLike, generator_from
+from .graph import GraphValidationError, StaticGraph
+
+__all__ = [
+    "PointCloud",
+    "campus_model",
+    "city_model",
+    "threshold_graph",
+    "euclidean_mst",
+    "wap_tree",
+]
+
+
+@dataclass(frozen=True)
+class PointCloud:
+    """A set of 2-D access-point positions with a descriptive label."""
+
+    label: str
+    points: np.ndarray  # (n, 2) float64
+
+    @property
+    def n(self) -> int:
+        """Number of points."""
+        return int(self.points.shape[0])
+
+
+def _colocate(points: np.ndarray, frac: float, rng: np.random.Generator) -> np.ndarray:
+    """With probability *frac*, an AP reports an earlier AP's coordinates.
+
+    Real wardriving traces (CRAWDAD, Wigle.NET) place many access points at
+    *identical* coordinates — venue stacking (dozens of APs in one
+    building) and geolocation snapping both collapse positions.  Those
+    zero-length edges are what give the paper's MSTs their high-degree
+    hubs, which in turn drive Luby's large inequality factors (Table I).
+    Chains of duplicates resolve transitively (a copy of a copy lands on
+    the original coordinates).
+    """
+    n = len(points)
+    if n < 2 or frac <= 0:
+        return points
+    dup = rng.random(n) < frac
+    dup[0] = False
+    idx = np.nonzero(dup)[0]
+    src = np.floor(rng.random(idx.size) * idx).astype(np.int64)  # j < i
+    for i, j in zip(idx.tolist(), src.tolist()):
+        points[i] = points[j]
+    return points
+
+
+def campus_model(
+    n: int = 178,
+    clusters: int = 12,
+    cluster_sigma: float = 40.0,
+    extent: float = 1200.0,
+    colocation: float = 0.55,
+    seed: SeedLike = None,
+) -> PointCloud:
+    """Campus-like WAP layout: buildings as Gaussian clusters.
+
+    Cluster centers are uniform over an ``extent x extent`` area; each
+    access point is assigned to a cluster with probability proportional to
+    a random building "size" and scattered with ``cluster_sigma`` meters of
+    spread; a ``colocation`` fraction of APs share an earlier AP's exact
+    coordinates (see :func:`_colocate`).  Defaults give the
+    Dartmouth-scale tree (|V| = 178).
+    """
+    if n < 1 or clusters < 1:
+        raise GraphValidationError("n >= 1 and clusters >= 1 required")
+    rng = generator_from(seed)
+    centers = rng.uniform(0.0, extent, size=(clusters, 2))
+    weights = rng.gamma(shape=2.0, scale=1.0, size=clusters)
+    weights /= weights.sum()
+    assignment = rng.choice(clusters, size=n, p=weights)
+    points = centers[assignment] + rng.normal(0.0, cluster_sigma, size=(n, 2))
+    points = _colocate(points, colocation, rng)
+    return PointCloud(label=f"campus(n={n})", points=points)
+
+
+def city_model(
+    n: int = 17834,
+    blocks: int = 24,
+    block_size: float = 250.0,
+    jitter: float = 60.0,
+    density_tail: float = 1.3,
+    colocation: float = 0.6,
+    seed: SeedLike = None,
+) -> PointCloud:
+    """City-like WAP layout: a street grid with heavy-tailed block density.
+
+    The city is a ``blocks x blocks`` grid of square blocks.  Each block
+    draws a Pareto-distributed density (a few very dense blocks — downtown
+    — and many sparse ones), and points are placed near the block's street
+    frontage with ``jitter`` meters of noise.  Defaults give the NYC-scale
+    tree (|V| = 17,834); pass a smaller ``n`` for laptop-scale runs.
+    """
+    if n < 1 or blocks < 1:
+        raise GraphValidationError("n >= 1 and blocks >= 1 required")
+    rng = generator_from(seed)
+    density = rng.pareto(density_tail, size=blocks * blocks) + 0.05
+    density /= density.sum()
+    assignment = rng.choice(blocks * blocks, size=n, p=density)
+    bx = (assignment % blocks).astype(np.float64)
+    by = (assignment // blocks).astype(np.float64)
+    # place points along block edges (street frontage), not interiors
+    along = rng.uniform(0.0, block_size, size=n)
+    side = rng.integers(0, 4, size=n)
+    off = np.zeros((n, 2))
+    off[side == 0] = np.stack(
+        [along[side == 0], np.zeros((side == 0).sum())], axis=1
+    )
+    off[side == 1] = np.stack(
+        [np.full((side == 1).sum(), block_size), along[side == 1]], axis=1
+    )
+    off[side == 2] = np.stack(
+        [along[side == 2], np.full((side == 2).sum(), block_size)], axis=1
+    )
+    off[side == 3] = np.stack(
+        [np.zeros((side == 3).sum()), along[side == 3]], axis=1
+    )
+    points = (
+        np.stack([bx, by], axis=1) * block_size
+        + off
+        + rng.normal(0.0, jitter, size=(n, 2))
+    )
+    points = _colocate(points, colocation, rng)
+    return PointCloud(label=f"city(n={n})", points=points)
+
+
+def threshold_graph(cloud: PointCloud, max_distance: float) -> StaticGraph:
+    """Connect every pair of points at Euclidean distance <= *max_distance*.
+
+    This is step (1) of the paper's tree-building pipeline.  Uses a KD-tree
+    so the NYC-scale model stays tractable.
+    """
+    if max_distance <= 0:
+        raise GraphValidationError("max_distance must be positive")
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(cloud.points)
+    pairs = tree.query_pairs(r=max_distance, output_type="ndarray")
+    return StaticGraph.from_edges(cloud.n, map(tuple, pairs.tolist()))
+
+
+def euclidean_mst(cloud: PointCloud, graph: StaticGraph) -> StaticGraph:
+    """Minimum spanning tree of *graph* weighted by Euclidean edge length.
+
+    Step (2) of the pipeline.  If *graph* is disconnected the MST of the
+    largest component is returned, relabeled to ``0..n'-1`` (the paper's
+    trees are connected; a too-small threshold would otherwise silently
+    yield a forest).
+    """
+    from scipy.sparse import csr_array
+    from scipy.sparse.csgraph import connected_components, minimum_spanning_tree
+
+    if graph.n == 0:
+        return graph
+    pts = cloud.points
+    e = graph.edges
+    if len(e) == 0:
+        return StaticGraph.from_edges(1, [])
+    w = np.linalg.norm(pts[e[:, 0]] - pts[e[:, 1]], axis=1)
+    w = np.maximum(w, 1e-9)  # csgraph treats 0 weights as absent edges
+    adj = csr_array(
+        (np.concatenate([w, w]), (graph.edge_src, graph.edge_dst)),
+        shape=(graph.n, graph.n),
+    )
+    count, labels = connected_components(adj, directed=False)
+    if count > 1:
+        sizes = np.bincount(labels)
+        keep_label = int(np.argmax(sizes))
+        keep = labels == keep_label
+        remap = -np.ones(graph.n, dtype=np.int64)
+        remap[keep] = np.arange(keep.sum())
+        sel = keep[e[:, 0]] & keep[e[:, 1]]
+        sub_edges = remap[e[sel]]
+        sub_w = w[sel]
+        adj = csr_array(
+            (
+                np.concatenate([sub_w, sub_w]),
+                (
+                    np.concatenate([sub_edges[:, 0], sub_edges[:, 1]]),
+                    np.concatenate([sub_edges[:, 1], sub_edges[:, 0]]),
+                ),
+            ),
+            shape=(int(keep.sum()), int(keep.sum())),
+        )
+        n_eff = int(keep.sum())
+    else:
+        n_eff = graph.n
+    mst = minimum_spanning_tree(adj)
+    rows, cols = mst.nonzero()
+    return StaticGraph.from_edges(n_eff, zip(rows.tolist(), cols.tolist()))
+
+
+def wap_tree(
+    cloud: PointCloud, max_distance: float | None = None
+) -> StaticGraph:
+    """Full paper pipeline: threshold graph -> MST, auto-tuning the
+    distance threshold to the smallest value that keeps >= 99% of points in
+    one component when *max_distance* is not given."""
+    if max_distance is not None:
+        return euclidean_mst(cloud, threshold_graph(cloud, max_distance))
+    # auto-tune: start from the mean nearest-neighbor distance and double
+    from scipy.spatial import cKDTree
+
+    kd = cKDTree(cloud.points)
+    nn_dist, _ = kd.query(cloud.points, k=min(2, cloud.n))
+    base = float(np.mean(nn_dist[:, -1])) if cloud.n > 1 else 1.0
+    radius = max(base * 2.0, 1e-6)
+    for _ in range(24):
+        g = threshold_graph(cloud, radius)
+        count, labels = g.connected_components()
+        if count and np.bincount(labels).max() >= 0.99 * cloud.n:
+            return euclidean_mst(cloud, g)
+        radius *= 1.6
+    return euclidean_mst(cloud, threshold_graph(cloud, radius))

@@ -1,0 +1,402 @@
+"""Canonical immutable graph types used across the whole library.
+
+All substrates (the faithful message-passing runtime and the vectorized
+fast engines) consume :class:`StaticGraph`, a frozen CSR-backed undirected
+graph with vertices ``0..n-1``.  ``networkx`` is supported at the boundary
+(:meth:`StaticGraph.from_networkx` / :meth:`StaticGraph.to_networkx`) but
+never used inside algorithms, so the hot paths stay pure numpy.
+
+Design notes (per the HPC guides):
+
+* neighbor queries are array *views* into the CSR ``indices`` buffer — no
+  copies on the hot path;
+* the symmetric edge list (``edge_src``/``edge_dst``, both directions) is
+  precomputed once so per-round neighbor reductions can be expressed as
+  single scatter operations (``np.maximum.at`` et al.);
+* everything is validated eagerly at construction and immutable after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["StaticGraph", "RootedTree", "GraphValidationError"]
+
+
+class GraphValidationError(ValueError):
+    """Raised when construction input does not describe a simple graph."""
+
+
+def _normalize_edges(n: int, edges: Iterable[tuple[int, int]]) -> np.ndarray:
+    """Validate and canonicalize an undirected edge list.
+
+    Returns an ``(m, 2)`` int64 array with ``u < v`` per row, sorted
+    lexicographically, duplicates rejected.
+    """
+    arr = np.asarray(list(edges), dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphValidationError("edges must be pairs of vertex indices")
+    if arr.min() < 0 or arr.max() >= n:
+        raise GraphValidationError(
+            f"edge endpoint out of range [0, {n}): "
+            f"min={arr.min()}, max={arr.max()}"
+        )
+    if np.any(arr[:, 0] == arr[:, 1]):
+        raise GraphValidationError("self-loops are not allowed")
+    lo = np.minimum(arr[:, 0], arr[:, 1])
+    hi = np.maximum(arr[:, 0], arr[:, 1])
+    canon = np.stack([lo, hi], axis=1)
+    order = np.lexsort((canon[:, 1], canon[:, 0]))
+    canon = canon[order]
+    if len(canon) > 1 and np.any(np.all(canon[1:] == canon[:-1], axis=1)):
+        raise GraphValidationError("duplicate (parallel) edges are not allowed")
+    return canon
+
+
+@dataclass(frozen=True)
+class StaticGraph:
+    """An immutable simple undirected graph on vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        ``(m, 2)`` canonical edge array (``u < v``, sorted, no duplicates).
+        Use :meth:`from_edges` / :meth:`from_networkx` rather than the raw
+        constructor.
+    """
+
+    n: int
+    edges: np.ndarray = field(repr=False)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[tuple[int, int]]) -> "StaticGraph":
+        """Build a graph from any iterable of undirected edges."""
+        if n < 0:
+            raise GraphValidationError("n must be non-negative")
+        return cls(n=n, edges=_normalize_edges(n, edges))
+
+    @classmethod
+    def from_networkx(cls, graph) -> "StaticGraph":
+        """Convert a ``networkx`` graph with arbitrary hashable labels.
+
+        Labels are mapped to ``0..n-1`` in sorted order when sortable, else
+        in insertion order.
+        """
+        nodes = list(graph.nodes())
+        try:
+            nodes = sorted(nodes)
+        except TypeError:
+            pass
+        index = {v: i for i, v in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in graph.edges()]
+        return cls.from_edges(len(nodes), edges)
+
+    def to_networkx(self):
+        """Return the graph as a ``networkx.Graph`` (for inspection only)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(map(tuple, self.edges.tolist()))
+        return g
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return int(self.edges.shape[0])
+
+    @cached_property
+    def _csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR adjacency: (indptr, indices) over the symmetrized edges."""
+        src = self.edge_src
+        dst = self.edge_dst
+        order = np.argsort(src, kind="stable")
+        indices = dst[order]
+        counts = np.bincount(src, minlength=self.n)
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, indices
+
+    @cached_property
+    def edge_src(self) -> np.ndarray:
+        """Source endpoints of the *symmetrized* edge list (length 2m)."""
+        if self.m == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([self.edges[:, 0], self.edges[:, 1]])
+
+    @cached_property
+    def edge_dst(self) -> np.ndarray:
+        """Destination endpoints of the symmetrized edge list (length 2m)."""
+        if self.m == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([self.edges[:, 1], self.edges[:, 0]])
+
+    @cached_property
+    def degrees(self) -> np.ndarray:
+        """Vertex degrees as an int64 array of length ``n``."""
+        return np.bincount(self.edge_src, minlength=self.n).astype(np.int64)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbors of ``v`` as a read-only array view (no copy)."""
+        indptr, indices = self._csr
+        view = indices[indptr[v] : indptr[v + 1]]
+        view.setflags(write=False)
+        return view
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff ``{u, v}`` is an edge."""
+        if u == v:
+            return False
+        nbrs = self.neighbors(u)
+        i = np.searchsorted(np.sort(nbrs), v)
+        return i < len(nbrs) and int(np.sort(nbrs)[i]) == v
+
+    @cached_property
+    def max_degree(self) -> int:
+        """Maximum vertex degree (0 for the empty graph)."""
+        return int(self.degrees.max()) if self.n else 0
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    def adjacency_csr(self):
+        """Return adjacency as a ``scipy.sparse.csr_array`` of 1s."""
+        from scipy.sparse import csr_array
+
+        indptr, indices = self._csr
+        data = np.ones(len(indices), dtype=np.int8)
+        return csr_array((data, indices, indptr), shape=(self.n, self.n))
+
+    def connected_components(self) -> tuple[int, np.ndarray]:
+        """Label connected components; returns ``(count, labels)``."""
+        from scipy.sparse.csgraph import connected_components
+
+        if self.n == 0:
+            return 0, np.empty(0, dtype=np.int64)
+        count, labels = connected_components(self.adjacency_csr(), directed=False)
+        return int(count), labels.astype(np.int64)
+
+    def is_connected(self) -> bool:
+        """True iff the graph has at most one connected component."""
+        return self.n <= 1 or self.connected_components()[0] == 1
+
+    def is_tree(self) -> bool:
+        """True iff connected and ``m == n - 1``."""
+        return self.n > 0 and self.m == self.n - 1 and self.is_connected()
+
+    def is_forest(self) -> bool:
+        """True iff acyclic (``m == n - #components``)."""
+        count, _ = self.connected_components()
+        return self.m == self.n - count
+
+    def subgraph_mask(self, keep: np.ndarray) -> "StaticGraph":
+        """Induced subgraph on ``keep`` (bool mask), *preserving* vertex ids.
+
+        Vertices outside the mask become isolated; this keeps indices stable
+        which is what the staged algorithms need ("run on the subgraph
+        induced by the still-active nodes").
+        """
+        keep = np.asarray(keep, dtype=bool)
+        if keep.shape != (self.n,):
+            raise GraphValidationError("mask must have shape (n,)")
+        if self.m == 0:
+            return self
+        e = self.edges
+        sel = keep[e[:, 0]] & keep[e[:, 1]]
+        return StaticGraph(n=self.n, edges=e[sel])
+
+    def bfs_order(self, source: int) -> np.ndarray:
+        """Vertices of ``source``'s component in BFS order."""
+        from scipy.sparse.csgraph import breadth_first_order
+
+        order, _ = breadth_first_order(
+            self.adjacency_csr(), source, directed=False, return_predecessors=True
+        )
+        return order.astype(np.int64)
+
+    def bfs_levels(self, sources: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Hop distance from the nearest source; ``-1`` if unreachable.
+
+        Implemented as vectorized frontier expansion over the symmetric
+        edge list — one ``O(m)`` scatter per BFS level.
+        """
+        level = np.full(self.n, -1, dtype=np.int64)
+        src_arr = np.asarray(sources, dtype=np.int64)
+        if src_arr.size == 0:
+            return level
+        level[src_arr] = 0
+        frontier = np.zeros(self.n, dtype=bool)
+        frontier[src_arr] = True
+        depth = 0
+        es, ed = self.edge_src, self.edge_dst
+        while frontier.any():
+            depth += 1
+            hit = frontier[es]
+            nxt = np.zeros(self.n, dtype=bool)
+            nxt[ed[hit]] = True
+            nxt &= level < 0
+            level[nxt] = depth
+            frontier = nxt
+        return level
+
+    def diameter(self) -> int:
+        """Exact diameter (max eccentricity); ``inf``-free: requires
+        a connected graph, raises otherwise."""
+        if self.n == 0:
+            raise GraphValidationError("diameter of the empty graph is undefined")
+        if not self.is_connected():
+            raise GraphValidationError("diameter requires a connected graph")
+        if self.n == 1:
+            return 0
+        # Trees admit the double-BFS trick; general graphs fall back to
+        # per-vertex BFS (used only in tests / small experiments).
+        if self.is_tree():
+            lv = self.bfs_levels([0])
+            far = int(np.argmax(lv))
+            lv2 = self.bfs_levels([far])
+            return int(lv2.max())
+        ecc = 0
+        for v in range(self.n):
+            ecc = max(ecc, int(self.bfs_levels([v]).max()))
+        return ecc
+
+    def bipartition(self) -> np.ndarray | None:
+        """2-coloring as a 0/1 array, or ``None`` if not bipartite."""
+        color = np.full(self.n, -1, dtype=np.int8)
+        es, ed = self.edge_src, self.edge_dst
+        for start in range(self.n):
+            if color[start] >= 0:
+                continue
+            color[start] = 0
+            frontier = np.zeros(self.n, dtype=bool)
+            frontier[start] = True
+            while frontier.any():
+                hit = frontier[es]
+                touched_from = es[hit]
+                touched_to = ed[hit]
+                want = (1 - color[touched_from]).astype(np.int8)
+                fresh = color[touched_to] < 0
+                conflict = (~fresh) & (color[touched_to] != want)
+                if conflict.any():
+                    return None
+                nxt = np.zeros(self.n, dtype=bool)
+                # assign colors to freshly touched vertices
+                color[touched_to[fresh]] = want[fresh]
+                nxt[touched_to[fresh]] = True
+                frontier = nxt
+        return color.astype(np.int64)
+
+    def is_bipartite(self) -> bool:
+        """True iff the graph admits a proper 2-coloring."""
+        return self.bipartition() is not None
+
+    # ------------------------------------------------------------------ #
+    # dunder
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.n))
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StaticGraph):
+            return NotImplemented
+        return self.n == other.n and np.array_equal(self.edges, other.edges)
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.edges.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StaticGraph(n={self.n}, m={self.m})"
+
+
+@dataclass(frozen=True)
+class RootedTree:
+    """A rooted tree (or forest): a :class:`StaticGraph` plus parent pointers.
+
+    ``parent[v] == -1`` marks a root.  Used by FAIRROOTED and Cole–Vishkin,
+    which assume each internal node knows its parent (Section IV).
+    """
+
+    graph: StaticGraph
+    parent: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.parent, dtype=np.int64)
+        object.__setattr__(self, "parent", p)
+        if p.shape != (self.graph.n,):
+            raise GraphValidationError("parent array must have shape (n,)")
+        if not self.graph.is_forest():
+            raise GraphValidationError("underlying graph must be acyclic")
+        nonroot = p >= 0
+        if nonroot.any():
+            kids = np.nonzero(nonroot)[0]
+            for v, u in zip(kids.tolist(), p[kids].tolist()):
+                if not any(int(w) == u for w in self.graph.neighbors(v)):
+                    raise GraphValidationError(
+                        f"parent[{v}]={u} is not adjacent to {v}"
+                    )
+        # every tree edge must be a parent link in one direction
+        e = self.graph.edges
+        for u, v in map(tuple, e.tolist()):
+            if p[u] != v and p[v] != u:
+                raise GraphValidationError(
+                    f"edge ({u},{v}) is not oriented by the parent array"
+                )
+
+    @classmethod
+    def from_graph(cls, graph: StaticGraph, root: int = 0) -> "RootedTree":
+        """Root a tree/forest by BFS from ``root`` (and from the minimum
+        unvisited vertex of every other component)."""
+        parent = np.full(graph.n, -1, dtype=np.int64)
+        visited = np.zeros(graph.n, dtype=bool)
+        order = [root] + [v for v in range(graph.n) if v != root]
+        for start in order:
+            if visited[start]:
+                continue
+            visited[start] = True
+            queue = [start]
+            while queue:
+                u = queue.pop()
+                for w in graph.neighbors(u):
+                    w = int(w)
+                    if not visited[w]:
+                        visited[w] = True
+                        parent[w] = u
+                        queue.append(w)
+        return cls(graph=graph, parent=parent)
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.graph.n
+
+    @cached_property
+    def roots(self) -> np.ndarray:
+        """Indices of all roots (vertices with no parent)."""
+        return np.nonzero(self.parent < 0)[0]
+
+    @cached_property
+    def depth(self) -> np.ndarray:
+        """Depth of every vertex (roots have depth 0)."""
+        return self.graph.bfs_levels(self.roots)
+
+    def children(self, v: int) -> np.ndarray:
+        """Children of ``v`` (neighbors whose parent is ``v``)."""
+        nbrs = self.graph.neighbors(v)
+        return nbrs[self.parent[nbrs] == v]

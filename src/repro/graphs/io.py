@@ -1,0 +1,85 @@
+"""Persistence for graphs, point clouds, and join estimates.
+
+Downstream users of an evaluation want to pin the exact topologies and
+counts a result was produced from.  Formats:
+
+* graphs — compressed ``.npz`` (n + canonical edge array), stable across
+  numpy versions;
+* point clouds — ``.npz`` with coordinates and label;
+* join estimates — ``.npz`` with counts + trials (merge-friendly, see
+  :meth:`repro.analysis.fairness.JoinEstimate.merge`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .geometric import PointCloud
+from .graph import StaticGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.fairness import JoinEstimate
+
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "save_point_cloud",
+    "load_point_cloud",
+    "save_estimate",
+    "load_estimate",
+]
+
+
+def save_graph(path: str | Path, graph: StaticGraph) -> None:
+    """Write *graph* to ``path`` (``.npz``)."""
+    np.savez_compressed(
+        Path(path), kind="static_graph", n=np.int64(graph.n), edges=graph.edges
+    )
+
+
+def load_graph(path: str | Path) -> StaticGraph:
+    """Read a graph written by :func:`save_graph`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if str(data["kind"]) != "static_graph":
+            raise ValueError(f"{path}: not a saved StaticGraph")
+        return StaticGraph.from_edges(
+            int(data["n"]), map(tuple, data["edges"].tolist())
+        )
+
+
+def save_point_cloud(path: str | Path, cloud: PointCloud) -> None:
+    """Write *cloud* to ``path`` (``.npz``)."""
+    np.savez_compressed(
+        Path(path), kind="point_cloud", label=cloud.label, points=cloud.points
+    )
+
+
+def load_point_cloud(path: str | Path) -> PointCloud:
+    """Read a point cloud written by :func:`save_point_cloud`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if str(data["kind"]) != "point_cloud":
+            raise ValueError(f"{path}: not a saved PointCloud")
+        return PointCloud(label=str(data["label"]), points=data["points"])
+
+
+def save_estimate(path: str | Path, estimate: "JoinEstimate") -> None:
+    """Write a join estimate (counts + trials) to ``path`` (``.npz``)."""
+    np.savez_compressed(
+        Path(path),
+        kind="join_estimate",
+        counts=estimate.counts,
+        trials=np.int64(estimate.trials),
+    )
+
+
+def load_estimate(path: str | Path) -> "JoinEstimate":
+    """Read a join estimate written by :func:`save_estimate`."""
+    from ..analysis.fairness import JoinEstimate
+
+    with np.load(Path(path), allow_pickle=False) as data:
+        if str(data["kind"]) != "join_estimate":
+            raise ValueError(f"{path}: not a saved JoinEstimate")
+        return JoinEstimate(counts=data["counts"], trials=int(data["trials"]))

@@ -1,0 +1,120 @@
+"""Structural graph properties used by the analysis layer (substrate S4).
+
+These are *centralized* helpers (degeneracy, arboricity bounds, parity
+classes, eccentricities) used to parameterize and validate the distributed
+algorithms — never called from inside a node process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import GraphValidationError, StaticGraph
+
+__all__ = [
+    "degeneracy",
+    "degeneracy_ordering",
+    "arboricity_upper_bound",
+    "parity_classes",
+    "eccentricities",
+    "degree_histogram",
+    "leaf_fraction",
+]
+
+
+def degeneracy_ordering(graph: StaticGraph) -> tuple[int, np.ndarray]:
+    """Smallest-last vertex ordering; returns ``(degeneracy, order)``.
+
+    Classic bucket-queue peeling in ``O(n + m)``.  The degeneracy ``d``
+    upper-bounds arboricity (``a <= d``) and lower-bounds it
+    (``a >= d/2``), so it calibrates the palette for the low-arboricity
+    coloring of Section VII.
+    """
+    n = graph.n
+    if n == 0:
+        return 0, np.empty(0, dtype=np.int64)
+    deg = graph.degrees.copy()
+    removed = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    # bucket queue keyed by current degree
+    max_deg = int(deg.max()) if n else 0
+    buckets: list[list[int]] = [[] for _ in range(max_deg + 1)]
+    for v in range(n):
+        buckets[deg[v]].append(v)
+    degeneracy = 0
+    cursor = 0
+    for i in range(n):
+        while cursor <= max_deg and not buckets[cursor]:
+            cursor += 1
+        # the bucket may hold stale entries; skip them
+        while True:
+            v = buckets[cursor].pop()
+            if not removed[v] and deg[v] == cursor:
+                break
+            while cursor <= max_deg and not buckets[cursor]:
+                cursor += 1
+        removed[v] = True
+        order[i] = v
+        degeneracy = max(degeneracy, cursor)
+        for w in graph.neighbors(v):
+            w = int(w)
+            if not removed[w]:
+                deg[w] -= 1
+                buckets[deg[w]].append(w)
+                if deg[w] < cursor:
+                    cursor = deg[w]
+    return degeneracy, order
+
+
+def degeneracy(graph: StaticGraph) -> int:
+    """The degeneracy (max over subgraphs of the minimum degree)."""
+    return degeneracy_ordering(graph)[0]
+
+
+def arboricity_upper_bound(graph: StaticGraph) -> int:
+    """A cheap upper bound on arboricity: ``min(degeneracy, ceil-density)``.
+
+    Nash-Williams gives ``a(G) = max_H ceil(m_H / (n_H - 1))``; degeneracy
+    bounds it from above.  Planar graphs report <= 5 (true arboricity <= 3);
+    forests report 1.
+    """
+    if graph.n <= 1:
+        return 0 if graph.m == 0 else 1
+    return max(1, degeneracy(graph)) if graph.m else 0
+
+
+def parity_classes(graph: StaticGraph) -> np.ndarray:
+    """Distance parity of every vertex from its component's minimum vertex.
+
+    For bipartite graphs this is a proper 2-coloring; raises otherwise.
+    Used heavily by the fast CNTRLFAIRBIPART engine: within a tree, the
+    parity of ``d(u, v)`` equals ``parity[u] XOR parity[v]``.
+    """
+    coloring = graph.bipartition()
+    if coloring is None:
+        raise GraphValidationError("graph is not bipartite")
+    return coloring
+
+
+def eccentricities(graph: StaticGraph) -> np.ndarray:
+    """Per-vertex eccentricity within its own component."""
+    out = np.empty(graph.n, dtype=np.int64)
+    for v in range(graph.n):
+        lv = graph.bfs_levels([v])
+        out[v] = int(lv.max())
+    return out
+
+
+def degree_histogram(graph: StaticGraph) -> np.ndarray:
+    """``hist[d]`` = number of vertices of degree ``d``."""
+    if graph.n == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(graph.degrees)
+
+
+def leaf_fraction(graph: StaticGraph) -> float:
+    """Fraction of degree-1 vertices — a quick heterogeneity fingerprint
+    for the WAP-derived trees."""
+    if graph.n == 0:
+        return 0.0
+    return float(np.mean(graph.degrees == 1))

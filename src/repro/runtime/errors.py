@@ -1,0 +1,81 @@
+"""Exception hierarchy for the synchronous message-passing runtime.
+
+The runtime enforces the model of Section III of the paper: synchronous
+rounds, bounded per-edge message sizes, and explicit termination.  Each
+violation maps to a distinct exception so tests can assert on the exact
+failure mode.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "ProtocolViolation",
+    "MessageTooLarge",
+    "UnknownNeighbor",
+    "AlreadyTerminated",
+    "RoundLimitExceeded",
+    "NotTerminated",
+]
+
+
+class SimulationError(Exception):
+    """Base class for all runtime errors."""
+
+
+class ProtocolViolation(SimulationError):
+    """A node process broke an invariant of the execution model."""
+
+
+class MessageTooLarge(ProtocolViolation):
+    """A message exceeded the configured per-edge slot budget.
+
+    The model allows ``O(log n)`` bits per message, i.e. a constant number
+    of node identifiers.  The runtime measures payloads in *slots* (one
+    slot per scalar) and raises this when a node exceeds its budget.
+    """
+
+    def __init__(self, sender: int, slots: int, limit: int) -> None:
+        super().__init__(
+            f"node {sender} sent a message of {slots} slots; "
+            f"the per-message limit is {limit}"
+        )
+        self.sender = sender
+        self.slots = slots
+        self.limit = limit
+
+
+class UnknownNeighbor(ProtocolViolation):
+    """A node addressed a message to a vertex it is not adjacent to."""
+
+    def __init__(self, sender: int, target: int) -> None:
+        super().__init__(f"node {sender} tried to message non-neighbor {target}")
+        self.sender = sender
+        self.target = target
+
+
+class AlreadyTerminated(ProtocolViolation):
+    """A node attempted an action after calling ``terminate``."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"node {node} acted after termination")
+        self.node = node
+
+
+class RoundLimitExceeded(SimulationError):
+    """The network hit ``max_rounds`` before every node terminated."""
+
+    def __init__(self, max_rounds: int, unfinished: int) -> None:
+        super().__init__(
+            f"{unfinished} node(s) still running after {max_rounds} rounds"
+        )
+        self.max_rounds = max_rounds
+        self.unfinished = unfinished
+
+
+class NotTerminated(SimulationError):
+    """An output was requested from a node that has not terminated."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"node {node} has not produced an output")
+        self.node = node

@@ -1,0 +1,63 @@
+"""Messages and the slot-based size model.
+
+Section III of the paper bounds message size at ``O(log n)`` bits — "enough
+for a constant number of IDs".  We make that concrete by measuring payloads
+in *slots*: one slot holds one scalar of ``O(log n)`` bits (a node ID, an
+integer counter bounded by a polynomial in ``n``, or a single bit).  A
+network is configured with a per-message slot budget; algorithms that need
+to ship larger state (e.g. the Linial–Saks leader tables of FAIRBIPART)
+must spread it over multiple rounds, exactly as the paper's "superrounds"
+do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+__all__ = ["Message", "slot_cost", "UNBOUNDED_SLOTS"]
+
+#: Sentinel slot budget meaning "no limit" (used by the lower-bound
+#: experiments, which the paper notes hold even with unbounded messages).
+UNBOUNDED_SLOTS = -1
+
+
+def slot_cost(payload: Any) -> int:
+    """Return the number of ``O(log n)``-bit slots needed for *payload*.
+
+    Scalars (ints, bools, floats used as random priorities) cost one slot.
+    Strings cost one slot (they are used only as small message-type tags
+    drawn from a constant-size alphabet).  Containers cost the sum of their
+    items; mapping keys are type tags and are not charged.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, (bool, int, float, str)):
+        return 1
+    if isinstance(payload, Mapping):
+        return sum(slot_cost(v) for v in payload.values())
+    if isinstance(payload, Sequence):
+        return sum(slot_cost(v) for v in payload)
+    raise TypeError(f"unsupported payload type: {type(payload)!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A single point-to-point message delivered at a round boundary.
+
+    Attributes
+    ----------
+    sender:
+        ID of the vertex that sent the message.
+    payload:
+        Arbitrary (slot-counted) content.  Algorithms in this package use
+        small dicts with a ``"type"`` tag.
+    """
+
+    sender: int
+    payload: Any
+
+    @property
+    def slots(self) -> int:
+        """Slot cost of this message's payload."""
+        return slot_cost(self.payload)

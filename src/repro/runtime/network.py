@@ -1,0 +1,210 @@
+"""The synchronous network engine.
+
+Implements the standard synchronous message-passing model of Section III:
+in each round every live node (1) receives the messages sent to it in the
+previous round, (2) performs local computation (including coin flips), and
+(3) sends at most one bounded-size message per incident edge.  The engine
+is deterministic given ``(graph, seed, protocol)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..graphs.graph import StaticGraph
+from .errors import MessageTooLarge, NotTerminated, RoundLimitExceeded
+from .message import Message, UNBOUNDED_SLOTS, slot_cost
+from .metrics import RunMetrics
+from .node import NodeContext, NodeProcess, ProcessFactory
+from .rng import SeedLike, spawn_node_rngs
+from .trace import MessageTrace
+
+__all__ = ["SyncNetwork", "RunResult", "DEFAULT_SLOT_LIMIT"]
+
+#: Default per-message budget: a small constant number of ``O(log n)``-bit
+#: scalars, matching "enough for a constant number of IDs".
+DEFAULT_SLOT_LIMIT = 8
+
+
+@dataclass
+class RunResult:
+    """Outcome of one complete synchronous execution.
+
+    Attributes
+    ----------
+    outputs:
+        ``object`` array of per-node termination outputs.
+    metrics:
+        Round/message/slot counters for the run.
+    """
+
+    outputs: np.ndarray
+    metrics: RunMetrics
+
+    def mis_membership(self) -> np.ndarray:
+        """Interpret outputs as MIS membership (bool array).
+
+        Raises if any node produced a non-0/1 output.
+        """
+        member = np.zeros(len(self.outputs), dtype=bool)
+        for v, out in enumerate(self.outputs):
+            if out not in (0, 1, True, False):
+                raise ValueError(f"node {v} produced non-binary output {out!r}")
+            member[v] = bool(out)
+        return member
+
+
+class SyncNetwork:
+    """Executes a :class:`NodeProcess` per vertex in synchronous rounds.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology.
+    slot_limit:
+        Per-message slot budget (:data:`UNBOUNDED_SLOTS` disables the
+        check, as the lower-bound model allows).
+    """
+
+    def __init__(
+        self, graph: StaticGraph, slot_limit: int = DEFAULT_SLOT_LIMIT
+    ) -> None:
+        self.graph = graph
+        self.slot_limit = slot_limit
+
+    def run(
+        self,
+        factory: ProcessFactory,
+        seed: SeedLike = None,
+        max_rounds: int | None = None,
+        require_termination: bool = True,
+        trace: MessageTrace | None = None,
+    ) -> RunResult:
+        """Run one execution to completion.
+
+        Parameters
+        ----------
+        factory:
+            Called as ``factory(v)`` for each vertex to build its process.
+        seed:
+            Root seed; per-node generators are spawned from it.
+        max_rounds:
+            Safety valve; defaults to ``64 * (n + 16)`` which is far above
+            every algorithm in this package.
+        require_termination:
+            If true (default), raise :class:`RoundLimitExceeded` when the
+            limit is hit; otherwise return with non-terminated nodes'
+            outputs set to ``None``.
+        trace:
+            Optional :class:`~repro.runtime.trace.MessageTrace` that
+            receives every delivered message and termination event.
+        """
+        g = self.graph
+        n = g.n
+        if max_rounds is None:
+            max_rounds = 64 * (n + 16)
+
+        rngs = spawn_node_rngs(seed, n)
+        contexts = [
+            NodeContext(v, [int(w) for w in g.neighbors(v)], n, rngs[v])
+            for v in range(n)
+        ]
+        processes = [factory(v) for v in range(n)]
+        metrics = RunMetrics()
+
+        inboxes: list[list[Message]] = [[] for _ in range(n)]
+        for v in range(n):
+            if not contexts[v].terminated:
+                processes[v].on_start(contexts[v])
+        delivered = self._collect(contexts, inboxes, metrics, 0, trace)
+        self._trace_terminations(trace, contexts, set(), 0)
+        metrics.record_round(0, *delivered, active_nodes=n)
+        metrics.rounds = 0
+
+        round_index = 0
+        while any(not ctx.terminated for ctx in contexts):
+            round_index += 1
+            if round_index > max_rounds:
+                unfinished = sum(1 for ctx in contexts if not ctx.terminated)
+                if require_termination:
+                    raise RoundLimitExceeded(max_rounds, unfinished)
+                break
+            current, inboxes = inboxes, [[] for _ in range(n)]
+            already_done = {
+                v for v in range(n) if contexts[v].terminated
+            }
+            active = 0
+            for v in range(n):
+                ctx = contexts[v]
+                if ctx.terminated:
+                    continue
+                active += 1
+                ctx.round = round_index
+                processes[v].on_round(ctx, current[v])
+            delivered = self._collect(contexts, inboxes, metrics, round_index, trace)
+            self._trace_terminations(trace, contexts, already_done, round_index)
+            metrics.record_round(round_index, *delivered, active_nodes=active)
+
+        outputs = np.empty(n, dtype=object)
+        for v, ctx in enumerate(contexts):
+            outputs[v] = ctx.output if ctx.terminated else None
+        return RunResult(outputs=outputs, metrics=metrics)
+
+    # ------------------------------------------------------------------ #
+    def _collect(
+        self,
+        contexts: list[NodeContext],
+        inboxes: list[list[Message]],
+        metrics: RunMetrics,
+        round_index: int,
+        trace: MessageTrace | None = None,
+    ) -> tuple[int, int]:
+        """Move queued messages into next-round inboxes; returns
+        ``(message_count, slot_count)`` for the round."""
+        messages = 0
+        slots = 0
+        for ctx in contexts:
+            for target, payload in ctx._drain_outbox():
+                cost = slot_cost(payload)
+                if self.slot_limit != UNBOUNDED_SLOTS and cost > self.slot_limit:
+                    raise MessageTooLarge(ctx.node_id, cost, self.slot_limit)
+                metrics.observe_message(cost)
+                inboxes[target].append(Message(sender=ctx.node_id, payload=payload))
+                if trace is not None:
+                    trace.record_message(round_index, ctx.node_id, target, payload)
+                messages += 1
+                slots += cost
+        return messages, slots
+
+    @staticmethod
+    def _trace_terminations(
+        trace: MessageTrace | None,
+        contexts: list[NodeContext],
+        already_done: set[int],
+        round_index: int,
+    ) -> None:
+        if trace is None:
+            return
+        for v, ctx in enumerate(contexts):
+            if ctx.terminated and v not in already_done:
+                trace.record_termination(round_index, v, ctx.output)
+
+
+def run_mis_protocol(
+    graph: StaticGraph,
+    factory: ProcessFactory,
+    seed: SeedLike = None,
+    slot_limit: int = DEFAULT_SLOT_LIMIT,
+    max_rounds: int | None = None,
+) -> tuple[np.ndarray, RunMetrics]:
+    """Convenience wrapper: run and return ``(membership, metrics)``."""
+    result = SyncNetwork(graph, slot_limit=slot_limit).run(
+        factory, seed=seed, max_rounds=max_rounds
+    )
+    for v, out in enumerate(result.outputs):
+        if out is None:
+            raise NotTerminated(v)
+    return result.mis_membership(), result.metrics

@@ -1,0 +1,127 @@
+"""Node-side abstractions for the synchronous message-passing model.
+
+An algorithm is expressed as a :class:`NodeProcess` subclass: a state
+machine that, once per round, reads its inbox and queues outgoing messages
+through its :class:`NodeContext`.  The context is the *only* channel
+between a node and the world — it exposes exactly the knowledge Section III
+grants a vertex: its own ID, its neighbors' IDs, ``n``, and a private
+source of randomness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .errors import AlreadyTerminated, UnknownNeighbor
+from .message import Message
+
+__all__ = ["NodeContext", "NodeProcess", "ProcessFactory"]
+
+
+class NodeContext:
+    """Per-node view of the network, handed to every callback.
+
+    The context buffers outgoing messages; the network collects and
+    delivers them at the next round boundary.  Messages queued to the same
+    neighbor in one round are merged into that neighbor's inbox
+    individually (the slot budget applies per message).
+    """
+
+    __slots__ = (
+        "node_id",
+        "neighbor_ids",
+        "n",
+        "rng",
+        "round",
+        "_outbox",
+        "_terminated",
+        "_output",
+        "_neighbor_set",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbor_ids: Sequence[int],
+        n: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.node_id = int(node_id)
+        self.neighbor_ids = tuple(int(v) for v in neighbor_ids)
+        self._neighbor_set = frozenset(self.neighbor_ids)
+        self.n = int(n)
+        self.rng = rng
+        self.round = 0
+        self._outbox: list[tuple[int, Any]] = []
+        self._terminated = False
+        self._output: Any = None
+
+    # -- communication -------------------------------------------------- #
+    def send(self, target: int, payload: Any) -> None:
+        """Queue *payload* for neighbor *target* (delivered next round)."""
+        if self._terminated:
+            raise AlreadyTerminated(self.node_id)
+        if target not in self._neighbor_set:
+            raise UnknownNeighbor(self.node_id, target)
+        self._outbox.append((target, payload))
+
+    def broadcast(self, payload: Any) -> None:
+        """Queue *payload* for every neighbor."""
+        for target in self.neighbor_ids:
+            self.send(target, payload)
+
+    # -- termination ----------------------------------------------------- #
+    def terminate(self, output: Any) -> None:
+        """Halt this node permanently with the given *output*.
+
+        Messages queued earlier in the same round are still delivered
+        (a node may announce its decision and stop, as FAIRROOTED does).
+        """
+        if self._terminated:
+            raise AlreadyTerminated(self.node_id)
+        self._terminated = True
+        self._output = output
+
+    @property
+    def terminated(self) -> bool:
+        """True once :meth:`terminate` has been called."""
+        return self._terminated
+
+    @property
+    def output(self) -> Any:
+        """The value passed to :meth:`terminate` (meaningless before)."""
+        return self._output
+
+    # -- runtime internals ------------------------------------------------ #
+    def _drain_outbox(self) -> list[tuple[int, Any]]:
+        out, self._outbox = self._outbox, []
+        return out
+
+
+class NodeProcess(ABC):
+    """Base class for the per-vertex state machine of an algorithm.
+
+    Lifecycle::
+
+        on_start(ctx)                  # round 0, before any delivery
+        on_round(ctx, inbox)           # once per round >= 1, inbox holds
+                                       # messages sent in the previous round
+
+    A process ends by calling ``ctx.terminate(output)``; for MIS
+    algorithms the output is ``1`` (joined) or ``0`` (not joined).
+    """
+
+    @abstractmethod
+    def on_start(self, ctx: NodeContext) -> None:
+        """Initialize state and send round-0 messages."""
+
+    @abstractmethod
+    def on_round(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        """Process one synchronous round."""
+
+
+#: A factory invoked once per vertex to create its process instance.
+ProcessFactory = Callable[[int], NodeProcess]

@@ -1,0 +1,92 @@
+"""Fixed-length stage scheduling for composite algorithms.
+
+FAIRTREE, FAIRBIPART, and COLORMIS are built from *stages* that each run
+for a fixed number of rounds so that every node enters the next stage in
+the same round ("nodes not participating in a stage still wait the fixed
+number of rounds before proceeding", Fig. 2).  :class:`StagedProcess`
+factors out that barrier bookkeeping: subclasses declare stage lengths and
+get per-stage callbacks with a local round counter.
+
+A final *open-ended* stage (length ``None``) may follow the fixed ones —
+used for the Luby fallback whose length is only bounded w.h.p.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Sequence
+
+from .message import Message
+from .node import NodeContext, NodeProcess
+
+__all__ = ["StagedProcess"]
+
+
+class StagedProcess(NodeProcess):
+    """A node process whose execution is split into fixed-length stages.
+
+    Subclasses implement :meth:`stage_lengths` (per-instance, since stage
+    budgets typically depend on ``n``) and the two callbacks
+    :meth:`on_stage_start` and :meth:`on_stage_round`.  The base class
+    guarantees:
+
+    * ``on_stage_start(ctx, s)`` runs in the first round of stage ``s``
+      *before* that round's ``on_stage_round``;
+    * ``on_stage_round(ctx, s, r, inbox)`` runs with ``r`` counting rounds
+      within the stage from 0;
+    * stage boundaries are perfectly aligned across all nodes because they
+      are a pure function of the global round number.
+    """
+
+    def __init__(self) -> None:
+        self._lengths: list[int | None] | None = None
+        self._stage = 0
+        self._stage_round = -1
+
+    # -- subclass API ---------------------------------------------------- #
+    @abstractmethod
+    def stage_lengths(self, ctx: NodeContext) -> Sequence[int | None]:
+        """Round budget per stage; only the last entry may be ``None``."""
+
+    def on_stage_start(self, ctx: NodeContext, stage: int) -> None:
+        """Hook invoked when *stage* begins (default: nothing)."""
+
+    @abstractmethod
+    def on_stage_round(
+        self, ctx: NodeContext, stage: int, stage_round: int, inbox: list[Message]
+    ) -> None:
+        """One round of work inside *stage*."""
+
+    # -- NodeProcess ------------------------------------------------------ #
+    def on_start(self, ctx: NodeContext) -> None:
+        lengths = list(self.stage_lengths(ctx))
+        if not lengths:
+            raise ValueError("at least one stage is required")
+        for i, length in enumerate(lengths):
+            if length is None and i != len(lengths) - 1:
+                raise ValueError("only the final stage may be open-ended")
+            if length is not None and length <= 0:
+                raise ValueError("stage lengths must be positive")
+        self._lengths = lengths
+        self._stage = 0
+        self._stage_round = -1
+        self.on_stage_start(ctx, 0)
+        self._step(ctx, [])
+
+    def on_round(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        self._step(ctx, inbox)
+
+    # -- internals --------------------------------------------------------- #
+    def _step(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        assert self._lengths is not None
+        self._stage_round += 1
+        length = self._lengths[self._stage]
+        if length is not None and self._stage_round >= length:
+            self._stage += 1
+            self._stage_round = 0
+            if self._stage >= len(self._lengths):
+                raise RuntimeError(
+                    "staged process ran past its final stage without terminating"
+                )
+            self.on_stage_start(ctx, self._stage)
+        self.on_stage_round(ctx, self._stage, self._stage_round, inbox)

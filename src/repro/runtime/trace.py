@@ -1,0 +1,121 @@
+"""Structured execution tracing for the synchronous engine.
+
+Debugging a distributed algorithm means reading its message flow.  A
+:class:`MessageTrace` attached to :meth:`SyncNetwork.run` (via the
+``trace`` parameter) records every delivered message and every
+termination as typed events, filterable by round / vertex / payload type
+and renderable as a per-round transcript.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["TraceEvent", "MessageTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One traced occurrence.
+
+    ``kind`` is ``"message"`` (sender → receiver payload) or
+    ``"terminate"`` (sender is the vertex, payload its output).
+    """
+
+    round_index: int
+    kind: str
+    sender: int
+    receiver: int | None
+    payload: Any
+
+    def describe(self) -> str:
+        """One-line human-readable form."""
+        if self.kind == "terminate":
+            return f"r{self.round_index:>4}  node {self.sender} ⇒ output {self.payload!r}"
+        ptype = (
+            self.payload.get("type")
+            if isinstance(self.payload, dict)
+            else type(self.payload).__name__
+        )
+        return (
+            f"r{self.round_index:>4}  {self.sender} → {self.receiver}"
+            f"  [{ptype}] {self.payload!r}"
+        )
+
+
+@dataclass
+class MessageTrace:
+    """Event sink passed to :meth:`repro.runtime.SyncNetwork.run`.
+
+    Parameters
+    ----------
+    max_events:
+        Hard cap to keep traces bounded on long runs (oldest events are
+        *not* evicted — recording simply stops, and :attr:`truncated` is
+        set).
+    """
+
+    max_events: int = 100_000
+    events: list[TraceEvent] = field(default_factory=list)
+    truncated: bool = False
+
+    # -- recording (called by the engine) --------------------------------- #
+    def record_message(
+        self, round_index: int, sender: int, receiver: int, payload: Any
+    ) -> None:
+        """Record one delivered message."""
+        self._push(
+            TraceEvent(round_index, "message", sender, receiver, payload)
+        )
+
+    def record_termination(self, round_index: int, vertex: int, output: Any) -> None:
+        """Record a vertex's termination and output."""
+        self._push(TraceEvent(round_index, "terminate", vertex, None, output))
+
+    def _push(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(event)
+
+    # -- querying ----------------------------------------------------------- #
+    def messages(self) -> list[TraceEvent]:
+        """All message events."""
+        return [e for e in self.events if e.kind == "message"]
+
+    def by_round(self, round_index: int) -> list[TraceEvent]:
+        """Events of one round."""
+        return [e for e in self.events if e.round_index == round_index]
+
+    def involving(self, vertex: int) -> list[TraceEvent]:
+        """Events the vertex sent or received."""
+        return [
+            e
+            for e in self.events
+            if e.sender == vertex or e.receiver == vertex
+        ]
+
+    def payload_types(self) -> dict[str, int]:
+        """Histogram of message payload ``type`` tags."""
+        out: dict[str, int] = {}
+        for e in self.messages():
+            tag = (
+                e.payload.get("type", "?")
+                if isinstance(e.payload, dict)
+                else type(e.payload).__name__
+            )
+            out[tag] = out.get(tag, 0) + 1
+        return out
+
+    def transcript(self, rounds: Iterable[int] | None = None) -> str:
+        """Render (a slice of) the trace as text."""
+        wanted = set(rounds) if rounds is not None else None
+        lines = [
+            e.describe()
+            for e in self.events
+            if wanted is None or e.round_index in wanted
+        ]
+        if self.truncated:
+            lines.append(f"... trace truncated at {self.max_events} events")
+        return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""White-box tests for the embedded CFBCall state machine.
+
+These drive a CFBCall round by round with hand-crafted inboxes, pinning
+the exact election/BFS timing that the staged algorithms rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.cntrl_fair_bipart import CFBCall, cfb_duration
+from repro.runtime import Message, NodeContext
+
+
+def make_ctx(node_id: int, neighbors: list[int], n: int = 10, seed: int = 0):
+    return NodeContext(node_id, neighbors, n, np.random.default_rng(seed))
+
+
+def drain(ctx: NodeContext) -> list[tuple[int, dict]]:
+    return ctx._drain_outbox()
+
+
+class TestElectionTiming:
+    def test_round0_broadcasts_own_id(self):
+        ctx = make_ctx(3, [2, 4])
+        call = CFBCall(d_hat=2, participating=True, peers=[2, 4])
+        call.step(ctx, 0, [])
+        out = drain(ctx)
+        assert len(out) == 2
+        assert all(p["type"] == "cfb_max" and p["id"] == 3 for _, p in out)
+
+    def test_max_propagates(self):
+        ctx = make_ctx(3, [2, 4])
+        call = CFBCall(d_hat=2, participating=True, peers=[2, 4])
+        call.step(ctx, 0, [])
+        drain(ctx)
+        call.step(ctx, 1, [Message(4, {"type": "cfb_max", "id": 9})])
+        out = drain(ctx)
+        assert all(p["id"] == 9 for _, p in out)
+
+    def test_election_decided_at_round_dhat(self):
+        ctx = make_ctx(5, [1])
+        call = CFBCall(d_hat=2, participating=True, peers=[1])
+        call.step(ctx, 0, [])
+        drain(ctx)
+        call.step(ctx, 1, [Message(1, {"type": "cfb_max", "id": 7})])
+        drain(ctx)
+        call.step(ctx, 2, [])
+        assert call.leader == 7
+
+    def test_self_election_starts_bfs(self):
+        ctx = make_ctx(9, [1])
+        call = CFBCall(d_hat=1, participating=True, peers=[1])
+        call.step(ctx, 0, [])
+        drain(ctx)
+        call.step(ctx, 1, [Message(1, {"type": "cfb_max", "id": 1})])
+        out = drain(ctx)
+        assert call.leader == 9
+        assert call.level == 0
+        bfs = [p for _, p in out if p["type"] == "cfb_bfs"]
+        assert len(bfs) == 1 and bfs[0]["level"] == 1 and bfs[0]["leader"] == 9
+
+
+class TestBfsAcceptance:
+    def _elected(self, d_hat=2):
+        """A node that elected leader 9 (not itself)."""
+        ctx = make_ctx(4, [5])
+        call = CFBCall(d_hat=d_hat, participating=True, peers=[5])
+        call.step(ctx, 0, [])
+        drain(ctx)
+        call.step(ctx, 1, [Message(5, {"type": "cfb_max", "id": 9})])
+        drain(ctx)
+        call.step(ctx, 2, [])  # election decided: leader 9
+        drain(ctx)
+        return ctx, call
+
+    def test_accepts_own_leader_bfs(self):
+        ctx, call = self._elected()
+        call.step(
+            ctx, 3, [Message(5, {"type": "cfb_bfs", "leader": 9, "level": 1, "bit": 0})]
+        )
+        assert call.level == 1
+        # level 1 + bit 0 is odd → does not join
+        assert not call.joined
+
+    def test_join_parity_rule(self):
+        ctx, call = self._elected()
+        call.step(
+            ctx, 3, [Message(5, {"type": "cfb_bfs", "leader": 9, "level": 1, "bit": 1})]
+        )
+        assert call.joined  # 1 + 1 ≡ 0 (mod 2)
+
+    def test_rejects_foreign_leader_bfs(self):
+        ctx, call = self._elected()
+        call.step(
+            ctx, 3, [Message(5, {"type": "cfb_bfs", "leader": 7, "level": 1, "bit": 0})]
+        )
+        assert call.level is None
+        assert not call.joined
+
+    def test_nonparticipant_inert(self):
+        ctx = make_ctx(4, [5])
+        call = CFBCall(d_hat=2, participating=False, peers=[5])
+        for r in range(cfb_duration(2)):
+            call.step(ctx, r, [])
+            assert drain(ctx) == []
+        assert not call.joined
+
+
+class TestIsolatedLeader:
+    def test_isolated_always_joins(self):
+        for seed in range(6):
+            ctx = make_ctx(2, [], seed=seed)
+            call = CFBCall(d_hat=1, participating=True, peers=[])
+            for r in range(cfb_duration(1)):
+                call.step(ctx, r, [])
+            assert call.joined

@@ -1,0 +1,92 @@
+"""Tests for the Cole–Vishkin subroutine and standalone MIS."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.cole_vishkin import (
+    CVEngine,
+    ColeVishkinMIS,
+    cv_duration,
+    cv_reduction_iterations,
+)
+from repro.analysis import is_maximal_independent_set
+from repro.graphs import RootedTree, StaticGraph
+from repro.graphs.generators import complete_tree, path_graph, random_tree
+
+
+class TestReductionMath:
+    def test_small_colors_need_one_sweep(self):
+        assert cv_reduction_iterations(5) == 0
+
+    def test_log_star_growth(self):
+        # doubling the bit-length adds at most one iteration
+        assert cv_reduction_iterations(2**16) <= cv_reduction_iterations(2**32)
+        assert cv_reduction_iterations(2**32) <= 6
+
+    def test_monotone(self):
+        vals = [cv_reduction_iterations(m) for m in (7, 63, 1023, 2**20)]
+        assert vals == sorted(vals)
+
+    def test_reduce_step_preserves_distinctness(self):
+        # exhaustive check over small color pairs
+        for a in range(1, 64):
+            for b in range(64):
+                if a == b:
+                    continue
+                ra = CVEngine._reduce(a, b)
+                rb = CVEngine._reduce(b, a)
+                assert ra != rb, (a, b)
+
+    def test_reduce_lands_in_range(self):
+        for a in range(64):
+            for b in range(64):
+                if a != b:
+                    assert 0 <= CVEngine._reduce(a, b) <= 11
+
+    def test_duration_includes_sweep(self):
+        assert cv_duration(5) == 1 + 12  # 0 reduction iters + 1 + 12
+
+
+class TestColeVishkinMIS:
+    def test_deterministic(self, rng):
+        g = random_tree(30, seed=2).graph
+        alg = ColeVishkinMIS()
+        a = alg.run(g, np.random.default_rng(0)).membership
+        b = alg.run(g, np.random.default_rng(99)).membership
+        # deterministic: identical regardless of the seed
+        assert np.array_equal(a, b)
+
+    def test_correct_on_trees(self, rng):
+        alg = ColeVishkinMIS()
+        for seed in range(4):
+            g = random_tree(40, seed=seed).graph
+            res = alg.run(g, rng)
+            assert is_maximal_independent_set(g, res.membership)
+
+    def test_correct_on_forest(self, rng):
+        g = StaticGraph.from_edges(7, [(0, 1), (1, 2), (4, 5)])
+        res = ColeVishkinMIS().run(g, rng)
+        assert is_maximal_independent_set(g, res.membership)
+
+    def test_correct_on_deep_path(self, rng):
+        g = path_graph(100)
+        res = ColeVishkinMIS().run(g, rng)
+        assert is_maximal_independent_set(g, res.membership)
+
+    def test_explicit_rooting(self, rng):
+        tree = complete_tree(2, 4)
+        alg = ColeVishkinMIS(tree=tree)
+        res = alg.run(tree.graph, rng)
+        assert is_maximal_independent_set(tree.graph, res.membership)
+
+    def test_mismatched_rooting_rejected(self, rng):
+        tree = complete_tree(2, 3)
+        alg = ColeVishkinMIS(tree=tree)
+        with pytest.raises(ValueError):
+            alg.run(path_graph(5), rng)
+
+    def test_rounds_are_log_star_scale(self, rng):
+        """O(log* n): rounds grow extremely slowly with n."""
+        small = ColeVishkinMIS().run(path_graph(8), rng).rounds
+        large = ColeVishkinMIS().run(path_graph(400), rng).rounds
+        assert large <= small + 4

@@ -1,0 +1,75 @@
+"""Tests for COLORMIS (Theorem 17 / Corollary 18)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.color_mis import ColorMIS
+from repro.analysis import is_maximal_independent_set
+from repro.graphs.generators import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    singleton,
+    star_graph,
+    triangulated_grid,
+)
+
+
+class TestCorrectness:
+    def test_valid_on_planar(self, rng):
+        g = triangulated_grid(3, 3)
+        res = ColorMIS().run(g, rng)
+        assert is_maximal_independent_set(g, res.membership)
+
+    def test_valid_on_trees(self, rng):
+        g = random_tree(12, seed=1).graph
+        res = ColorMIS().run(g, rng)
+        assert is_maximal_independent_set(g, res.membership)
+
+    def test_valid_with_arboricity_coloring(self, rng):
+        g = triangulated_grid(3, 3)
+        res = ColorMIS(coloring="arboricity").run(g, rng)
+        assert is_maximal_independent_set(g, res.membership)
+
+    def test_valid_on_odd_cycle(self, rng):
+        g = cycle_graph(7)
+        res = ColorMIS().run(g, rng)
+        assert is_maximal_independent_set(g, res.membership)
+
+    def test_singleton(self, rng):
+        res = ColorMIS().run(singleton(), rng)
+        assert res.membership.tolist() == [True]
+
+    def test_unknown_coloring_rejected(self):
+        with pytest.raises(ValueError):
+            ColorMIS(coloring="rainbow")
+
+
+class TestInfo:
+    def test_k_reported(self, rng):
+        g = star_graph(6)
+        res = ColorMIS().run(g, rng)
+        assert res.info["k"] == g.max_degree + 1
+
+    def test_k_override(self, rng):
+        g = path_graph(5)
+        res = ColorMIS(k=7).run(g, rng)
+        assert res.info["k"] == 7
+
+    def test_names(self):
+        assert ColorMIS().name == "color_mis"
+        assert ColorMIS(coloring="arboricity").name == "color_mis_arb"
+
+
+class TestFairnessDirection:
+    def test_every_node_joins_sometimes(self, rng, thorough):
+        """Theorem 17: Ω(1/k) join probability — with k ≤ 4 on a path and
+        modest trials every node must join at least once."""
+        trials = 200 if thorough else 80
+        g = path_graph(6)
+        alg = ColorMIS()
+        counts = np.zeros(6)
+        for _ in range(trials):
+            counts += alg.run(g, rng).membership
+        assert counts.min() > 0

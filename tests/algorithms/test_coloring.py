@@ -1,0 +1,93 @@
+"""Tests for the distributed coloring subroutines."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.coloring import (
+    DistributedColoring,
+    greedy_budget_iterations,
+    hpartition_classes,
+    run_coloring,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+    triangulated_grid,
+)
+
+
+def assert_proper(graph, colors):
+    es, ed = graph.edge_src, graph.edge_dst
+    both = (colors[es] >= 0) & (colors[ed] >= 0)
+    assert not np.any((colors[es] == colors[ed]) & both)
+
+
+class TestGreedyColoring:
+    def test_proper_on_trees(self):
+        g = random_tree(40, seed=1).graph
+        colors = run_coloring(g, kind="greedy", seed=0)
+        assert_proper(g, colors)
+        assert np.all(colors >= 0)
+
+    def test_proper_on_clique(self):
+        g = complete_graph(6)
+        colors = run_coloring(g, kind="greedy", seed=0)
+        assert_proper(g, colors)
+        assert len(set(colors.tolist())) == 6
+
+    def test_palette_bound_delta_plus_one(self):
+        g = star_graph(8)
+        colors = run_coloring(g, kind="greedy", seed=0)
+        assert colors.max() <= g.max_degree
+
+    def test_deterministic_given_seed(self):
+        g = grid_graph(4, 4)
+        a = run_coloring(g, kind="greedy", seed=5)
+        b = run_coloring(g, kind="greedy", seed=5)
+        assert np.array_equal(a, b)
+
+    def test_odd_cycle(self):
+        g = cycle_graph(7)
+        colors = run_coloring(g, kind="greedy", seed=1)
+        assert_proper(g, colors)
+
+
+class TestArboricityColoring:
+    def test_proper_on_planar(self):
+        g = triangulated_grid(5, 5)
+        colors = run_coloring(g, kind="arboricity", seed=0)
+        assert_proper(g, colors)
+
+    def test_constant_palette_on_planar(self):
+        """Corollary 18's input: palette must not grow with Δ but with
+        arboricity — ≤ floor(2.5·a(G)) + 1 colors."""
+        g = triangulated_grid(6, 6)
+        colors = run_coloring(g, kind="arboricity", seed=0)
+        assert colors.max() <= int(2.5 * 3)  # a(G) <= 3 for planar
+
+    def test_tree_small_palette(self):
+        g = random_tree(40, seed=3).graph
+        colors = run_coloring(g, kind="arboricity", seed=0)
+        assert_proper(g, colors)
+        assert colors.max() <= 2  # a=1 → cap 2 → palette {0,1,2}
+
+    def test_path(self):
+        g = path_graph(20)
+        colors = run_coloring(g, kind="arboricity", seed=0)
+        assert_proper(g, colors)
+
+
+class TestBudgets:
+    def test_greedy_budget_logarithmic(self):
+        assert greedy_budget_iterations(16) < greedy_budget_iterations(2**16)
+
+    def test_hpartition_classes_logarithmic(self):
+        assert hpartition_classes(16) < hpartition_classes(2**16)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedColoring(kind="rainbow")

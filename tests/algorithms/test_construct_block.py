@@ -1,0 +1,62 @@
+"""Tests for the Linial–Saks Construct_Block routine."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.construct_block import (
+    block_duration,
+    draw_radius,
+    entries_per_message,
+    superround_length,
+)
+
+
+class TestRadiusDistribution:
+    def test_support(self):
+        rng = np.random.default_rng(0)
+        draws = [draw_radius(rng, gamma=4) for _ in range(500)]
+        assert min(draws) >= 0 and max(draws) <= 4
+
+    def test_geometric_shape(self):
+        """Pr[r=0] = 1-p = 1/2; Pr[r>=1] = 1/2."""
+        rng = np.random.default_rng(1)
+        draws = np.array([draw_radius(rng, gamma=8) for _ in range(4000)])
+        assert abs(np.mean(draws == 0) - 0.5) < 0.04
+        assert abs(np.mean(draws >= 1) - 0.5) < 0.04
+
+    def test_tail_mass_at_gamma(self):
+        """Pr[r=γ] = p^γ — with small γ, measurable."""
+        rng = np.random.default_rng(2)
+        draws = np.array([draw_radius(rng, gamma=2) for _ in range(4000)])
+        assert abs(np.mean(draws == 2) - 0.25) < 0.04
+
+    def test_invalid_gamma(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            draw_radius(rng, gamma=0)
+
+
+class TestChunking:
+    def test_entries_per_message(self):
+        assert entries_per_message(8) == 2  # (8-1)//3
+        assert entries_per_message(4) == 1
+        assert entries_per_message(100) == 33
+
+    def test_minimum_one_entry(self):
+        assert entries_per_message(2) == 1
+
+    def test_superround_length(self):
+        # γ+1 = 9 entries, 2 per message → 5 rounds
+        assert superround_length(8, 8) == 5
+
+    def test_block_duration_quadratic_in_gamma(self):
+        """Under the O(log n)-bit model the call is γ·SR + 1 rounds; SR
+        grows linearly with γ so duration is Θ(γ²) — this is the Lemma 15
+        O(log² n) structure."""
+        d1 = block_duration(4, 8)
+        d2 = block_duration(8, 8)
+        assert d2 > 2 * d1  # super-linear growth
+
+    def test_unbounded_slots_linear(self):
+        # with huge slot budgets a superround is one round: γ+1 rounds total
+        assert block_duration(10, 10_000) == 11

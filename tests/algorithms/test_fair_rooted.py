@@ -1,0 +1,91 @@
+"""Tests for FAIRROOTED (Theorem 3)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.fair_rooted import FairRooted
+from repro.analysis import is_maximal_independent_set
+from repro.graphs.generators import (
+    complete_tree,
+    path_graph,
+    random_tree,
+    singleton,
+    star_graph,
+)
+
+
+class TestCorrectness:
+    def test_valid_on_random_trees(self, rng):
+        alg = FairRooted()
+        for seed in range(4):
+            g = random_tree(30, seed=seed).graph
+            for _ in range(3):
+                res = alg.run(g, rng)
+                assert is_maximal_independent_set(g, res.membership)
+
+    def test_valid_on_complete_trees(self, rng):
+        alg = FairRooted()
+        t = complete_tree(3, 3)
+        res = alg.run(t.graph, rng)
+        assert is_maximal_independent_set(t.graph, res.membership)
+
+    def test_singleton(self, rng):
+        res = FairRooted().run(singleton(), rng)
+        assert res.membership.tolist() == [True]
+
+    def test_explicit_tree(self, rng):
+        t = complete_tree(2, 4)
+        res = FairRooted(tree=t).run(t.graph, rng)
+        assert is_maximal_independent_set(t.graph, res.membership)
+
+    def test_mismatched_tree_rejected(self, rng):
+        t = complete_tree(2, 3)
+        with pytest.raises(ValueError):
+            FairRooted(tree=t).run(path_graph(4), rng)
+
+
+class TestFairness:
+    """Theorem 3: every node joins w.p. >= 1/4, inequality <= 4."""
+
+    def test_min_join_probability(self, rng, thorough):
+        trials = 2000 if thorough else 400
+        g = random_tree(15, seed=9).graph
+        alg = FairRooted()
+        counts = np.zeros(15)
+        for _ in range(trials):
+            counts += alg.run(g, rng).membership
+        freqs = counts / trials
+        # allow 3-sigma sampling slack below the 1/4 bound
+        slack = 3 * np.sqrt(0.25 * 0.75 / trials)
+        assert freqs.min() >= 0.25 - slack
+
+    def test_inequality_below_bound(self, rng, thorough):
+        trials = 2000 if thorough else 500
+        g = star_graph(10)
+        alg = FairRooted()
+        counts = np.zeros(10)
+        for _ in range(trials):
+            counts += alg.run(g, rng).membership
+        freqs = counts / trials
+        assert freqs.max() / freqs.min() <= 4.5
+
+    def test_stage1_membership_probability_quarter(self, rng):
+        """A node is in I after stage 1 iff (tag=0, parent tag=1): p=1/4.
+        Measured indirectly: on a path, join probability must be strictly
+        between 1/4 and 3/4 for interior nodes."""
+        trials = 600
+        g = path_graph(6)
+        alg = FairRooted()
+        counts = np.zeros(6)
+        for _ in range(trials):
+            counts += alg.run(g, rng).membership
+        freqs = counts / trials
+        assert np.all(freqs > 0.2) and np.all(freqs < 0.85)
+
+
+class TestComplexity:
+    def test_rounds_log_star(self, rng):
+        alg = FairRooted()
+        r_small = alg.run(random_tree(16, seed=0).graph, rng).rounds
+        r_big = alg.run(random_tree(256, seed=0).graph, rng).rounds
+        assert r_big <= r_small + 4  # log* grows by <= 1 over this range

@@ -1,0 +1,117 @@
+"""Tests for FAIRTREE (Theorem 8)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.fair_tree import FairTree, default_gamma
+from repro.analysis import is_maximal_independent_set
+from repro.graphs.generators import (
+    caterpillar,
+    cycle_graph,
+    path_graph,
+    random_tree,
+    singleton,
+    star_graph,
+)
+
+
+class TestGamma:
+    def test_default_scales_with_log(self):
+        assert default_gamma(2) < default_gamma(1024)
+
+    def test_constant_scales(self):
+        assert default_gamma(256, c=1.0) < default_gamma(256, c=4.0)
+
+    def test_minimum_one(self):
+        assert default_gamma(1) >= 1
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            default_gamma(0)
+
+
+class TestCorrectness:
+    def test_valid_on_random_trees(self, rng):
+        alg = FairTree()
+        for seed in range(3):
+            g = random_tree(20, seed=seed).graph
+            res = alg.run(g, rng)
+            assert is_maximal_independent_set(g, res.membership)
+
+    def test_valid_on_path(self, rng):
+        alg = FairTree()
+        g = path_graph(12)
+        for _ in range(4):
+            res = alg.run(g, rng)
+            assert is_maximal_independent_set(g, res.membership)
+
+    def test_valid_on_star(self, rng):
+        g = star_graph(9)
+        res = FairTree().run(g, rng)
+        assert is_maximal_independent_set(g, res.membership)
+
+    def test_valid_on_caterpillar(self, rng):
+        g = caterpillar(4, 3).graph
+        res = FairTree().run(g, rng)
+        assert is_maximal_independent_set(g, res.membership)
+
+    def test_singleton(self, rng):
+        res = FairTree().run(singleton(), rng)
+        assert res.membership.tolist() == [True]
+
+    def test_correct_even_on_cycles(self, rng):
+        """FAIRTREE's guarantees need a tree, but its fix+fallback stages
+        make the output a correct MIS on any graph."""
+        g = cycle_graph(9)
+        for _ in range(5):
+            res = FairTree().run(g, rng)
+            assert is_maximal_independent_set(g, res.membership)
+
+    def test_tiny_gamma_still_correct(self, rng):
+        """With γ=1 the CFB calls fail constantly; the Luby fallback must
+        preserve correctness."""
+        alg = FairTree(gamma=1)
+        g = random_tree(15, seed=4).graph
+        for _ in range(5):
+            res = alg.run(g, rng)
+            assert is_maximal_independent_set(g, res.membership)
+
+
+class TestFairness:
+    """Theorem 8: join probability >= (1-eps)/4 for every node."""
+
+    def test_min_join_probability_path(self, rng, thorough):
+        trials = 1500 if thorough else 300
+        g = path_graph(8)
+        alg = FairTree()
+        counts = np.zeros(8)
+        for _ in range(trials):
+            counts += alg.run(g, rng).membership
+        freqs = counts / trials
+        slack = 3 * np.sqrt(0.25 * 0.75 / trials)
+        assert freqs.min() >= 0.25 - slack
+
+    def test_star_is_fair(self, rng, thorough):
+        trials = 1000 if thorough else 300
+        g = star_graph(10)
+        alg = FairTree()
+        counts = np.zeros(10)
+        for _ in range(trials):
+            counts += alg.run(g, rng).membership
+        freqs = counts / trials
+        assert freqs.max() / freqs.min() <= 4.5
+
+
+class TestInternals:
+    def test_gamma_override_respected(self, rng):
+        alg = FairTree(gamma=5)
+        g = path_graph(6)
+        res = alg.run(g, rng)
+        # stage budget: 3 CFB calls of 2γ+1=11 rounds plus syncs
+        assert res.rounds >= 3 * 11
+
+    def test_rounds_scale_with_gamma(self, rng):
+        g = path_graph(6)
+        r_small = FairTree(gamma=3).run(g, rng).rounds
+        r_large = FairTree(gamma=9).run(g, rng).rounds
+        assert r_large > r_small

@@ -1,0 +1,110 @@
+"""Tests for the faithful Luby implementations (both variants)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.luby import LubyMIS
+from repro.analysis import is_maximal_independent_set
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+
+VARIANTS = ["priority", "degree"]
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+class TestCorrectness:
+    def test_always_valid_on_trees(self, variant, rng):
+        alg = LubyMIS(variant=variant)
+        for seed in range(3):
+            g = random_tree(25, seed=seed).graph
+            for _ in range(5):
+                res = alg.run(g, rng)
+                assert is_maximal_independent_set(g, res.membership)
+
+    def test_clique_yields_single_node(self, variant, rng):
+        alg = LubyMIS(variant=variant)
+        res = alg.run(complete_graph(7), rng)
+        assert res.size == 1
+
+    def test_isolated_nodes_always_join(self, variant, rng):
+        alg = LubyMIS(variant=variant)
+        res = alg.run(empty_graph(5), rng)
+        assert res.size == 5
+
+    def test_cycle(self, variant, rng):
+        alg = LubyMIS(variant=variant)
+        for _ in range(5):
+            res = alg.run(cycle_graph(9), rng)
+            assert is_maximal_independent_set(cycle_graph(9), res.membership)
+
+    def test_grid(self, variant, rng):
+        alg = LubyMIS(variant=variant)
+        g = grid_graph(4, 4)
+        res = alg.run(g, rng)
+        assert is_maximal_independent_set(g, res.membership)
+
+    def test_singleton(self, variant, rng):
+        alg = LubyMIS(variant=variant)
+        res = alg.run(empty_graph(1), rng)
+        assert res.membership.tolist() == [True]
+
+
+class TestStarUnfairness:
+    """Section I: Luby is Θ(n)-unfair on the star."""
+
+    def test_center_joins_rarely(self, rng):
+        alg = LubyMIS()
+        n, trials = 12, 400
+        center = sum(
+            alg.run(star_graph(n), rng).membership[0] for _ in range(trials)
+        )
+        freq = center / trials
+        # exact probability is 1/12 ≈ 0.083
+        assert freq < 0.2
+
+    def test_leaves_join_often(self, rng):
+        alg = LubyMIS()
+        n, trials = 12, 300
+        leaf = sum(
+            alg.run(star_graph(n), rng).membership[1] for _ in range(trials)
+        )
+        assert leaf / trials > 0.75
+
+    def test_star_mis_is_center_or_all_leaves(self, rng):
+        alg = LubyMIS()
+        g = star_graph(8)
+        for _ in range(20):
+            m = alg.run(g, rng).membership
+            if m[0]:
+                assert m.sum() == 1
+            else:
+                assert m[1:].all()
+
+
+class TestConfig:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            LubyMIS(variant="bogus")
+
+    def test_names(self):
+        assert LubyMIS().name == "luby"
+        assert LubyMIS("degree").name == "luby_degree"
+
+    def test_rounds_logarithmic(self, rng):
+        alg = LubyMIS()
+        g = random_tree(64, seed=0).graph
+        rounds = [alg.run(g, rng).rounds for _ in range(5)]
+        # O(log n) w.h.p.: generous absolute cap for n=64
+        assert max(rounds) < 80
+
+    def test_metrics_attached(self, rng):
+        res = LubyMIS().run(path_graph(6), rng)
+        assert res.metrics is not None
+        assert res.metrics.total_messages > 0

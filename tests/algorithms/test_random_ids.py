@@ -1,0 +1,77 @@
+"""Tests for the random-ID wrapper (the §II deterministic-fairness remark)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.random_ids import RandomizedIDs
+from repro.analysis import is_maximal_independent_set, run_trials
+from repro.fast.fair_rooted import FastColeVishkin
+from repro.fast.luby import FastLuby
+from repro.graphs.generators import path_graph, random_tree, star_graph
+
+
+class TestWrapperMechanics:
+    def test_output_valid_on_original_graph(self, rng):
+        g = random_tree(25, seed=1).graph
+        alg = RandomizedIDs(FastColeVishkin())
+        for _ in range(10):
+            res = alg.run(g, rng)
+            assert is_maximal_independent_set(g, res.membership)
+
+    def test_name_composed(self):
+        assert (
+            RandomizedIDs(FastColeVishkin()).name
+            == "cole_vishkin_fast+random_ids"
+        )
+
+    def test_randomizes_deterministic_inner(self, rng):
+        """The inner CV is deterministic; the wrapper must produce
+        different outputs across runs."""
+        g = random_tree(20, seed=2).graph
+        alg = RandomizedIDs(FastColeVishkin())
+        outputs = {
+            alg.run(g, rng).membership.tobytes() for _ in range(20)
+        }
+        assert len(outputs) > 1
+
+    def test_registry_entry(self):
+        from repro.core import make
+
+        alg = make("cole_vishkin_random_ids")
+        assert "random_ids" in alg.name
+
+    def test_info_tagged(self, rng):
+        res = RandomizedIDs(FastLuby()).run(path_graph(5), rng)
+        assert res.info["wrapper"] == "random_ids"
+
+    def test_edgeless_graph(self, rng):
+        from repro.graphs.generators import empty_graph
+
+        res = RandomizedIDs(FastColeVishkin()).run(empty_graph(4), rng)
+        assert res.membership.all()
+
+
+class TestSectionIIFairness:
+    """§II: with random IDs, deterministic-algorithm fairness is
+    'once again non-trivial' — neither infinite nor constant."""
+
+    def test_finite_inequality_on_trees(self):
+        g = random_tree(40, seed=3).graph
+        est = run_trials(RandomizedIDs(FastColeVishkin()), g, 1500, seed=0)
+        assert est.inequality < float("inf")
+        assert est.min_probability > 0.05
+
+    def test_star_still_unfair(self):
+        """Random IDs do not rescue CV on the star: the center's position
+        dominates regardless of its label."""
+        g = star_graph(12)
+        est = run_trials(RandomizedIDs(FastColeVishkin()), g, 1500, seed=0)
+        assert est.inequality > 3.0
+
+    def test_symmetric_path_nearly_fair(self):
+        """On a short path, random IDs symmetrize mirror positions."""
+        g = path_graph(5)
+        est = run_trials(RandomizedIDs(FastColeVishkin()), g, 3000, seed=0)
+        p = est.probabilities
+        assert abs(p[0] - p[4]) < 0.05
+        assert abs(p[1] - p[3]) < 0.05

@@ -1,0 +1,53 @@
+"""Tests for the ASCII rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii import render_cdf, render_histogram, render_series
+from repro.analysis.cdf import empirical_cdf
+
+
+class TestRenderSeries:
+    def test_contains_legend_and_axes(self):
+        x = np.linspace(0, 1, 20)
+        out = render_series({"lin": (x, x)}, width=30, height=8)
+        assert "lin" in out
+        assert "1.0" in out and "0.0" in out
+
+    def test_multiple_curves_distinct_glyphs(self):
+        x = np.linspace(0, 1, 20)
+        out = render_series({"a": (x, x), "b": (x, x**2)}, width=30, height=8)
+        assert "* a" in out and "o b" in out
+
+    def test_dimensions(self):
+        x = np.linspace(0, 1, 10)
+        out = render_series({"c": (x, x)}, width=40, height=10)
+        lines = out.split("\n")
+        assert len(lines) == 10 + 3  # grid + axis + labels + legend
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_series({})
+
+
+class TestRenderCdf:
+    def test_runs_on_real_cdf(self):
+        values = np.random.default_rng(0).random(100)
+        out = render_cdf({"luby": empirical_cdf(values)})
+        assert "join frequency" in out
+
+
+class TestRenderHistogram:
+    def test_fixed_width(self):
+        values = np.random.default_rng(0).random(500)
+        out = render_histogram(values, bins=32)
+        assert out.startswith("0.0 |") and out.endswith("| 1.0")
+        assert len(out) == len("0.0 |") + 32 + len("| 1.0")
+
+    def test_point_mass_renders_peak(self):
+        out = render_histogram(np.full(100, 0.5), bins=10)
+        assert "█" in out
+
+    def test_empty_bins_blank(self):
+        out = render_histogram(np.full(100, 0.95), bins=10)
+        assert out.count(" ") >= 8

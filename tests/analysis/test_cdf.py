@@ -1,0 +1,53 @@
+"""Unit tests for empirical CDFs and spread statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import cdf_spread_stats, empirical_cdf
+
+
+class TestEmpiricalCDF:
+    def test_sorted_steps(self):
+        cdf = empirical_cdf(np.array([0.3, 0.1, 0.2]))
+        assert cdf.x.tolist() == [0.1, 0.2, 0.3]
+        assert cdf.y.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_evaluate(self):
+        cdf = empirical_cdf(np.array([0.1, 0.2, 0.3, 0.4]))
+        assert cdf.evaluate(0.25) == pytest.approx(0.5)
+        assert cdf.evaluate(0.0) == 0.0
+        assert cdf.evaluate(1.0) == 1.0
+
+    def test_quantile(self):
+        cdf = empirical_cdf(np.array([0.1, 0.2, 0.3, 0.4]))
+        assert cdf.quantile(0.5) == pytest.approx(0.2)
+        assert cdf.quantile(1.0) == pytest.approx(0.4)
+
+    def test_quantile_validated(self):
+        cdf = empirical_cdf(np.array([0.5]))
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf(np.array([]))
+
+
+class TestSpreadStats:
+    def test_compact_distribution(self):
+        stats = cdf_spread_stats(np.full(100, 0.5))
+        assert stats["iqr"] == 0.0
+        assert stats["range"] == 0.0
+        assert stats["frac_below_0.25"] == 0.0
+
+    def test_diffuse_distribution(self):
+        v = np.concatenate([np.full(10, 0.05), np.full(90, 0.95)])
+        stats = cdf_spread_stats(v)
+        assert stats["frac_below_0.10"] == pytest.approx(0.1)
+        assert stats["frac_above_0.90"] == pytest.approx(0.9)
+        assert stats["range"] == pytest.approx(0.9)
+
+    def test_keys_present(self):
+        stats = cdf_spread_stats(np.array([0.2, 0.5, 0.8]))
+        for key in ("min", "max", "median", "iqr", "range"):
+            assert key in stats

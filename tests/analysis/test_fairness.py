@@ -1,0 +1,103 @@
+"""Unit tests for fairness estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fairness import (
+    JoinEstimate,
+    estimate_from_counts,
+    inequality_factor,
+    wilson_interval,
+)
+
+
+class TestInequalityFactor:
+    def test_uniform_is_one(self):
+        assert inequality_factor(np.array([0.5, 0.5, 0.5])) == 1.0
+
+    def test_ratio(self):
+        assert inequality_factor(np.array([0.2, 0.8])) == pytest.approx(4.0)
+
+    def test_zero_gives_infinity(self):
+        # Definition 1: division by zero evaluates to infinity
+        assert inequality_factor(np.array([0.0, 0.5])) == float("inf")
+
+    def test_all_zero_gives_infinity(self):
+        assert inequality_factor(np.array([0.0, 0.0])) == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            inequality_factor(np.array([]))
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(np.array([50]), 100)
+        assert lo[0] < 0.5 < hi[0]
+
+    def test_shrinks_with_trials(self):
+        lo1, hi1 = wilson_interval(np.array([5]), 10)
+        lo2, hi2 = wilson_interval(np.array([500]), 1000)
+        assert (hi2 - lo2)[0] < (hi1 - lo1)[0]
+
+    def test_extremes_clipped(self):
+        lo, hi = wilson_interval(np.array([0, 100]), 100)
+        assert lo[0] >= 0.0 and hi[1] <= 1.0
+
+    def test_zero_successes_upper_positive(self):
+        _, hi = wilson_interval(np.array([0]), 100)
+        assert hi[0] > 0.0  # never rules out small probabilities
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            wilson_interval(np.array([1]), 0)
+
+
+class TestJoinEstimate:
+    def test_probabilities(self):
+        est = JoinEstimate(counts=np.array([25, 75]), trials=100)
+        assert est.probabilities.tolist() == [0.25, 0.75]
+
+    def test_inequality(self):
+        est = JoinEstimate(counts=np.array([25, 75]), trials=100)
+        assert est.inequality == pytest.approx(3.0)
+
+    def test_min_max(self):
+        est = JoinEstimate(counts=np.array([10, 40, 90]), trials=100)
+        assert est.min_probability == pytest.approx(0.1)
+        assert est.max_probability == pytest.approx(0.9)
+
+    def test_bounds_bracket_plugin(self):
+        est = JoinEstimate(counts=np.array([300, 600]), trials=1000)
+        lower, upper = est.inequality_bounds()
+        assert lower <= est.inequality <= upper
+
+    def test_bounds_floor_one(self):
+        est = JoinEstimate(counts=np.array([500, 500]), trials=1000)
+        lower, _ = est.inequality_bounds()
+        assert lower == 1.0
+
+    def test_merge_pools(self):
+        a = JoinEstimate(counts=np.array([5, 10]), trials=20)
+        b = JoinEstimate(counts=np.array([15, 10]), trials=20)
+        merged = a.merge(b)
+        assert merged.trials == 40
+        assert merged.counts.tolist() == [20, 20]
+
+    def test_merge_shape_mismatch(self):
+        a = JoinEstimate(counts=np.array([5]), trials=10)
+        b = JoinEstimate(counts=np.array([5, 5]), trials=10)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_counts_validated(self):
+        with pytest.raises(ValueError):
+            JoinEstimate(counts=np.array([11]), trials=10)
+        with pytest.raises(ValueError):
+            JoinEstimate(counts=np.array([-1]), trials=10)
+        with pytest.raises(ValueError):
+            JoinEstimate(counts=np.array([1]), trials=0)
+
+    def test_estimate_from_counts(self):
+        est = estimate_from_counts([1, 2, 3], trials=4)
+        assert est.trials == 4

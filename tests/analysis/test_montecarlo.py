@@ -1,0 +1,65 @@
+"""Tests for the Monte-Carlo trial runner (serial and parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import estimate_join_probabilities, run_trials
+from repro.fast.fair_tree import FastFairTree
+from repro.fast.luby import FastLuby
+from repro.graphs.generators import path_graph, random_tree, star_graph
+
+
+class TestSerial:
+    def test_counts_bounded_by_trials(self):
+        est = run_trials(FastLuby(), path_graph(6), trials=50, seed=0)
+        assert est.trials == 50
+        assert est.counts.max() <= 50
+
+    def test_deterministic_given_seed(self):
+        g = random_tree(30, seed=1).graph
+        a = run_trials(FastLuby(), g, trials=40, seed=7)
+        b = run_trials(FastLuby(), g, trials=40, seed=7)
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_different_seeds_differ(self):
+        g = random_tree(30, seed=1).graph
+        a = run_trials(FastLuby(), g, trials=40, seed=7)
+        b = run_trials(FastLuby(), g, trials=40, seed=8)
+        assert not np.array_equal(a.counts, b.counts)
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            run_trials(FastLuby(), path_graph(3), trials=0)
+
+    def test_validate_runs_flag(self):
+        # FastLuby always produces a valid MIS; flag must not raise
+        run_trials(
+            FastLuby(), star_graph(8), trials=10, seed=0, validate_runs=True
+        )
+
+    def test_probabilities_helper(self):
+        probs = estimate_join_probabilities(
+            FastLuby(), path_graph(5), trials=30, seed=0
+        )
+        assert probs.shape == (5,)
+        assert np.all((0 <= probs) & (probs <= 1))
+
+
+class TestParallel:
+    def test_parallel_matches_serial_totals(self):
+        """Parallel and serial runs use the same spawned seed sequences,
+        so the pooled counts must be identical."""
+        g = random_tree(25, seed=2).graph
+        serial = run_trials(FastLuby(), g, trials=48, seed=3, n_jobs=1)
+        parallel = run_trials(FastLuby(), g, trials=48, seed=3, n_jobs=2)
+        assert np.array_equal(serial.counts, parallel.counts)
+
+    def test_parallel_fair_tree(self):
+        g = random_tree(25, seed=2).graph
+        est = run_trials(FastFairTree(), g, trials=32, seed=0, n_jobs=2)
+        assert est.trials == 32
+
+    def test_auto_job_count(self):
+        g = path_graph(8)
+        est = run_trials(FastLuby(), g, trials=16, seed=0, n_jobs=0)
+        assert est.trials == 16

@@ -1,0 +1,95 @@
+"""Unit tests for the closed-form theory constants."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    colormis_min_join_probability,
+    cone_inequality_lower_bound,
+    fairbipart_block_probability,
+    fairbipart_inequality_bound,
+    fairbipart_min_join_probability,
+    fairrooted_inequality_bound,
+    fairtree_epsilon_bound,
+    fairtree_inequality_bound,
+    fairtree_min_join_probability,
+    log_star,
+    star_luby_center_probability,
+    star_luby_inequality,
+)
+
+
+class TestFairRooted:
+    def test_bound_is_four(self):
+        assert fairrooted_inequality_bound() == 4.0
+
+
+class TestFairTree:
+    def test_epsilon_shrinks(self):
+        assert fairtree_epsilon_bound(1000) < fairtree_epsilon_bound(10)
+
+    def test_min_join_approaches_quarter(self):
+        assert fairtree_min_join_probability(10**6) == pytest.approx(
+            0.25, abs=1e-3
+        )
+
+    def test_inequality_approaches_four(self):
+        assert fairtree_inequality_bound(10**6) == pytest.approx(4.0, abs=1e-3)
+
+    def test_inequality_exceeds_four_for_small_n(self):
+        assert fairtree_inequality_bound(4) > 4.0
+
+
+class TestFairBipart:
+    def test_block_probability_monotone_in_gamma(self):
+        assert fairbipart_block_probability(
+            64, gamma=20
+        ) > fairbipart_block_probability(64, gamma=6)
+
+    def test_lemma16_numeric_example(self):
+        """The Lemma 16 computation: γ=2·lg n, p=1/2 gives ≥ 1/4 block
+        probability for n ≥ 2, hence join probability ≥ 1/8."""
+        for n in (2, 16, 1024):
+            assert fairbipart_min_join_probability(n) >= 1 / 8 - 1e-9
+
+    def test_limit_is_half(self):
+        # With γ = 2·lg n, (1 - 1/n²)^n → 1, so the block probability
+        # approaches p = 1/2.  (The paper's parenthetical "√(1/e)" is a
+        # slip — it would correspond to γ = lg n... × 1/2; the ≥ 1/4 bound
+        # used by Lemma 16 is unaffected.)
+        p = fairbipart_block_probability(10**6, gamma=2 * 20)
+        assert p == pytest.approx(0.5, abs=1e-3)
+
+    def test_bound_is_eight(self):
+        assert fairbipart_inequality_bound() == 8.0
+
+
+class TestColorMIS:
+    def test_scales_inversely_with_k(self):
+        a = colormis_min_join_probability(100, k=2)
+        b = colormis_min_join_probability(100, k=8)
+        assert a == pytest.approx(4 * b)
+
+
+class TestConeAndStar:
+    def test_cone_bound_linear(self):
+        assert cone_inequality_lower_bound(10) == 10.0
+
+    def test_star_center(self):
+        assert star_luby_center_probability(20) == pytest.approx(0.05)
+
+    def test_star_inequality(self):
+        assert star_luby_inequality(20) == 19.0
+
+
+class TestLogStar:
+    def test_small_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+    def test_slow_growth(self):
+        assert log_star(2**64) <= 5

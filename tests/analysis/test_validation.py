@@ -1,0 +1,106 @@
+"""Unit tests for MIS validity checks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import (
+    coverage_mask,
+    is_independent_set,
+    is_maximal_independent_set,
+    violating_edges,
+)
+from repro.core.result import InvalidMISError, MISResult
+from repro.graphs.generators import cycle_graph, empty_graph, path_graph, star_graph
+
+
+class TestIndependence:
+    def test_valid(self):
+        g = path_graph(4)
+        assert is_independent_set(g, np.array([True, False, True, False]))
+
+    def test_adjacent_members_invalid(self):
+        g = path_graph(4)
+        assert not is_independent_set(g, np.array([True, True, False, False]))
+
+    def test_empty_set_independent(self):
+        assert is_independent_set(path_graph(4), np.zeros(4, bool))
+
+    def test_edgeless_graph(self):
+        assert is_independent_set(empty_graph(3), np.ones(3, bool))
+
+
+class TestMaximality:
+    def test_alternating_path(self):
+        g = path_graph(5)
+        assert is_maximal_independent_set(
+            g, np.array([True, False, True, False, True])
+        )
+
+    def test_uncovered_vertex_fails(self):
+        g = path_graph(5)
+        assert not is_maximal_independent_set(
+            g, np.array([True, False, False, False, True])
+        )
+
+    def test_star_center_only(self):
+        g = star_graph(5)
+        m = np.zeros(5, bool)
+        m[0] = True
+        assert is_maximal_independent_set(g, m)
+
+    def test_star_all_leaves(self):
+        g = star_graph(5)
+        m = np.ones(5, bool)
+        m[0] = False
+        assert is_maximal_independent_set(g, m)
+
+    def test_edgeless_requires_all(self):
+        g = empty_graph(3)
+        assert not is_maximal_independent_set(g, np.zeros(3, bool))
+        assert is_maximal_independent_set(g, np.ones(3, bool))
+
+
+class TestHelpers:
+    def test_coverage_mask(self):
+        g = path_graph(4)
+        cov = coverage_mask(g, np.array([True, False, False, False]))
+        assert cov.tolist() == [True, True, False, False]
+
+    def test_violating_edges(self):
+        g = cycle_graph(4)
+        bad = violating_edges(g, np.array([True, True, False, False]))
+        assert bad.tolist() == [[0, 1]]
+
+    def test_no_violations(self):
+        g = cycle_graph(4)
+        bad = violating_edges(g, np.array([True, False, True, False]))
+        assert bad.size == 0
+
+
+class TestMISResultValidate:
+    def test_valid_passes(self):
+        g = path_graph(3)
+        res = MISResult(membership=np.array([True, False, True]))
+        assert res.validate(g) is res
+
+    def test_independence_violation_raises(self):
+        g = path_graph(3)
+        res = MISResult(membership=np.array([True, True, False]))
+        with pytest.raises(InvalidMISError):
+            res.validate(g)
+
+    def test_maximality_violation_raises(self):
+        g = path_graph(5)
+        res = MISResult(membership=np.array([True, False, False, False, True]))
+        with pytest.raises(InvalidMISError):
+            res.validate(g)
+
+    def test_shape_mismatch_raises(self):
+        g = path_graph(3)
+        res = MISResult(membership=np.array([True, False]))
+        with pytest.raises(InvalidMISError):
+            res.validate(g)
+
+    def test_size_property(self):
+        res = MISResult(membership=np.array([True, False, True]))
+        assert res.size == 2

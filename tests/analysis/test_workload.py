@@ -1,0 +1,66 @@
+"""Tests for the §I-A workload models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.workload import DutyReport, expected_duty_spread, simulate_duty
+from repro.fast.fair_tree import FastFairTree
+from repro.fast.luby import FastLuby
+from repro.graphs.generators import alternating_tree, path_graph, star_graph
+
+
+class TestSimulateDuty:
+    def test_duty_bounded_by_epochs(self):
+        report = simulate_duty(path_graph(8), FastLuby(), epochs=30, seed=0)
+        assert report.epochs == 30
+        assert report.duty.max() <= 30
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            simulate_duty(path_graph(3), FastLuby(), epochs=0)
+
+    def test_luby_exhausts_star_budget(self):
+        """Leaves serve nearly every epoch under Luby on a star."""
+        report = simulate_duty(
+            star_graph(16), FastLuby(), epochs=120, seed=1, budget_fraction=0.9
+        )
+        assert report.first_exhausted_epoch is not None
+        assert report.max_duty_fraction > 0.9
+
+    def test_fairtree_respects_star_budget(self):
+        report = simulate_duty(
+            star_graph(16), FastFairTree(), epochs=120, seed=1,
+            budget_fraction=0.9,
+        )
+        assert report.first_exhausted_epoch is None
+
+    def test_spread_infinite_when_node_never_serves(self):
+        # with few epochs on a star, the center may never serve under Luby
+        report = simulate_duty(star_graph(24), FastLuby(), epochs=10, seed=3)
+        if report.duty.min() == 0:
+            assert report.spread == float("inf")
+
+    def test_estimate_property(self):
+        report = simulate_duty(path_graph(6), FastLuby(), epochs=40, seed=0)
+        est = report.estimate
+        assert est.trials == 40
+        assert np.array_equal(est.counts, report.duty)
+
+
+class TestDutySpreadVsInequality:
+    def test_duty_spread_tracks_inequality(self):
+        """The long-run duty spread converges to the inequality factor."""
+        from repro.analysis import run_trials
+
+        g = alternating_tree(6, 3).graph
+        alg = FastLuby()
+        report = simulate_duty(g, alg, epochs=3000, seed=0)
+        est = run_trials(alg, g, 3000, seed=1)
+        assert report.spread == pytest.approx(
+            expected_duty_spread(est), rel=0.35
+        )
+
+    def test_fair_algorithm_small_spread(self):
+        g = alternating_tree(6, 3).graph
+        report = simulate_duty(g, FastFairTree(), epochs=1500, seed=0)
+        assert report.spread <= 4.5

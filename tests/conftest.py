@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    RootedTree,
+    StaticGraph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def path7() -> StaticGraph:
+    """The 7-vertex path."""
+    return path_graph(7)
+
+
+@pytest.fixture
+def star9() -> StaticGraph:
+    """A 9-vertex star (center 0)."""
+    return star_graph(9)
+
+
+@pytest.fixture
+def tree25() -> RootedTree:
+    """A fixed random 25-vertex tree."""
+    return random_tree(25, seed=7)
+
+
+@pytest.fixture
+def grid44() -> StaticGraph:
+    """A 4x4 grid (bipartite, planar)."""
+    return grid_graph(4, 4)
+
+
+@pytest.fixture
+def k5() -> StaticGraph:
+    """The clique K5."""
+    return complete_graph(5)
+
+
+@pytest.fixture
+def c6() -> StaticGraph:
+    """The even cycle C6 (bipartite)."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def c5() -> StaticGraph:
+    """The odd cycle C5 (non-bipartite)."""
+    return cycle_graph(5)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--thorough",
+        action="store_true",
+        default=False,
+        help="run slow statistical tests with larger trial counts",
+    )
+
+
+@pytest.fixture
+def thorough(request) -> bool:
+    """True when --thorough was passed (bigger Monte-Carlo budgets)."""
+    return bool(request.config.getoption("--thorough"))

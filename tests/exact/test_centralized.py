@@ -1,0 +1,87 @@
+"""Tests for the centralized baselines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import is_maximal_independent_set, run_trials
+from repro.exact.centralized import CentralizedFairBipartite, UniformMISSampler
+from repro.graphs import GraphValidationError, StaticGraph
+from repro.graphs.generators import (
+    cone_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_bipartite,
+    random_tree,
+    star_graph,
+)
+
+
+class TestCentralizedFairBipartite:
+    def test_valid_mis(self, rng):
+        alg = CentralizedFairBipartite()
+        for g in [
+            path_graph(7),
+            grid_graph(4, 4),
+            random_tree(20, seed=1).graph,
+            random_bipartite(6, 6, 0.3, seed=2),
+        ]:
+            for _ in range(5):
+                res = alg.run(g, rng)  # validates internally
+                assert is_maximal_independent_set(g, res.membership)
+
+    def test_perfectly_fair(self, rng):
+        """The §V claim: P(u) = P(v) = 1/2 exactly for all u, v."""
+        g = random_tree(15, seed=4).graph
+        est = run_trials(CentralizedFairBipartite(), g, 2000, seed=0)
+        assert np.all(np.abs(est.probabilities - 0.5) < 0.05)
+
+    def test_isolated_vertices_always_join(self, rng):
+        g = StaticGraph.from_edges(4, [(0, 1)])
+        counts = np.zeros(4)
+        for _ in range(50):
+            counts += CentralizedFairBipartite().run(g, rng).membership
+        assert counts[2] == 50 and counts[3] == 50
+
+    def test_rejects_non_bipartite(self, rng):
+        with pytest.raises(GraphValidationError):
+            CentralizedFairBipartite().run(cycle_graph(5), rng)
+
+    def test_components_independent_coins(self, rng):
+        """Two components must flip different coins sometimes."""
+        g = StaticGraph.from_edges(4, [(0, 1), (2, 3)])
+        patterns = set()
+        for _ in range(60):
+            m = CentralizedFairBipartite().run(g, rng).membership
+            patterns.add(tuple(m.tolist()))
+        assert len(patterns) == 4  # all 2x2 coin combinations appear
+
+
+class TestUniformMISSampler:
+    def test_valid_samples(self, rng):
+        alg = UniformMISSampler(validate=True)
+        g = random_tree(12, seed=3).graph
+        for _ in range(10):
+            alg.run(g, rng)
+
+    def test_exact_probabilities_match_sampling(self, rng):
+        g = star_graph(6)
+        alg = UniformMISSampler()
+        exact = alg.exact_probabilities(g)
+        # star has 2 MIS: {center} and all-leaves → every node p = 1/2
+        assert np.allclose(exact, 0.5)
+        est = run_trials(alg, g, 2000, seed=0)
+        assert np.all(np.abs(est.probabilities - exact) < 0.05)
+
+    def test_cone_unfair_even_for_uniform(self, rng):
+        """Theorem 19 applies to every MIS distribution — including the
+        uniform one."""
+        g = cone_graph(4)
+        probs = UniformMISSampler().exact_probabilities(g)
+        assert probs.max() / probs.min() >= 4.0
+
+    def test_path_exact_counts(self):
+        g = path_graph(4)
+        probs = UniformMISSampler().exact_probabilities(g)
+        # P4 has 3 MIS: {0,2},{0,3},{1,3}
+        assert np.allclose(probs, [2 / 3, 1 / 3, 1 / 3, 2 / 3])

@@ -1,0 +1,121 @@
+"""Tests for exact MIS enumeration (Bron–Kerbosch on the complement)."""
+
+import numpy as np
+import pytest
+
+from repro.exact.enumerate import (
+    count_mis,
+    maximal_independent_sets,
+    mis_membership_matrix,
+)
+from repro.graphs import StaticGraph
+from repro.graphs.generators import (
+    complete_graph,
+    cone_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+
+
+class TestKnownCounts:
+    def test_empty_graph_single_mis(self):
+        # the only maximal independent set of an edgeless graph is V
+        assert count_mis(empty_graph(4)) == 1
+
+    def test_single_vertex(self):
+        assert list(maximal_independent_sets(empty_graph(1))) == [
+            frozenset({0})
+        ]
+
+    def test_zero_vertices(self):
+        assert list(maximal_independent_sets(empty_graph(0))) == [frozenset()]
+
+    def test_clique_n_sets(self):
+        assert count_mis(complete_graph(6)) == 6
+
+    def test_star_two_sets(self):
+        assert count_mis(star_graph(8)) == 2
+
+    def test_path_fibonacci_like(self):
+        # known: number of MIS of P_n follows the Padovan-like recurrence;
+        # P2=2, P3=2, P4=3, P5=4, P6=5
+        assert [count_mis(path_graph(k)) for k in (2, 3, 4, 5, 6)] == [
+            2,
+            2,
+            3,
+            4,
+            5,
+        ]
+
+    def test_cycle_counts(self):
+        # MIS counts of cycles = Perrin numbers: C5=5, C6=5, C7=7
+        assert count_mis(cycle_graph(5)) == 5
+        assert count_mis(cycle_graph(6)) == 5
+        assert count_mis(cycle_graph(7)) == 7
+
+    def test_cone_structure(self):
+        # cone C_k: each clique vertex alone unless it needs the apex;
+        # sets are {apex, u_i (i>k)} for k sets, and {u_i} for i<=k
+        g = cone_graph(3)
+        sets = set(maximal_independent_sets(g))
+        assert len(sets) == 6
+        for s in sets:
+            if 0 in s:
+                assert len(s) == 2  # apex pairs with a far clique vertex
+            else:
+                assert len(s) == 1
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_trees_match(self, seed):
+        import networkx as nx
+
+        g = random_tree(12, seed=seed).graph
+        mine = set(maximal_independent_sets(g))
+        theirs = {
+            frozenset(c) for c in nx.find_cliques(nx.complement(g.to_networkx()))
+        }
+        assert mine == theirs
+
+    def test_random_graph_matches(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(5)
+        edges = [
+            (i, j)
+            for i in range(10)
+            for j in range(i + 1, 10)
+            if rng.random() < 0.3
+        ]
+        g = StaticGraph.from_edges(10, edges)
+        mine = set(maximal_independent_sets(g))
+        theirs = {
+            frozenset(c) for c in nx.find_cliques(nx.complement(g.to_networkx()))
+        }
+        assert mine == theirs
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_every_set_is_maximal_independent(self, seed):
+        from repro.analysis import is_maximal_independent_set
+
+        g = random_tree(10, seed=seed).graph
+        for s in maximal_independent_sets(g):
+            member = np.zeros(g.n, dtype=bool)
+            member[list(s)] = True
+            assert is_maximal_independent_set(g, member)
+
+    def test_membership_matrix_shape(self):
+        g = path_graph(5)
+        mat = mis_membership_matrix(g)
+        assert mat.shape == (4, 5)
+        assert mat.dtype == bool
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            count_mis(empty_graph(64))

@@ -1,0 +1,79 @@
+"""Tests for the optimal-fairness LP."""
+
+import numpy as np
+import pytest
+
+from repro.exact.optimal import feasible_inequality, optimal_inequality
+from repro.graphs.generators import (
+    complete_graph,
+    cone_graph,
+    cycle_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+
+
+class TestPerfectlyFairFamilies:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(6),
+            star_graph(7),
+            cycle_graph(6),
+            cycle_graph(7),
+            complete_graph(4),
+        ],
+        ids=["path", "star", "even-cycle", "odd-cycle", "clique"],
+    )
+    def test_f_star_is_one(self, graph):
+        res = optimal_inequality(graph)
+        assert res.inequality == pytest.approx(1.0, abs=1e-3)
+        # the optimal distribution's probabilities are (nearly) uniform
+        p = res.probabilities
+        assert p.max() / p.min() <= 1.01
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_trees_perfectly_fair(self, seed):
+        g = random_tree(9, seed=seed).graph
+        assert optimal_inequality(g).inequality == pytest.approx(1.0, abs=1e-3)
+
+
+class TestConeTightness:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_theorem19_exactly_tight(self, k):
+        res = optimal_inequality(cone_graph(k))
+        assert res.inequality == pytest.approx(float(k), abs=0.02)
+
+    def test_optimal_distribution_valid(self):
+        res = optimal_inequality(cone_graph(3))
+        assert res.distribution.min() >= -1e-9
+        assert res.distribution.sum() == pytest.approx(1.0)
+        # probabilities consistent with the distribution
+        recomputed = res.sets.astype(float).T @ res.distribution
+        assert np.allclose(recomputed, res.probabilities)
+
+
+class TestFeasibility:
+    def test_infeasible_below_floor(self):
+        from repro.exact.enumerate import mis_membership_matrix
+
+        sets = mis_membership_matrix(cone_graph(3))
+        assert feasible_inequality(sets, 2.0) is None  # floor is 3
+
+    def test_feasible_at_floor(self):
+        from repro.exact.enumerate import mis_membership_matrix
+
+        sets = mis_membership_matrix(cone_graph(3))
+        dist = feasible_inequality(sets, 3.01)
+        assert dist is not None
+        probs = sets.astype(float).T @ dist
+        assert probs.max() / probs.min() <= 3.05
+
+    def test_distribution_normalized(self):
+        from repro.exact.enumerate import mis_membership_matrix
+
+        sets = mis_membership_matrix(path_graph(5))
+        dist = feasible_inequality(sets, 1.5)
+        assert dist is not None
+        assert dist.sum() == pytest.approx(1.0)

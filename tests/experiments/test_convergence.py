@@ -1,0 +1,34 @@
+"""Tests for the estimator-convergence experiment."""
+
+from repro.experiments.convergence import (
+    format_convergence,
+    run_convergence_experiment,
+)
+from repro.graphs.generators import complete_tree
+
+
+class TestConvergence:
+    def test_plugin_bias_shrinks(self):
+        rows = run_convergence_experiment(budgets=(100, 1600), seed=0)
+        # more trials → plug-in estimate closer to the ~3 asymptote
+        assert rows[1].plugin_inequality <= rows[0].plugin_inequality + 0.05
+
+    def test_bracket_tightens(self):
+        rows = run_convergence_experiment(budgets=(100, 1600), seed=0)
+        assert rows[1].bracket_width < rows[0].bracket_width
+
+    def test_bracket_contains_plugin(self):
+        rows = run_convergence_experiment(budgets=(200,), seed=1)
+        r = rows[0]
+        assert r.lower_bound <= r.plugin_inequality <= r.upper_bound + 1e-9
+
+    def test_theorem8_never_violated_by_lower_bound(self):
+        rows = run_convergence_experiment(
+            budgets=(100, 400), seed=0, graph=complete_tree(2, 7).graph
+        )
+        for r in rows:
+            assert r.lower_bound <= 4.2  # FAIRTREE's true bound
+
+    def test_format(self):
+        rows = run_convergence_experiment(budgets=(100,), seed=0)
+        assert "plug-in" in format_convergence(rows)

@@ -1,0 +1,69 @@
+"""Tests for the Table I evaluation topologies."""
+
+from repro.experiments.datasets import (
+    alternating_tree_b10,
+    alternating_tree_b30,
+    binary_tree,
+    campus_tree,
+    city_tree,
+    five_ary_tree,
+    table1_trees,
+)
+
+
+class TestPaperSizes:
+    def test_binary(self):
+        t = binary_tree()
+        assert t.graph.n == 2047 and t.graph.m == 2046
+
+    def test_five_ary(self):
+        t = five_ary_tree()
+        assert t.graph.n == 3906
+
+    def test_alt10(self):
+        assert alternating_tree_b10().graph.n == 1221
+
+    def test_alt30(self):
+        assert alternating_tree_b30().graph.n == 961
+
+    def test_campus_scale(self):
+        t = campus_tree(seed=11)
+        assert t.graph.is_tree()
+        assert abs(t.graph.n - 178) <= 3  # MST may drop stragglers
+
+    def test_city_scaled(self):
+        t = city_tree(n=400, seed=1)
+        assert t.graph.is_tree()
+        assert t.graph.n >= 390
+
+
+class TestMetadata:
+    def test_six_trees_in_paper_order(self):
+        trees = table1_trees(city_n=300)
+        assert [t.key for t in trees] == [
+            "binary",
+            "5ary",
+            "alt10",
+            "alt30",
+            "campus",
+            "city",
+        ]
+
+    def test_categories(self):
+        trees = table1_trees(city_n=300)
+        cats = [t.category for t in trees]
+        assert cats == [
+            "complete",
+            "complete",
+            "alternating",
+            "alternating",
+            "realworld",
+            "realworld",
+        ]
+
+    def test_paper_reference_values(self):
+        trees = table1_trees(city_n=300)
+        lubys = [t.paper_luby for t in trees]
+        assert lubys == [3.07, 6.42, 11.92, 36.59, 22.75, 168.49]
+        fairs = [t.paper_fairtree for t in trees]
+        assert max(fairs) == 3.25

@@ -1,0 +1,54 @@
+"""Tests for the fairness-landscape sweep."""
+
+from repro.experiments.families import (
+    format_family_sweep,
+    run_family_sweep,
+)
+
+
+class TestFamilySweep:
+    def test_matrix_covers_all_families(self):
+        cells = run_family_sweep(trials=150, seed=0)
+        families = {c.family for c in cells}
+        assert families == {
+            "tree",
+            "star",
+            "caterpillar",
+            "grid",
+            "bipartite",
+            "planar",
+            "cone",
+        }
+
+    def test_guaranteed_pairs_are_fair(self):
+        """Every (family, algorithm) pair the paper guarantees must
+        measure below its constant bound (generous slack for 400 trials;
+        COLORMIS's bound is O(k) so it gets a k-scaled cap)."""
+        cells = run_family_sweep(trials=400, seed=0)
+        for c in cells:
+            if not c.guaranteed_fair:
+                continue
+            cap = 40.0 if c.algorithm == "color_mis_fast" else 10.0
+            assert c.inequality <= cap, (c.family, c.algorithm, c.inequality)
+
+    def test_cone_never_guaranteed(self):
+        cells = run_family_sweep(trials=150, seed=0)
+        assert not any(c.guaranteed_fair for c in cells if c.family == "cone")
+
+    def test_luby_never_guaranteed(self):
+        cells = run_family_sweep(trials=150, seed=0)
+        assert not any(
+            c.guaranteed_fair for c in cells if c.algorithm == "luby_fast"
+        )
+
+    def test_fair_rooted_only_on_forests(self):
+        cells = run_family_sweep(trials=150, seed=0)
+        rooted_families = {
+            c.family for c in cells if c.algorithm == "fair_rooted_fast"
+        }
+        assert rooted_families == {"tree", "star", "caterpillar"}
+
+    def test_format(self):
+        cells = run_family_sweep(trials=100, seed=0)
+        text = format_family_sweep(cells)
+        assert "guaranteed" in text and "cone" in text

@@ -1,0 +1,163 @@
+"""Smoke + shape tests for every experiment harness (small budgets).
+
+The full-budget runs live in benchmarks/; here we verify the harnesses
+execute end-to-end, produce well-formed rows, and that the paper's
+*qualitative* shapes already appear at small trial counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation import (
+    format_gamma_sweep,
+    run_fairbipart_gamma_sweep,
+    run_fairtree_gamma_sweep,
+    run_luby_variant_comparison,
+)
+from repro.experiments.bounds import format_bounds, run_all_bounds
+from repro.experiments.cone import format_cone, run_cone_experiment
+from repro.experiments.datasets import binary_tree, campus_tree
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.experiments.rounds import format_rounds, run_rounds_experiment
+from repro.experiments.star import format_star, run_star_experiment
+from repro.experiments.table1 import format_table1, run_table1
+
+
+class TestTable1:
+    def test_rows_shape(self):
+        trees = [campus_tree(seed=11)]
+        rows = run_table1(trials=150, seed=0, trees=trees)
+        assert len(rows) == 2  # luby + fairtree
+        assert {r.algorithm for r in rows} == {"luby_fast", "fair_tree_fast"}
+
+    def test_luby_less_fair_than_fairtree(self):
+        trees = [campus_tree(seed=11)]
+        rows = run_table1(trials=250, seed=0, trees=trees)
+        by_alg = {r.algorithm: r for r in rows}
+        assert (
+            by_alg["luby_fast"].inequality
+            > by_alg["fair_tree_fast"].inequality
+        )
+
+    def test_format(self):
+        rows = run_table1(trials=60, seed=0, trees=[campus_tree(seed=11)])
+        text = format_table1(rows)
+        assert "Ineq." in text and "Dartmouth" in text
+
+
+class TestFigure4:
+    def test_series_shape(self):
+        series = run_figure4(trials=120, seed=0, trees=[campus_tree(seed=11)])
+        assert len(series) == 2
+        s = series[0]
+        assert len(s.frequencies) == s.cdf.x.shape[0]
+
+    def test_fairtree_more_compact(self):
+        series = run_figure4(trials=300, seed=0, trees=[campus_tree(seed=11)])
+        by_alg = {s.algorithm: s for s in series}
+        assert (
+            by_alg["fair_tree_fast"].stats["range"]
+            < by_alg["luby_fast"].stats["range"]
+        )
+
+    def test_format(self):
+        series = run_figure4(trials=60, seed=0, trees=[campus_tree(seed=11)])
+        assert "Panel" in format_figure4(series)
+
+
+class TestStar:
+    def test_luby_matches_theory(self):
+        rows = run_star_experiment(sizes=(16,), trials=1200, seed=0)
+        luby = next(r for r in rows if "luby" in r.algorithm)
+        assert luby.center_probability == pytest.approx(1 / 16, abs=0.03)
+        assert luby.inequality == pytest.approx(15.0, rel=0.4)
+
+    def test_fair_algorithms_fair_on_star(self):
+        rows = run_star_experiment(sizes=(16,), trials=800, seed=0)
+        for r in rows:
+            if "luby" not in r.algorithm:
+                assert r.inequality < 4.5
+
+    def test_format(self):
+        rows = run_star_experiment(sizes=(8,), trials=100, seed=0)
+        assert "P(center)" in format_star(rows)
+
+
+class TestCone:
+    def test_inequality_grows_with_k(self):
+        rows = run_cone_experiment(ks=(2, 6), trials=1500, seed=0)
+        from collections import defaultdict
+
+        by_alg = defaultdict(dict)
+        for r in rows:
+            by_alg[r.algorithm][r.k] = r.inequality
+        for alg, vals in by_alg.items():
+            assert vals[6] > vals[2], alg
+
+    def test_every_algorithm_unfair_at_k8(self):
+        rows = run_cone_experiment(ks=(8,), trials=2500, seed=0)
+        for r in rows:
+            # Theorem 19: F >= k; allow sampling slack
+            assert r.inequality >= 0.6 * r.theory_lower_bound, r.algorithm
+
+    def test_format(self):
+        rows = run_cone_experiment(ks=(2,), trials=200, seed=0)
+        assert "P(apex)" in format_cone(rows)
+
+
+class TestBounds:
+    def test_all_theorems_satisfied(self):
+        checks = run_all_bounds(trials=800, seed=0)
+        assert len(checks) == 4
+        for c in checks:
+            assert c.satisfied, f"{c.theorem} violated: {c}"
+
+    def test_format(self):
+        checks = run_all_bounds(trials=200, seed=0)
+        assert "Theorem 3" in format_bounds(checks)
+
+
+class TestRounds:
+    def test_rows_and_scales(self):
+        rows = run_rounds_experiment(sizes=(16, 32), repeats=1, seed=0)
+        assert {r.algorithm for r in rows} == {
+            "luby",
+            "fair_rooted",
+            "fair_tree",
+            "fair_bipart",
+        }
+        for r in rows:
+            assert r.rounds_mean > 0
+
+    def test_fair_rooted_rounds_nearly_flat(self):
+        rows = run_rounds_experiment(sizes=(16, 128), repeats=1, seed=0)
+        fr = [r for r in rows if r.algorithm == "fair_rooted"]
+        assert fr[1].rounds_mean <= fr[0].rounds_mean + 6
+
+    def test_format(self):
+        rows = run_rounds_experiment(sizes=(16,), repeats=1, seed=0)
+        assert "rounds/scale" in format_rounds(rows)
+
+
+class TestAblation:
+    def test_fairtree_gamma_sweep_shape(self):
+        rows = run_fairtree_gamma_sweep(
+            gamma_cs=(0.5, 3.0), n=60, trials=300, seed=0
+        )
+        assert len(rows) == 2
+        # small γ → more fallbacks than the paper-default γ
+        assert rows[0].fallback_fraction >= rows[1].fallback_fraction
+
+    def test_fairbipart_gamma_sweep_shape(self):
+        rows = run_fairbipart_gamma_sweep(gamma_cs=(1.0, 3.0), n=48, trials=300)
+        assert len(rows) == 2
+        assert rows[1].gamma > rows[0].gamma
+
+    def test_luby_variant_comparison(self):
+        out = run_luby_variant_comparison(trials=500, seed=0)
+        assert set(out) == {"luby_fast", "luby_degree_fast"}
+        assert all(v > 1.5 for v in out.values())  # both unfair here
+
+    def test_format(self):
+        rows = run_fairtree_gamma_sweep(gamma_cs=(1.0,), n=40, trials=100)
+        assert "fallback" in format_gamma_sweep(rows)

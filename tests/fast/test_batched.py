@@ -1,0 +1,119 @@
+"""Tests for the batched (disjoint-union) trial engines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_trials
+from repro.fast.batched import (
+    batched_fair_tree_trials,
+    batched_luby_trials,
+    disjoint_power,
+)
+from repro.fast.fair_tree import FastFairTree
+from repro.fast.luby import FastLuby
+from repro.graphs.generators import path_graph, random_tree, star_graph
+
+
+class TestDisjointPower:
+    def test_structure(self):
+        g = path_graph(4)
+        u = disjoint_power(g, 3)
+        assert u.n == 12 and u.m == 9
+        count, labels = u.connected_components()
+        assert count == 3
+
+    def test_copy_offsets(self):
+        g = star_graph(4)
+        u = disjoint_power(g, 2)
+        # copy 1's center is vertex 4
+        assert u.degrees[4] == 3
+        assert u.has_edge(4, 5) and not u.has_edge(3, 4)
+
+    def test_single_copy_is_same_object(self):
+        g = path_graph(3)
+        assert disjoint_power(g, 1) is g
+
+    def test_invalid_copies(self):
+        with pytest.raises(ValueError):
+            disjoint_power(path_graph(3), 0)
+
+    def test_edgeless(self):
+        from repro.graphs.generators import empty_graph
+
+        u = disjoint_power(empty_graph(3), 4)
+        assert u.n == 12 and u.m == 0
+
+
+class TestBatchedLuby:
+    def test_counts_bounded(self):
+        g = random_tree(20, seed=1).graph
+        est = batched_luby_trials(g, trials=100, seed=0, batch=32)
+        assert est.trials == 100
+        assert est.counts.max() <= 100
+
+    def test_partial_final_batch(self):
+        g = path_graph(6)
+        est = batched_luby_trials(g, trials=70, seed=0, batch=32)
+        assert est.trials == 70
+
+    def test_agrees_with_serial_distribution(self):
+        """Batched and serial are the same distribution (different stream
+        layout), so estimates must agree within sampling error."""
+        g = random_tree(25, seed=2).graph
+        batched = batched_luby_trials(g, trials=3000, seed=1, batch=64)
+        serial = run_trials(FastLuby(), g, 3000, seed=2)
+        se = np.sqrt(2 * 0.25 / 3000)
+        assert np.all(
+            np.abs(batched.probabilities - serial.probabilities) < 5 * se + 0.02
+        )
+
+    def test_star_center_probability(self):
+        n = 16
+        est = batched_luby_trials(star_graph(n), trials=4000, seed=3)
+        assert est.probabilities[0] == pytest.approx(1 / n, abs=0.02)
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            batched_luby_trials(path_graph(3), trials=0)
+
+
+class TestBatchedFairTree:
+    def test_counts_bounded(self):
+        g = random_tree(20, seed=1).graph
+        est = batched_fair_tree_trials(g, trials=80, seed=0, batch=32)
+        assert est.trials == 80
+
+    def test_gamma_pinned_to_base_graph(self):
+        """The batched run must use γ(n), not γ(C·n) — check by agreement
+        with the explicit-γ serial runner."""
+        from repro.algorithms.fair_tree import default_gamma
+
+        g = path_graph(12)
+        gamma = default_gamma(12)
+        batched = batched_fair_tree_trials(
+            g, trials=2500, seed=1, batch=50, gamma=gamma
+        )
+        serial = run_trials(FastFairTree(gamma=gamma), g, 2500, seed=2)
+        assert np.all(
+            np.abs(batched.probabilities - serial.probabilities) < 0.06
+        )
+
+    def test_theorem8_holds_batched(self):
+        g = random_tree(40, seed=5).graph
+        est = batched_fair_tree_trials(g, trials=2000, seed=0)
+        slack = 3 * np.sqrt(0.25 * 0.75 / 2000)
+        assert est.min_probability >= 0.25 - slack
+
+    def test_validity_of_union_runs(self):
+        """Membership restricted to each copy must be a valid MIS."""
+        from repro.analysis import is_maximal_independent_set
+        from repro.fast.fair_tree import fair_tree_run
+        from repro.algorithms.fair_tree import default_gamma
+
+        g = random_tree(15, seed=6).graph
+        union = disjoint_power(g, 8)
+        rng = np.random.default_rng(0)
+        member, _ = fair_tree_run(union, rng, gamma=default_gamma(15))
+        for c in range(8):
+            chunk = member[c * 15 : (c + 1) * 15]
+            assert is_maximal_independent_set(g, chunk)

@@ -1,0 +1,112 @@
+"""Unit tests for the vectorized scatter primitives (vs brute force)."""
+
+import numpy as np
+import pytest
+
+from repro.fast.engine import (
+    edge_both,
+    neighbor_any,
+    neighbor_count,
+    neighbor_max,
+    priority_keys,
+)
+from repro.graphs.generators import grid_graph, path_graph, star_graph
+
+
+def brute_any(g, mask):
+    return np.array(
+        [any(mask[int(w)] for w in g.neighbors(v)) for v in range(g.n)]
+    )
+
+
+def brute_max(g, values, fill=-1):
+    out = np.full(g.n, fill, dtype=values.dtype)
+    for v in range(g.n):
+        nbrs = g.neighbors(v)
+        if len(nbrs):
+            out[v] = max(values[int(w)] for w in nbrs)
+    return out
+
+
+class TestNeighborAny:
+    def test_matches_brute_force(self):
+        g = grid_graph(4, 5)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            mask = rng.random(g.n) < 0.3
+            got = neighbor_any(mask, g.edge_src, g.edge_dst, g.n)
+            assert np.array_equal(got, brute_any(g, mask))
+
+    def test_empty_graph(self):
+        from repro.graphs.generators import empty_graph
+
+        g = empty_graph(4)
+        mask = np.array([True] * 4)
+        assert not neighbor_any(mask, g.edge_src, g.edge_dst, g.n).any()
+
+    def test_edge_mask_restricts(self):
+        g = path_graph(3)
+        mask = np.array([True, False, False])
+        emask = np.zeros(2 * g.m, dtype=bool)  # all edges disabled
+        got = neighbor_any(mask, g.edge_src, g.edge_dst, g.n, edge_mask=emask)
+        assert not got.any()
+
+
+class TestNeighborMax:
+    def test_matches_brute_force(self):
+        g = grid_graph(3, 6)
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 100, g.n)
+        got = neighbor_max(values, g.edge_src, g.edge_dst, g.n)
+        assert np.array_equal(got, brute_max(g, values))
+
+    def test_fill_value(self):
+        from repro.graphs.generators import empty_graph
+
+        g = empty_graph(3)
+        values = np.array([5, 6, 7])
+        got = neighbor_max(values, g.edge_src, g.edge_dst, g.n, fill=-9)
+        assert got.tolist() == [-9, -9, -9]
+
+
+class TestNeighborCount:
+    def test_counts_star(self):
+        g = star_graph(6)
+        mask = np.ones(6, dtype=bool)
+        got = neighbor_count(mask, g.edge_src, g.edge_dst, g.n)
+        assert got.tolist() == [5, 1, 1, 1, 1, 1]
+
+    def test_masked_counts(self):
+        g = star_graph(6)
+        mask = np.array([True, True, True, False, False, False])
+        got = neighbor_count(mask, g.edge_src, g.edge_dst, g.n)
+        assert got[0] == 2
+
+
+class TestEdgeBoth:
+    def test_selects_internal_edges(self):
+        g = path_graph(4)
+        mask = np.array([True, True, False, True])
+        emask = edge_both(mask, g.edge_src, g.edge_dst)
+        kept = set(
+            zip(g.edge_src[emask].tolist(), g.edge_dst[emask].tolist())
+        )
+        assert kept == {(0, 1), (1, 0)}
+
+
+class TestPriorityKeys:
+    def test_ids_recoverable(self):
+        rng = np.random.default_rng(0)
+        keys = priority_keys(rng, 10)
+        id_bits = int(9).bit_length()
+        assert np.array_equal(keys & ((1 << id_bits) - 1), np.arange(10))
+
+    def test_all_distinct(self):
+        rng = np.random.default_rng(0)
+        keys = priority_keys(rng, 1000)
+        assert len(np.unique(keys)) == 1000
+
+    def test_too_large_n_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            priority_keys(rng, 2**25)

@@ -1,0 +1,236 @@
+"""Tests for the vectorized Construct_Block, FAIRBIPART, and COLORMIS."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import is_maximal_independent_set, run_trials
+from repro.fast.blocks import (
+    FastColorMIS,
+    FastFairBipart,
+    construct_block_fast,
+    draw_radii,
+    greedy_coloring_fast,
+)
+from repro.graphs.generators import (
+    complete_bipartite,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_bipartite,
+    random_tree,
+    star_graph,
+    triangulated_grid,
+)
+
+
+class TestDrawRadii:
+    def test_support(self):
+        rng = np.random.default_rng(0)
+        r = draw_radii(rng, 10000, gamma=6)
+        assert r.min() >= 0 and r.max() <= 6
+
+    def test_geometric_marginals(self):
+        rng = np.random.default_rng(1)
+        r = draw_radii(rng, 40000, gamma=10)
+        assert abs(np.mean(r == 0) - 0.5) < 0.02
+        assert abs(np.mean(r >= 2) - 0.25) < 0.02
+
+    def test_truncation_mass(self):
+        rng = np.random.default_rng(2)
+        r = draw_radii(rng, 40000, gamma=2)
+        assert abs(np.mean(r == 2) - 0.25) < 0.02
+
+
+class TestConstructBlock:
+    def test_lemma12_connected_nonboundary_same_leader(self, rng):
+        """Lemma 12(ii): adjacent block members share their leader."""
+        for seed in range(5):
+            g = random_tree(60, seed=seed).graph
+            bits = rng.integers(0, 2, g.n)
+            in_block, leader, _ = construct_block_fast(
+                g, rng, gamma=12, values=bits, mode="bit", value_base=2
+            )
+            es, ed = g.edge_src, g.edge_dst
+            both = in_block[es] & in_block[ed]
+            assert np.all(leader[es[both]] == leader[ed[both]])
+
+    def test_block_probability_lemma12(self, rng):
+        """Lemma 12(i): each node joins a block w.p. >= p(1-p^γ)^n."""
+        g = path_graph(12)
+        gamma = 8
+        trials = 1500
+        counts = np.zeros(12)
+        for _ in range(trials):
+            bits = rng.integers(0, 2, 12)
+            in_block, _, _ = construct_block_fast(
+                g, rng, gamma=gamma, values=bits, mode="bit", value_base=2
+            )
+            counts += in_block
+        freqs = counts / trials
+        bound = 0.5 * (1 - 0.5**gamma) ** 12
+        assert freqs.min() >= bound - 3 * np.sqrt(0.25 / trials)
+
+    def test_bit_parity_consistency(self, rng):
+        """In a bipartite graph, two adjacent members of the same block
+        must read opposite bits (this is what makes I independent)."""
+        for seed in range(5):
+            g = random_tree(40, seed=seed).graph
+            bits = rng.integers(0, 2, g.n)
+            in_block, leader, val = construct_block_fast(
+                g, rng, gamma=12, values=bits, mode="bit", value_base=2
+            )
+            es, ed = g.edge_src, g.edge_dst
+            both = in_block[es] & in_block[ed]
+            assert np.all(val[es[both]] != val[ed[both]])
+
+    def test_color_mode_propagates_unchanged(self, rng):
+        g = star_graph(10)
+        colors = np.arange(10) % 4
+        in_block, leader, val = construct_block_fast(
+            g, rng, gamma=6, values=colors, mode="color", value_base=4
+        )
+        members = np.nonzero(in_block)[0]
+        for v in members.tolist():
+            assert val[v] == colors[leader[v]]
+
+    def test_invalid_mode(self, rng):
+        with pytest.raises(ValueError):
+            construct_block_fast(
+                path_graph(3),
+                rng,
+                gamma=2,
+                values=np.zeros(3, dtype=np.int64),
+                mode="x",
+                value_base=2,
+            )
+
+
+class TestFastFairBipart:
+    def test_valid(self, rng):
+        alg = FastFairBipart(validate=True)
+        for g in [
+            grid_graph(6, 6),
+            random_bipartite(10, 10, 0.2, seed=1),
+            random_tree(60, seed=2).graph,
+            complete_bipartite(4, 5),
+            cycle_graph(9),  # non-bipartite: still a correct MIS
+        ]:
+            for _ in range(3):
+                alg.run(g, rng)
+
+    def test_theorem13_min_probability(self, rng, thorough):
+        trials = 3000 if thorough else 1000
+        g = grid_graph(4, 4)
+        est = run_trials(FastFairBipart(), g, trials, seed=0)
+        slack = 3 * np.sqrt(0.125 * 0.875 / trials)
+        assert est.min_probability >= 0.125 - slack
+
+    def test_inequality_below_8(self, rng):
+        g = random_tree(50, seed=3).graph
+        est = run_trials(FastFairBipart(), g, 1500, seed=0)
+        lower, _ = est.inequality_bounds()
+        assert lower <= 8.0
+
+    def test_larger_gamma_fairer(self, rng):
+        """§VI-C: growing c drives inequality toward 4."""
+        g = path_graph(30)
+        small = run_trials(FastFairBipart(gamma_c=1.0), g, 1500, seed=0)
+        large = run_trials(FastFairBipart(gamma_c=4.0), g, 1500, seed=0)
+        assert large.min_probability >= small.min_probability - 0.03
+
+    def test_block_fraction_reported(self, rng):
+        res = FastFairBipart().run(grid_graph(4, 4), rng)
+        assert 0.0 <= res.info["block_fraction"] <= 1.0
+
+
+class TestGreedyColoringFast:
+    def test_proper(self, rng):
+        for g in [grid_graph(6, 6), triangulated_grid(5, 5), cycle_graph(9)]:
+            colors = greedy_coloring_fast(g, rng, iterations=60)
+            es, ed = g.edge_src, g.edge_dst
+            both = (colors[es] >= 0) & (colors[ed] >= 0)
+            assert not np.any((colors[es] == colors[ed]) & both)
+
+    def test_palette_bound(self, rng):
+        g = star_graph(12)
+        colors = greedy_coloring_fast(g, rng, iterations=60)
+        assert colors.max() <= g.max_degree
+
+    def test_converges(self, rng):
+        g = random_tree(100, seed=1).graph
+        colors = greedy_coloring_fast(g, rng, iterations=80)
+        assert np.all(colors >= 0)
+
+
+class TestFastColorMIS:
+    def test_valid(self, rng):
+        alg = FastColorMIS(validate=True)
+        for g in [
+            triangulated_grid(5, 5),
+            grid_graph(5, 5),
+            random_tree(50, seed=4).graph,
+            cycle_graph(11),
+        ]:
+            for _ in range(3):
+                alg.run(g, rng)
+
+    def test_every_node_joins_eventually(self, rng):
+        g = path_graph(8)
+        est = run_trials(FastColorMIS(), g, 400, seed=0)
+        assert est.min_probability > 0
+
+    def test_k_reported(self, rng):
+        g = star_graph(7)
+        res = FastColorMIS().run(g, rng)
+        assert res.info["k"] == 7
+
+
+class TestArboricityColoringFast:
+    def test_proper_and_small_palette(self, rng):
+        import numpy as np
+
+        from repro.fast.blocks import arboricity_coloring_fast
+        from repro.graphs.generators import apex_grid
+
+        g = apex_grid(8, 8)
+        colors = arboricity_coloring_fast(g, rng, cap=7, iterations=60)
+        es, ed = g.edge_src, g.edge_dst
+        both = (colors[es] >= 0) & (colors[ed] >= 0)
+        assert not np.any((colors[es] == colors[ed]) & both)
+        assert colors.max() <= 7  # far below Δ+1
+
+    def test_tree_needs_three_colors(self, rng):
+        import numpy as np
+
+        from repro.fast.blocks import arboricity_coloring_fast
+        from repro.graphs.generators import random_tree
+
+        g = random_tree(80, seed=1).graph
+        colors = arboricity_coloring_fast(g, rng, cap=2, iterations=60)
+        assert np.all(colors >= 0)
+        assert colors.max() <= 2
+
+    def test_colormis_arboricity_variant(self, rng):
+        from repro.fast.blocks import FastColorMIS
+        from repro.graphs.generators import apex_grid
+
+        alg = FastColorMIS(coloring="arboricity", validate=True)
+        res = alg.run(apex_grid(6, 6), rng)
+        assert res.info["k"] <= 9
+
+    def test_corollary18_shape(self, rng):
+        """On the apex grid, arboricity-COLORMIS must beat greedy-COLORMIS
+        on fairness (smaller k → smaller inequality, Theorem 17)."""
+        from repro.analysis import run_trials
+        from repro.fast.blocks import FastColorMIS
+        from repro.graphs.generators import apex_grid
+
+        g = apex_grid(8, 8)
+        arb = run_trials(FastColorMIS(coloring="arboricity"), g, 600, seed=0)
+        greedy = run_trials(FastColorMIS(coloring="greedy"), g, 600, seed=0)
+        assert arb.min_probability > greedy.min_probability
+
+    def test_name(self):
+        from repro.fast.blocks import FastColorMIS
+
+        assert FastColorMIS(coloring="arboricity").name == "color_mis_arb_fast"

@@ -1,0 +1,68 @@
+"""Tests for the vectorized CNTRLFAIRBIPART kernel."""
+
+import numpy as np
+
+from repro.analysis import is_maximal_independent_set
+from repro.fast.cfb import cfb_fast
+from repro.graphs.generators import path_graph, random_tree, star_graph
+
+
+class TestCfbFast:
+    def test_full_tree_is_mis(self, rng):
+        for seed in range(4):
+            g = random_tree(40, seed=seed).graph
+            d = g.diameter()
+            joined = cfb_fast(g, rng, d_hat=max(d, 1), active=np.ones(g.n, bool))
+            assert is_maximal_independent_set(g, joined)
+
+    def test_join_probability_half(self, rng):
+        g = path_graph(6)
+        trials = 1500
+        counts = np.zeros(6)
+        for _ in range(trials):
+            counts += cfb_fast(g, rng, d_hat=6, active=np.ones(6, bool))
+        freqs = counts / trials
+        assert np.all(np.abs(freqs - 0.5) < 0.06)
+
+    def test_isolated_active_node_joins(self, rng):
+        g = path_graph(3)
+        active = np.array([True, False, True])
+        joined = cfb_fast(g, rng, d_hat=3, active=active)
+        assert joined[0] and joined[2]
+
+    def test_inactive_nodes_never_join(self, rng):
+        g = star_graph(8)
+        active = np.zeros(8, dtype=bool)
+        active[1:4] = True
+        for _ in range(10):
+            joined = cfb_fast(g, rng, d_hat=4, active=active)
+            assert not joined[0] and not joined[4:].any()
+
+    def test_edge_mask_partitions(self, rng):
+        """Cutting the middle edge of a path creates two components, each
+        covered independently."""
+        g = path_graph(6)
+        emask = ~((g.edge_src == 2) & (g.edge_dst == 3))
+        emask &= ~((g.edge_src == 3) & (g.edge_dst == 2))
+        joined = cfb_fast(g, rng, d_hat=4, active=np.ones(6, bool), edge_mask=emask)
+        left, right = joined[:3], joined[3:]
+        # each side of the cut is independently an alternating MIS
+        assert left.tolist() in ([True, False, True], [False, True, False])
+        assert right.tolist() in ([True, False, True], [False, True, False])
+
+    def test_small_d_hat_leaves_far_nodes_out(self, rng):
+        g = path_graph(30)
+        joined = cfb_fast(g, rng, d_hat=2, active=np.ones(30, bool))
+        # with D̂=2 the BFS reaches ≤ 2 hops from each self-elected leader;
+        # certainly not all 30 nodes can be covered
+        covered = joined.copy()
+        covered[g.edge_dst[joined[g.edge_src]]] = True
+        assert not covered.all()
+
+    def test_alternation_within_leader_region(self, rng):
+        g = path_graph(9)
+        joined = cfb_fast(g, rng, d_hat=9, active=np.ones(9, bool))
+        assert joined.tolist() in (
+            [True, False] * 4 + [True],
+            [False, True] * 4 + [False],
+        )

@@ -1,0 +1,80 @@
+"""Tests for the vectorized FAIRROOTED engine and vectorized CV."""
+
+import numpy as np
+
+from repro.analysis import is_maximal_independent_set, run_trials
+from repro.fast.fair_rooted import (
+    FastFairRooted,
+    cole_vishkin_colors,
+    fair_rooted_run,
+)
+from repro.graphs import RootedTree
+from repro.graphs.generators import complete_tree, path_graph, random_tree, star_graph
+
+
+class TestVectorizedCV:
+    def test_colors_in_range(self):
+        t = random_tree(200, seed=0)
+        colors = cole_vishkin_colors(t.n, t.parent, np.ones(t.n, bool))
+        assert colors.min() >= 0 and colors.max() <= 5
+
+    def test_colors_proper(self):
+        t = random_tree(300, seed=1)
+        colors = cole_vishkin_colors(t.n, t.parent, np.ones(t.n, bool))
+        g = t.graph
+        assert not np.any(colors[g.edge_src] == colors[g.edge_dst])
+
+    def test_partial_participation(self):
+        t = path_graph(10)
+        rooted = RootedTree.from_graph(t)
+        part = np.zeros(10, dtype=bool)
+        part[2:7] = True
+        # parents must be restricted to participants
+        safe = np.where(rooted.parent >= 0, rooted.parent, 0)
+        parent_ok = part & (rooted.parent >= 0) & part[safe]
+        parent = np.where(parent_ok, rooted.parent, -1)
+        colors = cole_vishkin_colors(10, parent, part)
+        assert np.all(colors[~part] == -1)
+        assert np.all(colors[part] >= 0)
+
+    def test_deep_path_proper(self):
+        g = path_graph(2000)
+        rooted = RootedTree.from_graph(g)
+        colors = cole_vishkin_colors(g.n, rooted.parent, np.ones(g.n, bool))
+        assert not np.any(colors[g.edge_src] == colors[g.edge_dst])
+        assert colors.max() <= 5
+
+
+class TestFastFairRooted:
+    def test_valid(self, rng):
+        alg = FastFairRooted(validate=True)
+        for seed in range(4):
+            g = random_tree(60, seed=seed).graph
+            for _ in range(3):
+                alg.run(g, rng)
+
+    def test_star_nearly_perfectly_fair(self, rng):
+        g = star_graph(20)
+        est = run_trials(FastFairRooted(), g, 2000, seed=0)
+        # rooted at the center: every node joins w.p. ~1/2 after stage 1,
+        # and CV cleans up symmetrically → inequality near 1
+        assert est.inequality <= 1.4
+
+    def test_theorem3_bound(self, rng, thorough):
+        trials = 4000 if thorough else 1200
+        g = random_tree(30, seed=5).graph
+        est = run_trials(FastFairRooted(), g, trials, seed=0)
+        slack = 3 * np.sqrt(0.25 * 0.75 / trials)
+        assert est.min_probability >= 0.25 - slack
+        assert est.inequality <= 4 / (0.25 - slack) * 0.25 + 0.6
+
+    def test_explicit_rooting(self, rng):
+        t = complete_tree(3, 3)
+        alg = FastFairRooted(tree=t, validate=True)
+        alg.run(t.graph, rng)
+
+    def test_function_form(self, rng):
+        t = complete_tree(2, 3)
+        member, info = fair_rooted_run(t.graph, t.parent, rng)
+        assert is_maximal_independent_set(t.graph, member)
+        assert "stage1_size" in info

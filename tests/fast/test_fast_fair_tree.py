@@ -1,0 +1,88 @@
+"""Tests for the vectorized FAIRTREE engine."""
+
+import numpy as np
+
+from repro.analysis import is_maximal_independent_set, run_trials
+from repro.fast.fair_tree import FastFairTree, fair_tree_run
+from repro.graphs.generators import (
+    caterpillar,
+    cycle_graph,
+    path_graph,
+    random_tree,
+    singleton,
+    star_graph,
+)
+
+
+class TestCorrectness:
+    def test_valid_on_trees(self, rng):
+        alg = FastFairTree(validate=True)
+        for seed in range(5):
+            g = random_tree(80, seed=seed).graph
+            for _ in range(3):
+                alg.run(g, rng)  # validate=True raises on violation
+
+    def test_valid_on_star_and_caterpillar(self, rng):
+        alg = FastFairTree(validate=True)
+        alg.run(star_graph(30), rng)
+        alg.run(caterpillar(6, 4).graph, rng)
+
+    def test_valid_on_cycles_via_fallback(self, rng):
+        alg = FastFairTree(validate=True)
+        for _ in range(5):
+            alg.run(cycle_graph(11), rng)
+
+    def test_singleton(self, rng):
+        res = FastFairTree().run(singleton(), rng)
+        assert res.membership.tolist() == [True]
+
+    def test_tiny_gamma_correct(self, rng):
+        alg = FastFairTree(gamma=1, validate=True)
+        for _ in range(5):
+            alg.run(random_tree(40, seed=1).graph, rng)
+
+
+class TestFairness:
+    def test_theorem8_min_probability(self, rng, thorough):
+        trials = 4000 if thorough else 1200
+        g = random_tree(40, seed=7).graph
+        est = run_trials(FastFairTree(), g, trials, seed=0)
+        slack = 3 * np.sqrt(0.25 * 0.75 / trials)
+        assert est.min_probability >= 0.25 - slack
+
+    def test_inequality_small_on_star(self, rng):
+        g = star_graph(40)
+        est = run_trials(FastFairTree(), g, 1200, seed=0)
+        assert est.inequality <= 4.5
+
+    def test_path_fairness(self, rng):
+        g = path_graph(15)
+        est = run_trials(FastFairTree(), g, 1500, seed=1)
+        assert est.inequality <= 4.5
+
+
+class TestInfo:
+    def test_fallback_rare_with_default_gamma(self, rng):
+        g = random_tree(60, seed=2).graph
+        fallbacks = 0
+        for _ in range(50):
+            res = FastFairTree().run(g, rng)
+            fallbacks += bool(res.info["fallback_used"])
+        assert fallbacks <= 2  # ε ≤ 1/n ≈ 0.017 per run
+
+    def test_fallback_frequent_with_tiny_gamma(self, rng):
+        g = path_graph(50)
+        fallbacks = 0
+        for _ in range(20):
+            res = FastFairTree(gamma=1).run(g, rng)
+            fallbacks += bool(res.info["fallback_used"])
+        assert fallbacks >= 10
+
+    def test_gamma_recorded(self, rng):
+        res = FastFairTree(gamma=6).run(path_graph(8), rng)
+        assert res.info["gamma"] == 6
+
+    def test_function_form(self, rng):
+        member, info = fair_tree_run(path_graph(8), rng, gamma=8)
+        assert member.dtype == bool
+        assert "fallback_nodes" in info

@@ -1,0 +1,91 @@
+"""Tests for the vectorized Luby engines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import is_maximal_independent_set
+from repro.fast.luby import FastLuby, luby_degree_sweep, luby_sweep
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    grid_graph,
+    random_tree,
+    star_graph,
+)
+
+
+class TestLubySweep:
+    def test_valid_on_many_graphs(self, rng):
+        for g in [
+            random_tree(60, seed=0).graph,
+            grid_graph(6, 6),
+            cycle_graph(11),
+            complete_graph(8),
+            star_graph(20),
+        ]:
+            for _ in range(3):
+                member, _ = luby_sweep(g, rng)
+                assert is_maximal_independent_set(g, member)
+
+    def test_isolated_all_join(self, rng):
+        member, iters = luby_sweep(empty_graph(6), rng)
+        assert member.all()
+        assert iters == 1
+
+    def test_restricted_active_set(self, rng):
+        g = grid_graph(4, 4)
+        active = np.zeros(16, dtype=bool)
+        active[:8] = True
+        member, _ = luby_sweep(g, rng, active=active)
+        assert not member[8:].any()
+        sub = g.subgraph_mask(active)
+        # membership restricted to the active half must be an MIS there
+        m = member & active
+        es, ed = sub.edge_src, sub.edge_dst
+        assert not np.any(m[es] & m[ed])
+
+    def test_iterations_logarithmic(self, rng):
+        g = random_tree(500, seed=1).graph
+        iters = [luby_sweep(g, rng)[1] for _ in range(5)]
+        assert max(iters) < 30
+
+    def test_star_center_rare(self, rng):
+        g = star_graph(16)
+        joins = sum(luby_sweep(g, rng)[0][0] for _ in range(600))
+        assert joins / 600 < 0.15  # exact probability 1/16
+
+
+class TestLubyDegreeSweep:
+    def test_valid(self, rng):
+        for g in [
+            random_tree(50, seed=2).graph,
+            complete_graph(6),
+            star_graph(12),
+        ]:
+            member, _ = luby_degree_sweep(g, rng)
+            assert is_maximal_independent_set(g, member)
+
+    def test_isolated_all_join(self, rng):
+        member, _ = luby_degree_sweep(empty_graph(4), rng)
+        assert member.all()
+
+
+class TestFastLubyAlgorithm:
+    def test_validate_flag(self, rng):
+        res = FastLuby(validate=True).run(grid_graph(5, 5), rng)
+        assert res.info["engine"] == "fast"
+
+    def test_variant_names(self):
+        assert FastLuby().name == "luby_fast"
+        assert FastLuby("degree").name == "luby_degree_fast"
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            FastLuby("bogus")
+
+    def test_deterministic_given_rng_state(self):
+        g = random_tree(40, seed=3).graph
+        a = FastLuby().run(g, np.random.default_rng(7)).membership
+        b = FastLuby().run(g, np.random.default_rng(7)).membership
+        assert np.array_equal(a, b)

@@ -1,0 +1,212 @@
+"""Unit tests for graph generators, pinned to the paper's sizes."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import GraphValidationError
+from repro.graphs.generators import (
+    alternating_tree,
+    broom,
+    caterpillar,
+    complete_bipartite,
+    complete_graph,
+    complete_tree,
+    cone_graph,
+    cycle_graph,
+    double_broom,
+    empty_graph,
+    grid_graph,
+    path_graph,
+    random_bipartite,
+    random_planar_like,
+    random_tree,
+    singleton,
+    spider,
+    star_graph,
+    triangulated_grid,
+)
+
+
+class TestBasicFamilies:
+    def test_empty(self):
+        g = empty_graph(4)
+        assert g.n == 4 and g.m == 0
+
+    def test_singleton(self):
+        assert singleton().n == 1
+
+    def test_path(self):
+        g = path_graph(6)
+        assert g.m == 5 and g.is_tree()
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.m == 5 and all(d == 2 for d in g.degrees)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphValidationError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degrees[0] == 6 and g.is_tree()
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.m == 15
+
+
+class TestPaperTrees:
+    """Table I pins exact sizes; these must match."""
+
+    def test_binary_tree_size(self):
+        t = complete_tree(2, 10)
+        assert t.n == 2047 and t.graph.m == 2046
+
+    def test_five_ary_tree_size(self):
+        t = complete_tree(5, 5)
+        assert t.n == 3906 and t.graph.m == 3905
+
+    def test_alternating_b10_size(self):
+        t = alternating_tree(10, 5)
+        assert t.n == 1221 and t.graph.m == 1220
+
+    def test_alternating_b30_size(self):
+        t = alternating_tree(30, 3)
+        assert t.n == 961 and t.graph.m == 960
+
+    def test_alternating_structure(self):
+        t = alternating_tree(4, 4)
+        depth = t.depth
+        for v in range(t.n):
+            kids = t.children(v)
+            if kids.size == 0:
+                continue
+            expect = 4 if depth[v] % 2 == 0 else 1
+            assert kids.size == expect
+
+    def test_complete_tree_depth_zero(self):
+        t = complete_tree(3, 0)
+        assert t.n == 1
+
+    def test_complete_tree_validation(self):
+        with pytest.raises(GraphValidationError):
+            complete_tree(0, 3)
+
+
+class TestShapedTrees:
+    def test_caterpillar(self):
+        t = caterpillar(spine=4, legs_per_node=2)
+        assert t.n == 12 and t.graph.is_tree()
+
+    def test_broom(self):
+        t = broom(handle=3, bristles=5)
+        assert t.n == 8
+        assert t.graph.degrees[2] == 6  # handle end holds bristles
+
+    def test_double_broom(self):
+        g = double_broom(handle=4, bristles=3)
+        assert g.n == 10 and g.is_tree()
+        assert g.degrees[0] == 4 and g.degrees[3] == 4
+
+    def test_spider(self):
+        t = spider(legs=3, leg_length=2)
+        assert t.n == 7
+        assert t.graph.degrees[0] == 3
+
+    def test_random_tree_uniform_support(self):
+        seen = set()
+        for seed in range(30):
+            t = random_tree(4, seed=seed)
+            seen.add(t.graph.edges.tobytes())
+        assert len(seen) > 3  # multiple distinct labeled trees appear
+
+    def test_random_tree_small_sizes(self):
+        assert random_tree(1, seed=0).n == 1
+        assert random_tree(2, seed=0).graph.m == 1
+        assert random_tree(3, seed=0).graph.is_tree()
+
+
+class TestBipartitePlanar:
+    def test_complete_bipartite(self):
+        g = complete_bipartite(3, 4)
+        assert g.m == 12 and g.is_bipartite()
+
+    def test_random_bipartite_is_bipartite(self):
+        g = random_bipartite(10, 12, 0.3, seed=5)
+        assert g.is_bipartite()
+
+    def test_random_bipartite_p_validated(self):
+        with pytest.raises(GraphValidationError):
+            random_bipartite(3, 3, 1.5)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12 and g.m == 17 and g.is_bipartite()
+
+    def test_triangulated_grid_not_bipartite(self):
+        g = triangulated_grid(3, 3)
+        assert not g.is_bipartite()
+        assert g.m == 12 + 4  # grid edges + diagonals
+
+    def test_random_planar_like_connected(self):
+        g = random_planar_like(40, seed=2)
+        assert g.is_connected()
+        # Delaunay triangulations are planar: m <= 3n - 6
+        assert g.m <= 3 * g.n - 6
+
+
+class TestConeGraph:
+    def test_size(self):
+        g = cone_graph(4)
+        assert g.n == 9
+        # clique on 8 = 28 edges, plus 4 apex edges
+        assert g.m == 28 + 4
+
+    def test_apex_degree(self):
+        g = cone_graph(5)
+        assert g.degrees[0] == 5
+
+    def test_clique_structure(self):
+        g = cone_graph(3)
+        for i in range(1, 7):
+            for j in range(i + 1, 7):
+                assert g.has_edge(i, j)
+
+    def test_apex_connects_lower_half_only(self):
+        g = cone_graph(3)
+        assert g.has_edge(0, 1) and g.has_edge(0, 3)
+        assert not g.has_edge(0, 4)
+
+    def test_degree_ratio_constant(self):
+        # the paper notes max/min degree ratio is constant in the cone
+        g = cone_graph(20)
+        assert g.degrees.max() / g.degrees.min() < 3
+
+    def test_k_validated(self):
+        with pytest.raises(GraphValidationError):
+            cone_graph(0)
+
+
+class TestApexGrid:
+    def test_size(self):
+        from repro.graphs.generators import apex_grid
+
+        g = apex_grid(4, 4)
+        assert g.n == 17
+        # apex connects to all 12 boundary cells
+        assert g.degrees[16] == 12
+
+    def test_planar_edge_bound(self):
+        from repro.graphs.generators import apex_grid
+
+        g = apex_grid(8, 8)
+        assert g.m <= 3 * g.n - 6
+
+    def test_low_arboricity_high_degree(self):
+        from repro.graphs.generators import apex_grid
+        from repro.graphs.properties import degeneracy
+
+        g = apex_grid(10, 10)
+        assert g.max_degree >= 30
+        assert degeneracy(g) <= 3

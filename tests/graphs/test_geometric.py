@@ -1,0 +1,113 @@
+"""Unit tests for the geometric WAP models and MST pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import GraphValidationError
+from repro.graphs.geometric import (
+    PointCloud,
+    campus_model,
+    city_model,
+    euclidean_mst,
+    threshold_graph,
+    wap_tree,
+)
+
+
+class TestPointClouds:
+    def test_campus_default_size_matches_paper(self):
+        assert campus_model(seed=0).n == 178
+
+    def test_city_scalable(self):
+        assert city_model(n=500, seed=0).n == 500
+
+    def test_deterministic_given_seed(self):
+        a = campus_model(seed=3).points
+        b = campus_model(seed=3).points
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = campus_model(seed=3).points
+        b = campus_model(seed=4).points
+        assert not np.array_equal(a, b)
+
+    def test_colocation_produces_duplicates(self):
+        cloud = campus_model(seed=1, colocation=0.6)
+        uniq = np.unique(cloud.points, axis=0)
+        assert len(uniq) < cloud.n  # co-located APs share coordinates
+
+    def test_zero_colocation_all_distinct(self):
+        cloud = campus_model(seed=1, colocation=0.0)
+        uniq = np.unique(cloud.points, axis=0)
+        assert len(uniq) == cloud.n
+
+    def test_validation(self):
+        with pytest.raises(GraphValidationError):
+            campus_model(n=0)
+        with pytest.raises(GraphValidationError):
+            city_model(n=10, blocks=0)
+
+
+class TestThresholdGraph:
+    def test_connects_close_pairs_only(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 0.0]])
+        cloud = PointCloud("t", pts)
+        g = threshold_graph(cloud, max_distance=1.5)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 2)
+
+    def test_distance_validated(self):
+        cloud = PointCloud("t", np.zeros((3, 2)))
+        with pytest.raises(GraphValidationError):
+            threshold_graph(cloud, max_distance=0.0)
+
+    def test_coincident_points_connected(self):
+        pts = np.zeros((4, 2))
+        g = threshold_graph(PointCloud("t", pts), max_distance=1.0)
+        assert g.m == 6  # complete graph on coincident points
+
+
+class TestMST:
+    def test_mst_of_connected_graph_is_tree(self):
+        cloud = campus_model(seed=2)
+        g = threshold_graph(cloud, max_distance=500.0)
+        mst = euclidean_mst(cloud, g)
+        assert mst.is_tree()
+
+    def test_mst_picks_short_edges(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        cloud = PointCloud("t", pts)
+        g = threshold_graph(cloud, max_distance=3.0)  # includes (0,2)
+        mst = euclidean_mst(cloud, g)
+        assert mst.has_edge(0, 1) and mst.has_edge(1, 2)
+        assert not mst.has_edge(0, 2)
+
+    def test_disconnected_keeps_largest_component(self):
+        pts = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [100.0, 0.0], [101.0, 0.0]]
+        )
+        cloud = PointCloud("t", pts)
+        g = threshold_graph(cloud, max_distance=2.5)
+        mst = euclidean_mst(cloud, g)
+        assert mst.n == 3 and mst.is_tree()
+
+
+class TestWapTree:
+    def test_auto_tuned_campus_tree(self):
+        g = wap_tree(campus_model(seed=11))
+        assert g.is_tree()
+        assert g.n >= int(0.99 * 178)
+
+    def test_explicit_threshold(self):
+        g = wap_tree(campus_model(seed=11), max_distance=800.0)
+        assert g.is_tree()
+
+    def test_city_tree_has_hubs(self):
+        # co-location must produce high-degree MST hubs — the structural
+        # property behind the paper's 168x Luby inequality
+        g = wap_tree(city_model(n=1200, seed=12))
+        assert g.max_degree >= 15
+
+    def test_campus_tree_has_hubs(self):
+        g = wap_tree(campus_model(seed=11))
+        assert g.max_degree >= 8

@@ -1,0 +1,209 @@
+"""Unit tests for the canonical StaticGraph type."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import GraphValidationError, StaticGraph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestConstruction:
+    def test_from_edges_canonicalizes_direction(self):
+        g = StaticGraph.from_edges(3, [(2, 0), (1, 2)])
+        assert g.edges.tolist() == [[0, 2], [1, 2]]
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(GraphValidationError):
+            StaticGraph.from_edges(3, [(1, 1)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(GraphValidationError):
+            StaticGraph.from_edges(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphValidationError):
+            StaticGraph.from_edges(3, [(0, 3)])
+
+    def test_rejects_negative_vertex(self):
+        with pytest.raises(GraphValidationError):
+            StaticGraph.from_edges(3, [(-1, 0)])
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(GraphValidationError):
+            StaticGraph.from_edges(-1, [])
+
+    def test_empty_graph(self):
+        g = StaticGraph.from_edges(0, [])
+        assert g.n == 0 and g.m == 0
+
+    def test_from_networkx_roundtrip(self):
+        import networkx as nx
+
+        nxg = nx.petersen_graph()
+        g = StaticGraph.from_networkx(nxg)
+        assert g.n == 10 and g.m == 15
+        back = g.to_networkx()
+        assert nx.is_isomorphic(nxg, back)
+
+    def test_from_networkx_arbitrary_labels(self):
+        import networkx as nx
+
+        nxg = nx.Graph([("a", "b"), ("b", "c")])
+        g = StaticGraph.from_networkx(nxg)
+        assert g.n == 3 and g.m == 2
+
+
+class TestAccessors:
+    def test_degrees_path(self):
+        g = path_graph(5)
+        assert g.degrees.tolist() == [1, 2, 2, 2, 1]
+
+    def test_degrees_star(self):
+        g = star_graph(6)
+        assert g.degrees.tolist() == [5, 1, 1, 1, 1, 1]
+
+    def test_max_degree(self):
+        assert star_graph(9).max_degree == 8
+        assert StaticGraph.from_edges(3, []).max_degree == 0
+
+    def test_neighbors_sorted_content(self):
+        g = star_graph(5)
+        assert sorted(int(x) for x in g.neighbors(0)) == [1, 2, 3, 4]
+        assert [int(x) for x in g.neighbors(3)] == [0]
+
+    def test_neighbors_view_read_only(self):
+        g = path_graph(4)
+        view = g.neighbors(1)
+        with pytest.raises(ValueError):
+            view[0] = 99
+
+    def test_has_edge(self):
+        g = cycle_graph(5)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(4, 0)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(2, 2)
+
+    def test_symmetrized_edge_arrays(self):
+        g = path_graph(3)
+        assert len(g.edge_src) == 2 * g.m
+        pairs = set(zip(g.edge_src.tolist(), g.edge_dst.tolist()))
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+    def test_len_and_iter(self):
+        g = path_graph(4)
+        assert len(g) == 4
+        assert list(g) == [0, 1, 2, 3]
+
+    def test_eq_and_hash(self):
+        a = path_graph(4)
+        b = path_graph(4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != path_graph(5)
+
+
+class TestStructure:
+    def test_connected_components_path(self):
+        count, labels = path_graph(5).connected_components()
+        assert count == 1
+        assert len(set(labels.tolist())) == 1
+
+    def test_connected_components_disjoint(self):
+        g = StaticGraph.from_edges(5, [(0, 1), (2, 3)])
+        count, labels = g.connected_components()
+        assert count == 3  # {0,1}, {2,3}, {4}
+
+    def test_is_tree(self):
+        assert path_graph(6).is_tree()
+        assert not cycle_graph(6).is_tree()
+        assert not StaticGraph.from_edges(4, [(0, 1), (2, 3)]).is_tree()
+
+    def test_is_forest(self):
+        assert StaticGraph.from_edges(4, [(0, 1), (2, 3)]).is_forest()
+        assert not cycle_graph(4).is_forest()
+
+    def test_subgraph_mask_keeps_indices(self):
+        g = path_graph(5)
+        keep = np.array([True, True, False, True, True])
+        sub = g.subgraph_mask(keep)
+        assert sub.n == 5  # indices preserved
+        assert sub.m == 2  # (0,1) and (3,4) survive
+
+    def test_subgraph_mask_shape_check(self):
+        with pytest.raises(GraphValidationError):
+            path_graph(5).subgraph_mask(np.array([True, False]))
+
+    def test_bfs_levels_single_source(self):
+        levels = path_graph(5).bfs_levels([0])
+        assert levels.tolist() == [0, 1, 2, 3, 4]
+
+    def test_bfs_levels_multi_source(self):
+        levels = path_graph(5).bfs_levels([0, 4])
+        assert levels.tolist() == [0, 1, 2, 1, 0]
+
+    def test_bfs_levels_unreachable(self):
+        g = StaticGraph.from_edges(4, [(0, 1)])
+        levels = g.bfs_levels([0])
+        assert levels[2] == -1 and levels[3] == -1
+
+    def test_bfs_order_covers_component(self):
+        order = grid_graph(3, 3).bfs_order(0)
+        assert sorted(order.tolist()) == list(range(9))
+
+    def test_diameter_path(self):
+        assert path_graph(7).diameter() == 6
+
+    def test_diameter_cycle(self):
+        assert cycle_graph(6).diameter() == 3
+
+    def test_diameter_singleton(self):
+        assert StaticGraph.from_edges(1, []).diameter() == 0
+
+    def test_diameter_disconnected_raises(self):
+        with pytest.raises(GraphValidationError):
+            StaticGraph.from_edges(3, [(0, 1)]).diameter()
+
+    def test_diameter_empty_raises(self):
+        with pytest.raises(GraphValidationError):
+            StaticGraph.from_edges(0, []).diameter()
+
+
+class TestBipartition:
+    def test_path_is_bipartite(self):
+        colors = path_graph(5).bipartition()
+        assert colors is not None
+        assert colors.tolist() == [0, 1, 0, 1, 0]
+
+    def test_even_cycle_bipartite(self):
+        assert cycle_graph(6).is_bipartite()
+
+    def test_odd_cycle_not_bipartite(self):
+        assert cycle_graph(5).bipartition() is None
+        assert not cycle_graph(5).is_bipartite()
+
+    def test_clique_not_bipartite(self):
+        assert not complete_graph(4).is_bipartite()
+
+    def test_grid_bipartite(self):
+        colors = grid_graph(4, 5).bipartition()
+        g = grid_graph(4, 5)
+        assert colors is not None
+        assert not np.any(colors[g.edge_src] == colors[g.edge_dst])
+
+    def test_disconnected_bipartition(self):
+        g = StaticGraph.from_edges(4, [(0, 1), (2, 3)])
+        colors = g.bipartition()
+        assert colors is not None
+        assert colors[0] != colors[1] and colors[2] != colors[3]
+
+    def test_isolated_vertices_colored(self):
+        g = StaticGraph.from_edges(3, [])
+        colors = g.bipartition()
+        assert colors is not None and len(colors) == 3

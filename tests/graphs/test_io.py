@@ -1,0 +1,78 @@
+"""Tests for graph / point-cloud / estimate persistence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import JoinEstimate
+from repro.graphs import (
+    campus_model,
+    load_estimate,
+    load_graph,
+    load_point_cloud,
+    random_tree,
+    save_estimate,
+    save_graph,
+    save_point_cloud,
+)
+from repro.graphs.generators import cone_graph, empty_graph
+
+
+class TestGraphRoundtrip:
+    def test_tree(self, tmp_path):
+        g = random_tree(40, seed=1).graph
+        p = tmp_path / "g.npz"
+        save_graph(p, g)
+        assert load_graph(p) == g
+
+    def test_dense(self, tmp_path):
+        g = cone_graph(5)
+        p = tmp_path / "g.npz"
+        save_graph(p, g)
+        loaded = load_graph(p)
+        assert loaded.n == g.n and loaded.m == g.m
+
+    def test_edgeless(self, tmp_path):
+        p = tmp_path / "g.npz"
+        save_graph(p, empty_graph(3))
+        assert load_graph(p).n == 3
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        p = tmp_path / "c.npz"
+        save_point_cloud(p, campus_model(n=10, seed=0))
+        with pytest.raises(ValueError):
+            load_graph(p)
+
+
+class TestPointCloudRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        cloud = campus_model(n=25, seed=3)
+        p = tmp_path / "c.npz"
+        save_point_cloud(p, cloud)
+        loaded = load_point_cloud(p)
+        assert loaded.label == cloud.label
+        assert np.array_equal(loaded.points, cloud.points)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        from repro.graphs.generators import path_graph
+
+        p = tmp_path / "g.npz"
+        save_graph(p, path_graph(3))
+        with pytest.raises(ValueError):
+            load_point_cloud(p)
+
+
+class TestEstimateRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        est = JoinEstimate(counts=np.array([3, 7, 5]), trials=10)
+        p = tmp_path / "e.npz"
+        save_estimate(p, est)
+        loaded = load_estimate(p)
+        assert loaded.trials == 10
+        assert np.array_equal(loaded.counts, est.counts)
+
+    def test_merge_after_load(self, tmp_path):
+        a = JoinEstimate(counts=np.array([3, 7]), trials=10)
+        p = tmp_path / "e.npz"
+        save_estimate(p, a)
+        merged = load_estimate(p).merge(a)
+        assert merged.trials == 20

@@ -1,0 +1,107 @@
+"""Unit tests for structural graph properties."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import GraphValidationError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+    triangulated_grid,
+)
+from repro.graphs.properties import (
+    arboricity_upper_bound,
+    degeneracy,
+    degeneracy_ordering,
+    degree_histogram,
+    eccentricities,
+    leaf_fraction,
+    parity_classes,
+)
+
+
+class TestDegeneracy:
+    def test_tree_degeneracy_one(self):
+        assert degeneracy(random_tree(30, seed=1).graph) == 1
+
+    def test_cycle_degeneracy_two(self):
+        assert degeneracy(cycle_graph(8)) == 2
+
+    def test_clique_degeneracy(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    def test_grid_degeneracy_two(self):
+        assert degeneracy(grid_graph(5, 5)) == 2
+
+    def test_triangulated_grid_degeneracy_three(self):
+        assert degeneracy(triangulated_grid(6, 6)) == 3
+
+    def test_empty(self):
+        from repro.graphs.generators import empty_graph
+
+        assert degeneracy(empty_graph(5)) == 0
+
+    def test_ordering_is_permutation(self):
+        g = grid_graph(4, 4)
+        _, order = degeneracy_ordering(g)
+        assert sorted(order.tolist()) == list(range(16))
+
+    def test_ordering_respects_degeneracy(self):
+        # replaying the smallest-last order, each vertex has at most
+        # `degeneracy` later neighbors
+        g = triangulated_grid(4, 4)
+        d, order = degeneracy_ordering(g)
+        pos = np.empty(g.n, dtype=int)
+        pos[order] = np.arange(g.n)
+        for v in range(g.n):
+            later = sum(1 for w in g.neighbors(v) if pos[w] > pos[v])
+            assert later <= d
+
+
+class TestArboricity:
+    def test_forest_arboricity_one(self):
+        assert arboricity_upper_bound(random_tree(20, seed=0).graph) == 1
+
+    def test_planar_bounded(self):
+        assert arboricity_upper_bound(triangulated_grid(6, 6)) <= 5
+
+    def test_edgeless(self):
+        from repro.graphs.generators import empty_graph
+
+        assert arboricity_upper_bound(empty_graph(4)) == 0
+
+
+class TestParityClasses:
+    def test_path_parity(self):
+        assert parity_classes(path_graph(4)).tolist() == [0, 1, 0, 1]
+
+    def test_grid_proper(self):
+        g = grid_graph(4, 4)
+        par = parity_classes(g)
+        assert not np.any(par[g.edge_src] == par[g.edge_dst])
+
+    def test_non_bipartite_raises(self):
+        with pytest.raises(GraphValidationError):
+            parity_classes(cycle_graph(5))
+
+
+class TestMisc:
+    def test_eccentricities_path(self):
+        ecc = eccentricities(path_graph(5))
+        assert ecc.tolist() == [4, 3, 2, 3, 4]
+
+    def test_degree_histogram_star(self):
+        hist = degree_histogram(star_graph(5))
+        assert hist[1] == 4 and hist[4] == 1
+
+    def test_leaf_fraction_star(self):
+        assert leaf_fraction(star_graph(5)) == pytest.approx(0.8)
+
+    def test_leaf_fraction_empty(self):
+        from repro.graphs.generators import empty_graph
+
+        assert leaf_fraction(empty_graph(0)) == 0.0

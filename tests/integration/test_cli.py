@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_graph_spec
+
+
+class TestGraphSpecs:
+    @pytest.mark.parametrize(
+        "spec,n",
+        [
+            ("path:7", 7),
+            ("star:9", 9),
+            ("cycle:5", 5),
+            ("binary:3", 15),
+            ("kary:3,2", 13),
+            ("alt:4,2", 9),  # root(1) + 4 children + 4 single grandchildren
+            ("grid:3x4", 12),
+            ("trigrid:3x3", 9),
+            ("apex:3x3", 10),
+            ("cone:3", 7),
+            ("tree:20:5", 20),
+        ],
+    )
+    def test_spec_sizes(self, spec, n):
+        assert parse_graph_spec(spec).n == n
+
+    def test_campus_spec(self):
+        g = parse_graph_spec("campus:11")
+        assert g.is_tree()
+
+    def test_city_spec_scaled(self):
+        g = parse_graph_spec("city:300:1")
+        assert g.is_tree() and g.n >= 290
+
+    def test_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            parse_graph_spec("donut:5")
+
+    def test_malformed_args(self):
+        with pytest.raises(SystemExit):
+            parse_graph_spec("path:notanumber")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fair_tree_fast" in out and "luby" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "--graph", "star:8", "--algorithm", "luby_fast"]) == 0
+        out = capsys.readouterr().out
+        assert "MIS size" in out
+
+    def test_estimate(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--graph",
+                "path:10",
+                "--algorithm",
+                "fair_tree_fast",
+                "--trials",
+                "80",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inequality" in out and "histogram" in out
+
+    def test_star_command(self, capsys):
+        assert main(["star", "--trials", "120"]) == 0
+        assert "P(center)" in capsys.readouterr().out
+
+    def test_cone_command(self, capsys):
+        assert main(["cone", "--trials", "100"]) == 0
+        assert "P(apex)" in capsys.readouterr().out
+
+    def test_optimal_command(self, capsys):
+        assert main(["optimal", "--trials", "80"]) == 0
+        assert "F* (exact)" in capsys.readouterr().out
+
+    def test_families_command(self, capsys):
+        assert main(["families", "--trials", "60"]) == 0
+        assert "guaranteed" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,60 @@
+"""Tests for core contracts and registry edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import AlgorithmNotFound, _REGISTRY, make, register
+from repro.core.result import MISResult
+
+
+class TestRegistryEdgeCases:
+    def test_double_registration_rejected(self):
+        @register("test_dummy_alg_xyz")
+        class Dummy:
+            name = "test_dummy_alg_xyz"
+
+            def run(self, graph, rng):  # pragma: no cover
+                raise NotImplementedError
+
+        try:
+            with pytest.raises(ValueError):
+                register("test_dummy_alg_xyz")(Dummy)
+        finally:
+            _REGISTRY.pop("test_dummy_alg_xyz", None)
+
+    def test_not_found_lists_available(self):
+        with pytest.raises(AlgorithmNotFound) as exc:
+            make("nope")
+        assert "luby" in str(exc.value)
+
+
+class TestMISResult:
+    def test_membership_coerced_to_bool(self):
+        res = MISResult(membership=np.array([1, 0, 1]))
+        assert res.membership.dtype == bool
+
+    def test_info_defaults_empty(self):
+        res = MISResult(membership=np.array([True]))
+        assert dict(res.info) == {}
+
+    def test_size(self):
+        res = MISResult(membership=np.array([True, True, False]))
+        assert res.size == 2
+
+    def test_rounds_default_zero(self):
+        assert MISResult(membership=np.array([True])).rounds == 0
+
+
+class TestProtocolConformance:
+    def test_every_registered_algorithm_runs_on_a_path(self):
+        """End-to-end: each registry entry produces a valid MIS on P6
+        (skipping those whose preconditions exclude it)."""
+        from repro.analysis import is_maximal_independent_set
+        from repro.core import available
+        from repro.graphs.generators import path_graph
+
+        g = path_graph(6)
+        for name in available():
+            alg = make(name)
+            res = alg.run(g, np.random.default_rng(0))
+            assert is_maximal_independent_set(g, res.membership), name

@@ -1,0 +1,131 @@
+"""Cross-engine agreement: faithful node-process vs vectorized engines.
+
+The two layers implement the same algorithms; their per-node join
+probabilities must agree statistically.  We compare empirical frequencies
+with a binomial-aware tolerance (union-bounded three-sigma), which keeps
+these tests deterministic-in-practice while still able to catch real
+distributional divergence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.fair_rooted import FairRooted
+from repro.algorithms.fair_tree import FairTree
+from repro.algorithms.luby import LubyMIS
+from repro.analysis import run_trials
+from repro.fast.fair_rooted import FastFairRooted
+from repro.fast.fair_tree import FastFairTree
+from repro.fast.luby import FastLuby
+from repro.graphs.generators import path_graph, random_tree, star_graph
+
+
+def assert_distributions_close(slow_est, fast_est, sigma=4.0):
+    ps = slow_est.probabilities
+    pf = fast_est.probabilities
+    # pooled standard error per node
+    se = np.sqrt(
+        ps * (1 - ps) / slow_est.trials + pf * (1 - pf) / fast_est.trials
+    )
+    tol = sigma * np.maximum(se, 0.02)
+    assert np.all(np.abs(ps - pf) <= tol), (
+        f"max deviation {np.abs(ps - pf).max():.3f} exceeds tolerance"
+    )
+
+
+@pytest.mark.slow
+class TestLubyAgreement:
+    def test_star(self, thorough):
+        trials = (1200, 6000) if thorough else (300, 1500)
+        g = star_graph(10)
+        slow = run_trials(LubyMIS(), g, trials[0], seed=1)
+        fast = run_trials(FastLuby(), g, trials[1], seed=2)
+        assert_distributions_close(slow, fast)
+
+    def test_tree(self, thorough):
+        trials = (800, 4000) if thorough else (250, 1200)
+        g = random_tree(15, seed=3).graph
+        slow = run_trials(LubyMIS(), g, trials[0], seed=1)
+        fast = run_trials(FastLuby(), g, trials[1], seed=2)
+        assert_distributions_close(slow, fast)
+
+
+@pytest.mark.slow
+class TestFairTreeAgreement:
+    def test_path(self, thorough):
+        trials = (600, 3000) if thorough else (200, 1000)
+        g = path_graph(8)
+        slow = run_trials(FairTree(), g, trials[0], seed=1)
+        fast = run_trials(FastFairTree(), g, trials[1], seed=2)
+        assert_distributions_close(slow, fast)
+
+    def test_tree(self, thorough):
+        trials = (500, 2500) if thorough else (150, 800)
+        g = random_tree(12, seed=5).graph
+        slow = run_trials(FairTree(), g, trials[0], seed=1)
+        fast = run_trials(FastFairTree(), g, trials[1], seed=2)
+        assert_distributions_close(slow, fast)
+
+
+@pytest.mark.slow
+class TestFairRootedAgreement:
+    def test_tree(self, thorough):
+        trials = (800, 4000) if thorough else (300, 1500)
+        tree = random_tree(12, seed=6)
+        slow = run_trials(FairRooted(tree=tree), tree.graph, trials[0], seed=1)
+        fast = run_trials(
+            FastFairRooted(tree=tree), tree.graph, trials[1], seed=2
+        )
+        assert_distributions_close(slow, fast)
+
+    def test_star(self, thorough):
+        trials = (600, 3000) if thorough else (250, 1200)
+        tree_graph = star_graph(8)
+        slow = run_trials(FairRooted(), tree_graph, trials[0], seed=1)
+        fast = run_trials(FastFairRooted(), tree_graph, trials[1], seed=2)
+        assert_distributions_close(slow, fast)
+
+
+@pytest.mark.slow
+class TestFairBipartAgreement:
+    def test_grid(self, thorough):
+        from repro.algorithms.fair_bipart import FairBipart
+        from repro.fast.blocks import FastFairBipart
+        from repro.graphs.generators import grid_graph
+
+        trials = (400, 2000) if thorough else (120, 600)
+        g = grid_graph(3, 3)
+        slow = run_trials(FairBipart(), g, trials[0], seed=1)
+        fast = run_trials(FastFairBipart(), g, trials[1], seed=2)
+        assert_distributions_close(slow, fast, sigma=4.5)
+
+    def test_small_tree(self, thorough):
+        from repro.algorithms.fair_bipart import FairBipart
+        from repro.fast.blocks import FastFairBipart
+
+        trials = (300, 1500) if thorough else (100, 500)
+        g = random_tree(10, seed=4).graph
+        slow = run_trials(FairBipart(), g, trials[0], seed=1)
+        fast = run_trials(FastFairBipart(), g, trials[1], seed=2)
+        assert_distributions_close(slow, fast, sigma=4.5)
+
+
+@pytest.mark.slow
+class TestColeVishkinAgreement:
+    def test_fast_cv_identical_to_faithful(self):
+        """Both CV layers are deterministic given the same rooting: their
+        outputs must be *identical*, not just close."""
+        import numpy as np
+
+        from repro.algorithms.cole_vishkin import ColeVishkinMIS
+        from repro.fast.fair_rooted import FastColeVishkin
+
+        for seed in range(4):
+            tree = random_tree(30, seed=seed)
+            slow = ColeVishkinMIS(tree=tree).run(
+                tree.graph, np.random.default_rng(0)
+            )
+            fast = FastColeVishkin(tree=tree).run(
+                tree.graph, np.random.default_rng(99)
+            )
+            assert np.array_equal(slow.membership, fast.membership)

@@ -1,0 +1,69 @@
+"""Tests for the algorithm registry and the public package surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import AlgorithmNotFound, available, make
+from repro.graphs.generators import path_graph
+
+
+class TestRegistry:
+    def test_all_algorithms_registered(self):
+        names = available()
+        for expected in (
+            "luby",
+            "luby_fast",
+            "cntrl_fair_bipart",
+            "cole_vishkin",
+            "fair_rooted",
+            "fair_rooted_fast",
+            "fair_tree",
+            "fair_tree_fast",
+            "fair_bipart",
+            "fair_bipart_fast",
+            "color_mis",
+            "color_mis_fast",
+        ):
+            assert expected in names
+
+    def test_make_instantiates(self):
+        alg = make("luby_fast")
+        res = alg.run(path_graph(5), np.random.default_rng(0))
+        assert res.membership.shape == (5,)
+
+    def test_make_with_kwargs(self):
+        alg = make("fair_tree_fast", gamma=4)
+        assert alg.gamma == 4
+
+    def test_unknown_name(self):
+        with pytest.raises(AlgorithmNotFound):
+            make("quantum_mis")
+
+    def test_registered_objects_satisfy_protocol(self):
+        from repro.core import MISAlgorithm
+
+        for name in available():
+            alg = make(name)
+            assert isinstance(alg, MISAlgorithm)
+            assert isinstance(alg.name, str)
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_flow(self):
+        """The README quickstart must work verbatim."""
+        from repro import FastFairTree, FastLuby, run_trials
+        from repro.graphs import random_tree
+
+        tree = random_tree(50, seed=1).graph
+        fair = run_trials(FastFairTree(), tree, trials=100, seed=0)
+        luby = run_trials(FastLuby(), tree, trials=100, seed=0)
+        assert fair.inequality < float("inf")
+        assert luby.inequality > 1.0
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,82 @@
+"""Property-based tests for the exact layer (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import is_maximal_independent_set
+from repro.exact.enumerate import maximal_independent_sets, mis_membership_matrix
+from repro.exact.optimal import optimal_inequality
+from repro.fast.luby import FastLuby
+from repro.graphs import StaticGraph
+
+
+@st.composite
+def graphs(draw, max_n=9):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))
+        if possible
+        else st.just([])
+    )
+    return StaticGraph.from_edges(n, edges)
+
+
+@st.composite
+def trees(draw, max_n=10):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    edges = []
+    for v in range(1, n):
+        p = draw(st.integers(min_value=0, max_value=v - 1))
+        edges.append((p, v))
+    return StaticGraph.from_edges(n, edges)
+
+
+class TestEnumerationProperties:
+    @given(graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_every_enumerated_set_is_valid(self, g):
+        for s in maximal_independent_sets(g):
+            member = np.zeros(g.n, dtype=bool)
+            member[list(s)] = True
+            assert is_maximal_independent_set(g, member)
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_sets_are_distinct(self, g):
+        sets = list(maximal_independent_sets(g))
+        assert len(sets) == len(set(sets))
+
+    @given(graphs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_algorithm_output_is_enumerated(self, g, seed):
+        """Any run of any (correct) algorithm must land in the enumerated
+        family — connects Monte-Carlo engines to the exact layer."""
+        member = FastLuby().run(g, np.random.default_rng(seed)).membership
+        s = frozenset(np.nonzero(member)[0].tolist())
+        assert s in set(maximal_independent_sets(g))
+
+    @given(graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_every_vertex_in_some_set(self, g):
+        """Each vertex belongs to at least one maximal independent set
+        (greedy: start from that vertex)."""
+        mat = mis_membership_matrix(g)
+        assert mat.any(axis=0).all()
+
+
+class TestOptimalProperties:
+    @given(trees(max_n=8))
+    @settings(max_examples=15, deadline=None)
+    def test_trees_admit_perfect_fairness(self, g):
+        assert optimal_inequality(g).inequality <= 1.001
+
+    @given(graphs(max_n=7))
+    @settings(max_examples=15, deadline=None)
+    def test_optimal_at_least_one(self, g):
+        res = optimal_inequality(g)
+        assert res.inequality >= 1.0 - 1e-9
+        # distribution is a valid probability vector
+        assert res.distribution.min() >= -1e-9
+        np.testing.assert_allclose(res.distribution.sum(), 1.0, atol=1e-6)

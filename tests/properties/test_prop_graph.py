@@ -1,0 +1,111 @@
+"""Property-based tests for the graph layer (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import RootedTree, StaticGraph
+
+
+@st.composite
+def edge_lists(draw, max_n=12):
+    """Random simple graphs as (n, edge set)."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))
+        if possible
+        else st.just([])
+    )
+    return n, edges
+
+
+@st.composite
+def trees(draw, max_n=14):
+    """Uniform-ish random labeled trees via random parent attachment."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    edges = []
+    for v in range(1, n):
+        p = draw(st.integers(min_value=0, max_value=v - 1))
+        edges.append((p, v))
+    return n, edges
+
+
+class TestStaticGraphProperties:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sum_is_twice_edges(self, ne):
+        n, edges = ne
+        g = StaticGraph.from_edges(n, edges)
+        assert int(g.degrees.sum()) == 2 * g.m
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetrized_arrays_consistent(self, ne):
+        n, edges = ne
+        g = StaticGraph.from_edges(n, edges)
+        assert len(g.edge_src) == len(g.edge_dst) == 2 * g.m
+        forward = set(zip(g.edge_src.tolist(), g.edge_dst.tolist()))
+        assert all((b, a) in forward for a, b in forward)
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_component_count_bounds(self, ne):
+        n, edges = ne
+        g = StaticGraph.from_edges(n, edges)
+        count, labels = g.connected_components()
+        assert 1 <= count <= n or n == 0
+        assert count >= n - g.m  # each edge merges at most one pair
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_bipartition_is_proper_when_found(self, ne):
+        n, edges = ne
+        g = StaticGraph.from_edges(n, edges)
+        colors = g.bipartition()
+        if colors is not None and g.m:
+            assert not np.any(colors[g.edge_src] == colors[g.edge_dst])
+
+    @given(edge_lists(), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_subgraph_mask_never_adds_edges(self, ne, seed):
+        n, edges = ne
+        g = StaticGraph.from_edges(n, edges)
+        keep = np.random.default_rng(seed).random(n) < 0.5
+        sub = g.subgraph_mask(keep)
+        assert sub.m <= g.m
+        for u, v in map(tuple, sub.edges.tolist()):
+            assert keep[u] and keep[v]
+
+    @given(trees())
+    @settings(max_examples=50, deadline=None)
+    def test_trees_detected(self, ne):
+        n, edges = ne
+        g = StaticGraph.from_edges(n, edges)
+        assert g.is_tree()
+        assert g.is_forest()
+        assert g.is_bipartite()
+
+    @given(trees())
+    @settings(max_examples=40, deadline=None)
+    def test_tree_bfs_levels_adjacent_differ_by_one(self, ne):
+        n, edges = ne
+        g = StaticGraph.from_edges(n, edges)
+        levels = g.bfs_levels([0])
+        for u, v in map(tuple, g.edges.tolist()):
+            assert abs(int(levels[u]) - int(levels[v])) == 1
+
+
+class TestRootedTreeProperties:
+    @given(trees())
+    @settings(max_examples=40, deadline=None)
+    def test_from_graph_orients_every_edge(self, ne):
+        n, edges = ne
+        g = StaticGraph.from_edges(n, edges)
+        t = RootedTree.from_graph(g)
+        assert (t.parent < 0).sum() == 1  # connected tree: single root
+        # depth decreases by exactly one toward the parent
+        for v in range(n):
+            p = int(t.parent[v])
+            if p >= 0:
+                assert t.depth[v] == t.depth[p] + 1

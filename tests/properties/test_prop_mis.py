@@ -1,0 +1,114 @@
+"""Property-based tests: every algorithm always produces a valid MIS.
+
+Section III requires independence and maximality to hold on *every*
+execution, unconditionally.  Hypothesis drives random graphs (from each
+algorithm's target family) and random seeds through every engine.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import is_maximal_independent_set
+from repro.fast.blocks import FastColorMIS, FastFairBipart
+from repro.fast.fair_rooted import FastFairRooted
+from repro.fast.fair_tree import FastFairTree
+from repro.fast.luby import FastLuby
+from repro.graphs import StaticGraph
+
+
+@st.composite
+def trees(draw, max_n=20):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    edges = []
+    for v in range(1, n):
+        p = draw(st.integers(min_value=0, max_value=v - 1))
+        edges.append((p, v))
+    return StaticGraph.from_edges(n, edges)
+
+
+@st.composite
+def graphs(draw, max_n=14):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))
+        if possible
+        else st.just([])
+    )
+    return StaticGraph.from_edges(n, edges)
+
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestAlwaysValidMIS:
+    @given(graphs(), seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_fast_luby_priority(self, g, seed):
+        member = FastLuby().run(g, np.random.default_rng(seed)).membership
+        assert is_maximal_independent_set(g, member)
+
+    @given(graphs(), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_fast_luby_degree(self, g, seed):
+        member = FastLuby("degree").run(g, np.random.default_rng(seed)).membership
+        assert is_maximal_independent_set(g, member)
+
+    @given(graphs(), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_fast_fair_tree_on_any_graph(self, g, seed):
+        """FAIRTREE's fairness needs trees, but its output must be a valid
+        MIS on arbitrary graphs thanks to the fix + fallback stages."""
+        member = FastFairTree().run(g, np.random.default_rng(seed)).membership
+        assert is_maximal_independent_set(g, member)
+
+    @given(trees(), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_fast_fair_rooted_on_trees(self, g, seed):
+        member = FastFairRooted().run(g, np.random.default_rng(seed)).membership
+        assert is_maximal_independent_set(g, member)
+
+    @given(graphs(), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_fast_fair_bipart_on_any_graph(self, g, seed):
+        member = FastFairBipart().run(g, np.random.default_rng(seed)).membership
+        assert is_maximal_independent_set(g, member)
+
+    @given(graphs(), seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_fast_color_mis_on_any_graph(self, g, seed):
+        member = FastColorMIS().run(g, np.random.default_rng(seed)).membership
+        assert is_maximal_independent_set(g, member)
+
+    @given(trees(max_n=10), seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_faithful_fair_tree(self, g, seed):
+        from repro.algorithms.fair_tree import FairTree
+
+        member = FairTree().run(g, np.random.default_rng(seed)).membership
+        assert is_maximal_independent_set(g, member)
+
+    @given(trees(max_n=12), seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_faithful_luby(self, g, seed):
+        from repro.algorithms.luby import LubyMIS
+
+        member = LubyMIS().run(g, np.random.default_rng(seed)).membership
+        assert is_maximal_independent_set(g, member)
+
+    @given(trees(max_n=12), seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_faithful_fair_rooted(self, g, seed):
+        from repro.algorithms.fair_rooted import FairRooted
+
+        member = FairRooted().run(g, np.random.default_rng(seed)).membership
+        assert is_maximal_independent_set(g, member)
+
+    @given(trees(max_n=10), seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_faithful_cole_vishkin(self, g, seed):
+        from repro.algorithms.cole_vishkin import ColeVishkinMIS
+
+        member = ColeVishkinMIS().run(g, np.random.default_rng(seed)).membership
+        assert is_maximal_independent_set(g, member)

@@ -1,0 +1,68 @@
+"""Property-based tests for the runtime's slot accounting and CV math."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.cole_vishkin import CVEngine, cv_reduction_iterations
+from repro.runtime import slot_cost
+
+
+payloads = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=6),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=4), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestSlotCostProperties:
+    @given(payloads)
+    @settings(max_examples=100, deadline=None)
+    def test_non_negative(self, payload):
+        assert slot_cost(payload) >= 0
+
+    @given(st.lists(st.integers(), max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_list_cost_is_length(self, xs):
+        assert slot_cost(xs) == len(xs)
+
+    @given(payloads, payloads)
+    @settings(max_examples=60, deadline=None)
+    def test_concatenation_additive(self, a, b):
+        assert slot_cost([a, b]) == slot_cost(a) + slot_cost(b)
+
+
+class TestCVReduceProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**30),
+        st.integers(min_value=0, max_value=2**30),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_distinct_inputs_give_distinct_outputs(self, a, b):
+        if a == b:
+            return
+        assert CVEngine._reduce(a, b) != CVEngine._reduce(b, a)
+
+    @given(st.integers(min_value=1, max_value=2**62))
+    @settings(max_examples=100, deadline=None)
+    def test_iteration_count_small(self, m):
+        assert cv_reduction_iterations(m) <= 6  # log* of anything practical
+
+    @given(
+        st.integers(min_value=0, max_value=2**20),
+        st.integers(min_value=0, max_value=2**20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_reduce_output_bounded(self, a, b):
+        if a == b:
+            return
+        out = CVEngine._reduce(a, b)
+        assert 0 <= out <= 2 * 21 + 1

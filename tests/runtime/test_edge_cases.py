@@ -1,0 +1,151 @@
+"""Edge-case and failure-injection tests for the runtime layer."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import StaticGraph
+from repro.graphs.generators import empty_graph, path_graph
+from repro.runtime import (
+    Message,
+    NodeContext,
+    NodeProcess,
+    NotTerminated,
+    SyncNetwork,
+    run_mis_protocol,
+)
+
+
+class Immediate(NodeProcess):
+    def __init__(self, output):
+        self._output = output
+
+    def on_start(self, ctx):
+        ctx.terminate(self._output)
+
+    def on_round(self, ctx, inbox):  # pragma: no cover
+        pass
+
+
+class TestEmptyAndTiny:
+    def test_empty_graph_runs(self):
+        result = SyncNetwork(empty_graph(0)).run(lambda v: Immediate(1), seed=0)
+        assert len(result.outputs) == 0
+        assert result.metrics.rounds == 0
+
+    def test_single_node(self):
+        result = SyncNetwork(empty_graph(1)).run(lambda v: Immediate(1), seed=0)
+        assert result.outputs[0] == 1
+
+    def test_all_terminate_on_start(self):
+        result = SyncNetwork(path_graph(4)).run(lambda v: Immediate(0), seed=0)
+        assert result.metrics.rounds == 0
+
+
+class TestOutputs:
+    def test_mis_membership_rejects_non_binary(self):
+        result = SyncNetwork(empty_graph(2)).run(
+            lambda v: Immediate("yes"), seed=0
+        )
+        with pytest.raises(ValueError):
+            result.mis_membership()
+
+    def test_run_mis_protocol_rejects_unfinished(self):
+        class Never(NodeProcess):
+            def on_start(self, ctx):
+                pass
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        from repro.runtime import RoundLimitExceeded
+
+        with pytest.raises(RoundLimitExceeded):
+            run_mis_protocol(
+                path_graph(3), lambda v: Never(), seed=0, max_rounds=3
+            )
+
+    def test_bool_outputs_accepted(self):
+        result = SyncNetwork(empty_graph(2)).run(
+            lambda v: Immediate(True), seed=0
+        )
+        assert result.mis_membership().all()
+
+
+class TestFaithfulSlotBudgets:
+    """Every faithful algorithm must honor the O(log n)-bit model; the
+    engine enforces it, so clean runs are proof of compliance."""
+
+    def test_fair_tree_slots(self, rng):
+        from repro.algorithms.fair_tree import FairTree
+
+        res = FairTree().run(path_graph(8), rng)
+        assert res.metrics.max_slots_per_message <= 8
+
+    def test_color_mis_slots(self, rng):
+        from repro.algorithms.color_mis import ColorMIS
+        from repro.graphs.generators import grid_graph
+
+        res = ColorMIS().run(grid_graph(3, 3), rng)
+        assert res.metrics.max_slots_per_message <= 8
+
+    def test_luby_slots(self, rng):
+        from repro.algorithms.luby import LubyMIS
+
+        res = LubyMIS().run(path_graph(6), rng)
+        assert res.metrics.max_slots_per_message <= 8
+
+    def test_fair_rooted_slots(self, rng):
+        from repro.algorithms.fair_rooted import FairRooted
+
+        res = FairRooted().run(path_graph(6), rng)
+        assert res.metrics.max_slots_per_message <= 8
+
+    def test_cntrl_fair_bipart_slots(self, rng):
+        from repro.algorithms.cntrl_fair_bipart import CntrlFairBipart
+
+        res = CntrlFairBipart().run(path_graph(6), rng)
+        assert res.metrics.max_slots_per_message <= 8
+
+
+class TestContextIsolation:
+    def test_contexts_do_not_share_rng(self):
+        draws = {}
+
+        class Draw(NodeProcess):
+            def on_start(self, ctx):
+                draws[ctx.node_id] = int(ctx.rng.integers(0, 2**31))
+                ctx.terminate(0)
+
+            def on_round(self, ctx, inbox):  # pragma: no cover
+                pass
+
+        SyncNetwork(empty_graph(6)).run(lambda v: Draw(), seed=0)
+        assert len(set(draws.values())) == 6
+
+    def test_neighbor_tuple_immutable(self):
+        ctx = NodeContext(0, [1, 2], 3, np.random.default_rng(0))
+        assert isinstance(ctx.neighbor_ids, tuple)
+
+
+class TestDisconnectedGraphs:
+    def test_luby_on_forest(self, rng):
+        from repro.algorithms.luby import LubyMIS
+        from repro.analysis import is_maximal_independent_set
+
+        g = StaticGraph.from_edges(7, [(0, 1), (2, 3), (3, 4)])
+        res = LubyMIS().run(g, rng)
+        assert is_maximal_independent_set(g, res.membership)
+
+    def test_fair_tree_on_forest(self, rng):
+        from repro.algorithms.fair_tree import FairTree
+        from repro.analysis import is_maximal_independent_set
+
+        g = StaticGraph.from_edges(6, [(0, 1), (3, 4)])
+        res = FairTree().run(g, rng)
+        assert is_maximal_independent_set(g, res.membership)
+
+    def test_fast_fair_tree_on_forest(self, rng):
+        from repro.fast.fair_tree import FastFairTree
+
+        g = StaticGraph.from_edges(9, [(0, 1), (1, 2), (4, 5), (7, 8)])
+        FastFairTree(validate=True).run(g, rng)

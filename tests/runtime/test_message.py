@@ -1,0 +1,60 @@
+"""Unit tests for the slot-based message size model."""
+
+import pytest
+
+from repro.runtime import Message, slot_cost
+
+
+class TestSlotCost:
+    def test_none_is_free(self):
+        assert slot_cost(None) == 0
+
+    def test_int_costs_one(self):
+        assert slot_cost(7) == 1
+
+    def test_bool_costs_one(self):
+        assert slot_cost(True) == 1
+
+    def test_float_costs_one(self):
+        assert slot_cost(0.5) == 1
+
+    def test_string_tag_costs_one(self):
+        assert slot_cost("prio") == 1
+
+    def test_flat_list(self):
+        assert slot_cost([1, 2, 3]) == 3
+
+    def test_nested_list(self):
+        assert slot_cost([[1, 2], [3]]) == 3
+
+    def test_dict_keys_are_free(self):
+        assert slot_cost({"type": "prio", "value": 42}) == 2
+
+    def test_dict_with_list_value(self):
+        assert slot_cost({"type": "cb", "entries": [1, 2, 3, 4, 5, 6]}) == 7
+
+    def test_empty_containers(self):
+        assert slot_cost([]) == 0
+        assert slot_cost({}) == 0
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            slot_cost(object())
+
+    def test_unsupported_nested_type_raises(self):
+        with pytest.raises(TypeError):
+            slot_cost({"x": object()})
+
+
+class TestMessage:
+    def test_slots_property(self):
+        msg = Message(sender=3, payload={"type": "tag", "bit": 1})
+        assert msg.slots == 2
+
+    def test_frozen(self):
+        msg = Message(sender=1, payload=None)
+        with pytest.raises(AttributeError):
+            msg.sender = 2
+
+    def test_sender_preserved(self):
+        assert Message(sender=9, payload=0).sender == 9

@@ -1,0 +1,226 @@
+"""Integration tests for the synchronous network engine's semantics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import path_graph, star_graph
+from repro.runtime import (
+    Message,
+    MessageTooLarge,
+    NodeContext,
+    NodeProcess,
+    RoundLimitExceeded,
+    SyncNetwork,
+    UNBOUNDED_SLOTS,
+    UnknownNeighbor,
+)
+
+
+class EchoOnce(NodeProcess):
+    """Broadcasts its id once and terminates with what it heard."""
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.broadcast({"type": "id", "value": ctx.node_id})
+
+    def on_round(self, ctx: NodeContext, inbox: list[Message]) -> None:
+        heard = sorted(m.payload["value"] for m in inbox)
+        ctx.terminate(tuple(heard))
+
+
+class CountRounds(NodeProcess):
+    """Terminates after a fixed number of rounds with the round count."""
+
+    def __init__(self, rounds: int) -> None:
+        self._left = rounds
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if self._left == 0:
+            ctx.terminate(0)
+
+    def on_round(self, ctx: NodeContext, inbox) -> None:
+        self._left -= 1
+        if self._left <= 0:
+            ctx.terminate(ctx.round)
+
+
+class Never(NodeProcess):
+    def on_start(self, ctx) -> None:
+        pass
+
+    def on_round(self, ctx, inbox) -> None:
+        pass
+
+
+class TestDelivery:
+    def test_messages_arrive_next_round(self, path7):
+        result = SyncNetwork(path7).run(lambda v: EchoOnce(), seed=0)
+        # internal path nodes hear both neighbors, ends hear one
+        assert result.outputs[0] == (1,)
+        assert result.outputs[3] == (2, 4)
+        assert result.outputs[6] == (5,)
+
+    def test_star_center_hears_all_leaves(self, star9):
+        result = SyncNetwork(star9).run(lambda v: EchoOnce(), seed=0)
+        assert result.outputs[0] == tuple(range(1, 9))
+
+    def test_leaves_hear_center_only(self, star9):
+        result = SyncNetwork(star9).run(lambda v: EchoOnce(), seed=0)
+        for leaf in range(1, 9):
+            assert result.outputs[leaf] == (0,)
+
+    def test_deterministic_given_seed(self, tree25):
+        from repro.algorithms.luby import LubyMIS
+
+        alg = LubyMIS()
+        r1 = alg.run(tree25.graph, np.random.default_rng(3))
+        r2 = alg.run(tree25.graph, np.random.default_rng(3))
+        assert np.array_equal(r1.membership, r2.membership)
+
+
+class TestRoundAccounting:
+    def test_round_counter_reaches_termination(self, path7):
+        result = SyncNetwork(path7).run(lambda v: CountRounds(3), seed=0)
+        assert all(out == 3 for out in result.outputs)
+        assert result.metrics.rounds == 3
+
+    def test_metrics_message_totals(self, star9):
+        result = SyncNetwork(star9).run(lambda v: EchoOnce(), seed=0)
+        # every vertex broadcasts once: sum of degrees = 2m = 16 messages
+        assert result.metrics.total_messages == 16
+
+    def test_per_round_records(self, path7):
+        result = SyncNetwork(path7).run(lambda v: EchoOnce(), seed=0)
+        # one record per round including the on_start round 0
+        assert len(result.metrics.per_round) == result.metrics.rounds + 1
+
+    def test_max_slots_observed(self, path7):
+        result = SyncNetwork(path7).run(lambda v: EchoOnce(), seed=0)
+        assert result.metrics.max_slots_per_message == 2
+
+
+class TestLimits:
+    def test_round_limit_raises(self, path7):
+        with pytest.raises(RoundLimitExceeded):
+            SyncNetwork(path7).run(lambda v: Never(), seed=0, max_rounds=5)
+
+    def test_round_limit_soft_mode(self, path7):
+        result = SyncNetwork(path7).run(
+            lambda v: Never(), seed=0, max_rounds=5, require_termination=False
+        )
+        assert all(out is None for out in result.outputs)
+
+    def test_slot_limit_enforced(self, path7):
+        class Fat(NodeProcess):
+            def on_start(self, ctx):
+                ctx.broadcast({"type": "x", "data": list(range(100))})
+
+            def on_round(self, ctx, inbox):
+                ctx.terminate(0)
+
+        with pytest.raises(MessageTooLarge):
+            SyncNetwork(path7, slot_limit=8).run(lambda v: Fat(), seed=0)
+
+    def test_unbounded_slots_allows_fat_messages(self, path7):
+        class Fat(NodeProcess):
+            def on_start(self, ctx):
+                ctx.broadcast({"type": "x", "data": list(range(100))})
+
+            def on_round(self, ctx, inbox):
+                ctx.terminate(len(inbox))
+
+        result = SyncNetwork(path7, slot_limit=UNBOUNDED_SLOTS).run(
+            lambda v: Fat(), seed=0
+        )
+        assert result.outputs[1] == 2
+
+    def test_unknown_neighbor_rejected(self, path7):
+        class Bad(NodeProcess):
+            def on_start(self, ctx):
+                ctx.send(ctx.node_id, {"type": "self"})  # never a neighbor
+
+            def on_round(self, ctx, inbox):
+                ctx.terminate(0)
+
+        with pytest.raises(UnknownNeighbor):
+            SyncNetwork(path7).run(lambda v: Bad(), seed=0)
+
+
+class TestContext:
+    def test_neighbor_ids_match_graph(self, star9):
+        captured = {}
+
+        class Capture(NodeProcess):
+            def on_start(self, ctx):
+                captured[ctx.node_id] = ctx.neighbor_ids
+                ctx.terminate(0)
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        SyncNetwork(star9).run(lambda v: Capture(), seed=0)
+        assert sorted(captured[0]) == list(range(1, 9))
+        assert captured[3] == (0,)
+
+    def test_n_visible_to_nodes(self, path7):
+        seen = []
+
+        class SeeN(NodeProcess):
+            def on_start(self, ctx):
+                seen.append(ctx.n)
+                ctx.terminate(0)
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        SyncNetwork(path7).run(lambda v: SeeN(), seed=0)
+        assert seen == [7] * 7
+
+    def test_terminate_twice_raises(self, path7):
+        from repro.runtime import AlreadyTerminated
+
+        class Twice(NodeProcess):
+            def on_start(self, ctx):
+                ctx.terminate(0)
+                ctx.terminate(1)
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        with pytest.raises(AlreadyTerminated):
+            SyncNetwork(path7).run(lambda v: Twice(), seed=0)
+
+    def test_send_after_terminate_raises(self, path7):
+        from repro.runtime import AlreadyTerminated
+
+        class Zombie(NodeProcess):
+            def on_start(self, ctx):
+                ctx.terminate(0)
+                ctx.broadcast({"type": "boo"})
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        with pytest.raises(AlreadyTerminated):
+            SyncNetwork(path7).run(lambda v: Zombie(), seed=0)
+
+    def test_message_sent_before_terminate_is_delivered(self, path7):
+        class Farewell(NodeProcess):
+            def on_start(self, ctx):
+                ctx.broadcast({"type": "bye", "value": ctx.node_id})
+                ctx.terminate(-1)
+
+            def on_round(self, ctx, inbox):  # pragma: no cover
+                pass
+
+        class Listener(NodeProcess):
+            def on_start(self, ctx):
+                pass
+
+            def on_round(self, ctx, inbox):
+                ctx.terminate(len(inbox))
+
+        def factory(v):
+            return Farewell() if v == 0 else Listener()
+
+        result = SyncNetwork(path7).run(factory, seed=0)
+        assert result.outputs[1] == 1  # heard node 0's farewell

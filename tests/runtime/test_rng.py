@@ -1,0 +1,82 @@
+"""Unit tests for deterministic randomness management."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    as_seed_sequence,
+    generator_from,
+    random_unique_ids,
+    spawn_node_rngs,
+    spawn_trial_seeds,
+)
+
+
+class TestAsSeedSequence:
+    def test_int(self):
+        ss = as_seed_sequence(42)
+        assert isinstance(ss, np.random.SeedSequence)
+        assert ss.entropy == 42
+
+    def test_none_gives_fresh_entropy(self):
+        a = as_seed_sequence(None)
+        b = as_seed_sequence(None)
+        assert a.entropy != b.entropy
+
+    def test_passthrough(self):
+        ss = np.random.SeedSequence(7)
+        assert as_seed_sequence(ss) is ss
+
+    def test_generator_derives_child(self):
+        gen = np.random.default_rng(0)
+        ss = as_seed_sequence(gen)
+        assert isinstance(ss, np.random.SeedSequence)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_seed_sequence("not-a-seed")
+
+
+class TestSpawning:
+    def test_node_rngs_are_independent(self):
+        rngs = spawn_node_rngs(0, 8)
+        draws = [r.integers(0, 2**32) for r in rngs]
+        assert len(set(draws)) == 8  # collisions astronomically unlikely
+
+    def test_node_rngs_deterministic(self):
+        a = [r.integers(0, 2**32) for r in spawn_node_rngs(5, 4)]
+        b = [r.integers(0, 2**32) for r in spawn_node_rngs(5, 4)]
+        assert a == b
+
+    def test_trial_seeds_count(self):
+        assert len(spawn_trial_seeds(0, 17)) == 17
+
+    def test_trial_seeds_distinct_streams(self):
+        seeds = spawn_trial_seeds(0, 6)
+        draws = [np.random.default_rng(s).integers(0, 2**32) for s in seeds]
+        assert len(set(draws)) == 6
+
+    def test_generator_from_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert generator_from(gen) is gen
+
+
+class TestRandomUniqueIds:
+    def test_unique(self):
+        rng = np.random.default_rng(3)
+        ids = random_unique_ids(rng, 50)
+        assert len(set(ids.tolist())) == 50
+
+    def test_range_polynomial(self):
+        rng = np.random.default_rng(3)
+        ids = random_unique_ids(rng, 10, id_space_exponent=3)
+        assert ids.max() < 10**3
+
+    def test_empty(self):
+        rng = np.random.default_rng(0)
+        assert random_unique_ids(rng, 0).size == 0
+
+    def test_large_space_path(self):
+        rng = np.random.default_rng(0)
+        ids = random_unique_ids(rng, 20, id_space_exponent=9)
+        assert len(set(ids.tolist())) == 20

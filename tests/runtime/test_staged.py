@@ -1,0 +1,97 @@
+"""Unit tests for the fixed-length stage scheduler."""
+
+import pytest
+
+from repro.graphs import path_graph
+from repro.runtime import NodeContext, StagedProcess, SyncNetwork
+
+
+class Recorder(StagedProcess):
+    """Records (stage, stage_round, global_round) triples."""
+
+    def __init__(self, lengths):
+        super().__init__()
+        self._lengths_spec = lengths
+        self.trace = []
+
+    def stage_lengths(self, ctx):
+        return self._lengths_spec
+
+    def on_stage_start(self, ctx, stage):
+        self.trace.append(("start", stage, ctx.round))
+
+    def on_stage_round(self, ctx, stage, stage_round, inbox):
+        self.trace.append(("round", stage, stage_round, ctx.round))
+        if stage == len(self._lengths_spec) - 1 and stage_round >= 1:
+            ctx.terminate(0)
+
+
+def run_recorder(lengths, n=3):
+    procs = {}
+
+    def factory(v):
+        procs[v] = Recorder(lengths)
+        return procs[v]
+
+    SyncNetwork(path_graph(n)).run(factory, seed=0)
+    return procs
+
+
+class TestStageScheduling:
+    def test_stage_boundaries(self):
+        procs = run_recorder([2, 3, None])
+        trace = procs[0].trace
+        rounds = [t for t in trace if t[0] == "round"]
+        # stage 0: rounds 0,1 ; stage 1: rounds 0,1,2 ; stage 2: 0,1
+        assert [(t[1], t[2]) for t in rounds] == [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+            (1, 2),
+            (2, 0),
+            (2, 1),
+        ]
+
+    def test_stage_start_called_once_per_stage(self):
+        procs = run_recorder([2, 2, None])
+        starts = [t for t in procs[1].trace if t[0] == "start"]
+        assert [s[1] for s in starts] == [0, 1, 2]
+
+    def test_all_nodes_aligned(self):
+        procs = run_recorder([2, 3, None], n=4)
+        traces = [procs[v].trace for v in range(4)]
+        assert all(t == traces[0] for t in traces)
+
+    def test_global_rounds_contiguous(self):
+        procs = run_recorder([1, 1, None])
+        rounds = [t[3] for t in procs[0].trace if t[0] == "round"]
+        assert rounds == list(range(len(rounds)))
+
+
+class TestStageValidation:
+    def _run_with(self, lengths):
+        return run_recorder(lengths, n=2)
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(ValueError):
+            self._run_with([])
+
+    def test_mid_open_stage_rejected(self):
+        with pytest.raises(ValueError):
+            self._run_with([2, None, 2])
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ValueError):
+            self._run_with([0, None])
+
+    def test_running_past_final_stage_raises(self):
+        class Overrun(StagedProcess):
+            def stage_lengths(self, ctx):
+                return [1, 1]
+
+            def on_stage_round(self, ctx, stage, stage_round, inbox):
+                pass  # never terminates
+
+        with pytest.raises(RuntimeError):
+            SyncNetwork(path_graph(2)).run(lambda v: Overrun(), seed=0)

@@ -1,0 +1,75 @@
+"""Tests for execution tracing."""
+
+import pytest
+
+from repro.algorithms.luby import LubyProcess
+from repro.graphs.generators import path_graph, star_graph
+from repro.runtime import MessageTrace, SyncNetwork
+
+
+def run_traced(graph, seed=0, **kwargs):
+    trace = MessageTrace(**kwargs)
+    SyncNetwork(graph).run(lambda v: LubyProcess(), seed=seed, trace=trace)
+    return trace
+
+
+class TestRecording:
+    def test_messages_recorded(self):
+        trace = run_traced(path_graph(5))
+        assert len(trace.messages()) > 0
+        # round-0 priorities: every node broadcasts once over each edge
+        prio0 = [
+            e
+            for e in trace.by_round(0)
+            if e.kind == "message" and e.payload["type"] == "prio"
+        ]
+        assert len(prio0) == 2 * 4  # 2m directed messages
+
+    def test_terminations_recorded_once_per_node(self):
+        trace = run_traced(path_graph(6))
+        terms = [e for e in trace.events if e.kind == "terminate"]
+        assert len(terms) == 6
+        assert {e.sender for e in terms} == set(range(6))
+
+    def test_outputs_binary(self):
+        trace = run_traced(star_graph(7))
+        outs = {e.payload for e in trace.events if e.kind == "terminate"}
+        assert outs <= {0, 1}
+
+    def test_payload_types_histogram(self):
+        trace = run_traced(path_graph(5))
+        hist = trace.payload_types()
+        assert "prio" in hist and hist["prio"] >= 8
+
+
+class TestQuerying:
+    def test_involving(self):
+        trace = run_traced(path_graph(4))
+        for e in trace.involving(0):
+            assert e.sender == 0 or e.receiver == 0
+
+    def test_by_round_disjoint_union(self):
+        trace = run_traced(path_graph(4))
+        total = sum(
+            len(trace.by_round(r))
+            for r in range(max(e.round_index for e in trace.events) + 1)
+        )
+        assert total == len(trace.events)
+
+    def test_transcript_renders(self):
+        trace = run_traced(path_graph(4))
+        text = trace.transcript(rounds=[0])
+        assert "prio" in text and "r   0" in text
+
+    def test_describe_termination(self):
+        trace = run_traced(path_graph(3))
+        term = next(e for e in trace.events if e.kind == "terminate")
+        assert "output" in term.describe()
+
+
+class TestTruncation:
+    def test_truncates_at_cap(self):
+        trace = run_traced(star_graph(10), max_events=5)
+        assert trace.truncated
+        assert len(trace.events) == 5
+        assert "truncated" in trace.transcript()
