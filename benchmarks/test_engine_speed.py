@@ -58,3 +58,75 @@ def test_speed_faithful_luby_small_tree(benchmark):
     g = random_tree(100, seed=2).graph
     rng = np.random.default_rng(0)
     benchmark(lambda: LubyMIS().run(g, rng))
+
+
+# --------------------------------------------------------------------------- #
+# Estimation service: warm pool vs cold run_trials (ISSUE acceptance gate)
+# --------------------------------------------------------------------------- #
+
+def test_warm_estimator_vs_cold_run_trials():
+    """Warm-pool Estimator throughput ≥ 2× cold ``run_trials(n_jobs=4)``.
+
+    Cold path pays pool spin-up, graph pickling, and per-trial Python
+    dispatch on every call; the warm service keeps pools resident and
+    routes fast engines through the vectorized disjoint-union kernel.
+    Measured over several distinct-seed requests on the paper's
+    ``tree:500`` workload with a warm-up request excluded.
+    """
+    import time
+
+    from repro.analysis import run_trials
+    from repro.service import Estimator
+
+    graph = random_tree(500, seed=1).graph
+    trials = 2000
+    requests = 3
+
+    alg = FastLuby()
+    t0 = time.perf_counter()
+    for seed in range(100, 100 + requests):
+        run_trials(alg, graph, trials, seed=seed, n_jobs=4)
+    cold_s = time.perf_counter() - t0
+
+    with Estimator(n_jobs=4, cache_size=0) as svc:
+        svc.estimate(graph=graph, algorithm="luby_fast", trials=trials, seed=99)
+        t0 = time.perf_counter()
+        for seed in range(100, 100 + requests):
+            svc.estimate(
+                graph=graph, algorithm="luby_fast", trials=trials, seed=seed
+            )
+        warm_s = time.perf_counter() - t0
+
+    total = requests * trials
+    cold_tput = total / cold_s
+    warm_tput = total / warm_s
+    print(
+        f"\ncold run_trials: {cold_tput:,.0f} trials/s; "
+        f"warm Estimator: {warm_tput:,.0f} trials/s "
+        f"({warm_tput / cold_tput:.1f}x)"
+    )
+    assert warm_tput >= 2 * cold_tput, (
+        f"warm service should be >= 2x cold run_trials, got "
+        f"{warm_tput / cold_tput:.2f}x ({warm_s:.3f}s vs {cold_s:.3f}s)"
+    )
+
+
+def test_estimator_cache_serves_repeat_requests():
+    """A repeated identical request runs 0 new trials and counts a hit."""
+    from repro.service import Estimator
+
+    graph = random_tree(500, seed=1).graph
+    with Estimator(n_jobs=4) as svc:
+        first = svc.estimate(
+            graph=graph, algorithm="luby_fast", trials=2000, seed=0
+        )
+        before = svc.counters.snapshot()
+        again = svc.estimate(
+            graph=graph, algorithm="luby_fast", trials=2000, seed=0
+        )
+        after = svc.counters.snapshot()
+    assert not first.cached and again.cached
+    assert again.trials_run == 0
+    assert after["cache_hits"] == before["cache_hits"] + 1
+    assert after["trials_executed"] == before["trials_executed"]
+    assert np.array_equal(again.estimate.counts, first.estimate.counts)

@@ -21,7 +21,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for
 paper-vs-measured results.
 """
 
-from . import algorithms, analysis, core, exact, experiments, fast, graphs, runtime
+from . import algorithms, analysis, api, core, exact, experiments, fast, graphs, runtime, service
 from .algorithms import (
     ColeVishkinMIS,
     ColorMIS,
@@ -47,13 +47,16 @@ from .fast import (
     FastFairTree,
     FastLuby,
 )
-from .graphs import RootedTree, StaticGraph
+from .graphs import GraphSpec, RootedTree, StaticGraph
+from .service import Estimator, EstimateRequest, EstimateResult
 
 __version__ = "1.0.0"
 
 __all__ = [
     "algorithms",
     "analysis",
+    "api",
+    "service",
     "core",
     "exact",
     "experiments",
@@ -84,5 +87,9 @@ __all__ = [
     "FastLuby",
     "RootedTree",
     "StaticGraph",
+    "GraphSpec",
+    "Estimator",
+    "EstimateRequest",
+    "EstimateResult",
     "__version__",
 ]

@@ -7,7 +7,12 @@ from .fairness import (
     inequality_factor,
     wilson_interval,
 )
-from .montecarlo import estimate_join_probabilities, run_trials
+from .montecarlo import (
+    TrialPool,
+    estimate_join_probabilities,
+    normalize_jobs,
+    run_trials,
+)
 from .theory import (
     colormis_min_join_probability,
     cone_inequality_lower_bound,
@@ -40,6 +45,8 @@ __all__ = [
     "wilson_interval",
     "estimate_join_probabilities",
     "run_trials",
+    "normalize_jobs",
+    "TrialPool",
     "colormis_min_join_probability",
     "cone_inequality_lower_bound",
     "fairbipart_block_probability",

@@ -1,4 +1,4 @@
-"""Monte-Carlo trial running (serial and multiprocess).
+"""Monte-Carlo trial running: reusable pool primitives + ``run_trials``.
 
 The evaluation of Section IX is embarrassingly parallel: independent runs
 of a randomized algorithm on a fixed graph.  Seeds are spawned with
@@ -6,14 +6,37 @@ of a randomized algorithm on a fixed graph.  Seeds are spawned with
 each worker accumulates a join-count vector; counts are summed into a
 :class:`~repro.analysis.fairness.JoinEstimate`.
 
-Workers receive the algorithm and graph once via the pool initializer —
-not per task — so large graphs are pickled a single time per process.
+This module provides the layered primitives the estimation service
+(:mod:`repro.service`) builds on:
+
+* :func:`normalize_jobs` — the **single source of truth** for ``n_jobs``
+  semantics, shared by ``run_trials``, the CLI ``--jobs`` flag, the
+  experiment harnesses, and the service;
+* :class:`TrialPool` — a persistent worker pool bound to one
+  ``(algorithm, graph)`` pair.  Workers are initialized once (the
+  algorithm and graph are pickled a single time per process, not per
+  task) and reused across as many chunk requests as the owner likes;
+* :func:`run_trials` — the classic cold-path API: build a pool, run one
+  request, tear the pool down.
+
+``n_jobs`` semantics (canonical)
+--------------------------------
+``1``
+    run inline in the calling process (no subprocesses);
+``0`` or negative
+    use all available cores (``os.cpu_count()``);
+``k > 1``
+    use ``k`` worker processes.
+
+Every entry point that accepts a job count (``run_trials(n_jobs=...)``,
+``python -m repro ... --jobs``, experiment harness ``n_jobs=``,
+``Estimator(n_jobs=...)``) funnels through :func:`normalize_jobs`.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Any
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -23,10 +46,78 @@ from ..runtime.rng import SeedLike, spawn_trial_seeds
 from .fairness import JoinEstimate
 from .validation import is_maximal_independent_set
 
-__all__ = ["run_trials", "estimate_join_probabilities"]
+__all__ = [
+    "run_trials",
+    "estimate_join_probabilities",
+    "normalize_jobs",
+    "TrialPool",
+    "chunk_counts",
+    "vector_chunk_counts",
+]
 
 # Worker-process state installed by the pool initializer.
 _WORKER: dict[str, Any] = {}
+
+
+def normalize_jobs(n_jobs: int, limit: int | None = None) -> int:
+    """Resolve an ``n_jobs`` request to an effective worker count.
+
+    ``1`` means inline (no subprocesses); ``0`` or negative means all
+    available cores; ``k > 1`` means ``k`` workers.  When *limit* is given
+    (e.g. the trial count) the result is clamped to it, never below 1.
+    """
+    jobs = (os.cpu_count() or 1) if n_jobs <= 0 else int(n_jobs)
+    if limit is not None:
+        jobs = min(jobs, max(1, int(limit)))
+    return max(1, jobs)
+
+
+def chunk_counts(
+    algorithm: MISAlgorithm,
+    graph: StaticGraph,
+    seeds: Sequence[np.random.SeedSequence],
+    validate_runs: bool = False,
+) -> np.ndarray:
+    """Join counts over one chunk of per-trial seeds (exact stream layout).
+
+    This is *the* unit of work: each trial gets its own generator built
+    from its own spawned seed, so any partition of the seed list — serial,
+    strided across a pool, or interleaved by the service scheduler —
+    produces bit-identical totals.
+    """
+    counts = np.zeros(graph.n, dtype=np.int64)
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        member = algorithm.run(graph, rng).membership
+        if validate_runs and not is_maximal_independent_set(graph, member):
+            raise AssertionError(f"{algorithm.name} produced an invalid MIS")
+        counts += member
+    return counts
+
+
+def vector_chunk_counts(
+    algorithm: MISAlgorithm,
+    graph: StaticGraph,
+    seed: np.random.SeedSequence,
+    trials: int,
+) -> np.ndarray:
+    """Join counts over *trials* runs via the disjoint-union batched kernel.
+
+    Statistically equivalent to :func:`chunk_counts` (same per-trial
+    distribution, different stream layout) and several times faster on
+    small/medium graphs.  Only available for algorithms with a registered
+    vector runner — see :func:`repro.fast.batched.vector_runner_for`.
+    """
+    # Imported lazily: repro.fast.batched imports repro.analysis.fairness,
+    # and this module is imported during repro.analysis package init.
+    from ..fast.batched import vector_runner_for
+
+    runner = vector_runner_for(algorithm)
+    if runner is None:
+        raise ValueError(
+            f"no vectorized runner for algorithm {algorithm.name!r}"
+        )
+    return runner(algorithm, graph, trials, seed)
 
 
 def _init_worker(algorithm: MISAlgorithm, graph: StaticGraph) -> None:
@@ -35,13 +126,156 @@ def _init_worker(algorithm: MISAlgorithm, graph: StaticGraph) -> None:
 
 
 def _run_chunk(seeds: list[np.random.SeedSequence]) -> np.ndarray:
-    algorithm: MISAlgorithm = _WORKER["algorithm"]
-    graph: StaticGraph = _WORKER["graph"]
-    counts = np.zeros(graph.n, dtype=np.int64)
-    for seed in seeds:
-        rng = np.random.default_rng(seed)
-        counts += algorithm.run(graph, rng).membership
-    return counts
+    return chunk_counts(_WORKER["algorithm"], _WORKER["graph"], seeds)
+
+
+def _run_vector_chunk(spec: tuple[np.random.SeedSequence, int]) -> np.ndarray:
+    seed, trials = spec
+    return vector_chunk_counts(
+        _WORKER["algorithm"], _WORKER["graph"], seed, trials
+    )
+
+
+class TrialPool:
+    """A persistent worker pool bound to one ``(algorithm, graph)`` pair.
+
+    ``workers`` follows the canonical :func:`normalize_jobs` semantics.
+    With one effective worker the pool runs inline — no subprocesses, no
+    IPC — which on few-core hosts is strictly faster than oversubscribing.
+    With more, a ``multiprocessing`` pool is created once; workers receive
+    the algorithm and graph through the initializer (pickled once per
+    process) and then serve an arbitrary number of chunk requests, which
+    is what amortizes spin-up across service requests.
+    """
+
+    def __init__(
+        self,
+        algorithm: MISAlgorithm,
+        graph: StaticGraph,
+        workers: int = 1,
+        context: str | None = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.graph = graph
+        self.workers = normalize_jobs(workers)
+        self._pool = None
+        if self.workers > 1:
+            import multiprocessing as mp
+
+            if context is None:
+                context = "fork" if hasattr(os, "fork") else None
+            ctx = mp.get_context(context)
+            self._pool = ctx.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(algorithm, graph),
+            )
+
+    # ------------------------------------------------------------------ #
+    # chunk execution
+    # ------------------------------------------------------------------ #
+    def run_chunk(self, seeds: Sequence[np.random.SeedSequence]) -> np.ndarray:
+        """Synchronously run one exact chunk (see :func:`chunk_counts`)."""
+        if self._pool is None:
+            return chunk_counts(self.algorithm, self.graph, seeds)
+        return self._pool.apply(_run_chunk, (list(seeds),))
+
+    def run_vector_chunk(
+        self, seed: np.random.SeedSequence, trials: int
+    ) -> np.ndarray:
+        """Synchronously run one vectorized (disjoint-union) chunk."""
+        if self._pool is None:
+            return vector_chunk_counts(self.algorithm, self.graph, seed, trials)
+        return self._pool.apply(_run_vector_chunk, ((seed, trials),))
+
+    def submit_chunk(
+        self,
+        chunk: Sequence[np.random.SeedSequence] | tuple[np.random.SeedSequence, int],
+        vectorized: bool,
+        callback: Callable[[np.ndarray], None],
+        error_callback: Callable[[BaseException], None],
+    ) -> None:
+        """Dispatch one chunk; invoke *callback* with its count vector.
+
+        On a multiprocess pool this is non-blocking (``apply_async``); the
+        inline pool executes in the calling thread before returning, which
+        keeps the scheduler's dispatch loop single-pathed.
+        """
+        if self._pool is not None:
+            fn = _run_vector_chunk if vectorized else _run_chunk
+            arg = chunk if vectorized else list(chunk)
+            self._pool.apply_async(
+                fn, (arg,), callback=callback, error_callback=error_callback
+            )
+            return
+        try:
+            if vectorized:
+                seed, trials = chunk  # type: ignore[misc]
+                counts = vector_chunk_counts(
+                    self.algorithm, self.graph, seed, trials
+                )
+            else:
+                counts = chunk_counts(self.algorithm, self.graph, chunk)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to owner
+            error_callback(exc)
+            return
+        callback(counts)
+
+    def run(
+        self, trials: int, seed: SeedLike = None, validate_runs: bool = False
+    ) -> JoinEstimate:
+        """Run *trials* independent executions through the resident pool.
+
+        Bit-identical to serial execution with the same seed: the same
+        spawned per-trial seed sequences are used, merely partitioned
+        across workers.
+        """
+        if trials <= 0:
+            raise ValueError("trials must be positive")
+        seeds = spawn_trial_seeds(seed, trials)
+        if self._pool is None:
+            return JoinEstimate(
+                counts=chunk_counts(
+                    self.algorithm, self.graph, seeds, validate_runs
+                ),
+                trials=trials,
+            )
+        chunk_count = self.workers * 4
+        chunks = [seeds[i::chunk_count] for i in range(chunk_count)]
+        partials = self._pool.map(_run_chunk, [c for c in chunks if c])
+        counts = np.sum(partials, axis=0).astype(np.int64)
+        return JoinEstimate(counts=counts, trials=trials)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def processes(self) -> list:
+        """Live worker ``Process`` objects (empty for the inline pool)."""
+        if self._pool is None:
+            return []
+        return list(self._pool._pool)  # noqa: SLF001 - stdlib Pool internals
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the pool down; with ``wait`` join workers before returning."""
+        if self._pool is None:
+            return
+        if wait:
+            self._pool.close()
+        else:
+            self._pool.terminate()
+        self._pool.join()
+        self._pool = None
+
+    def terminate(self) -> None:
+        """Stop workers immediately (abandons in-flight chunks)."""
+        self.close(wait=False)
+
+    def __enter__(self) -> "TrialPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close(wait=exc_info[0] is None)
 
 
 def run_trials(
@@ -54,48 +288,30 @@ def run_trials(
 ) -> JoinEstimate:
     """Run *trials* independent executions and tally per-node joins.
 
+    This is the cold path: each call builds its own :class:`TrialPool`
+    and tears it down.  Long-lived callers should hold an Estimator
+    (:mod:`repro.service`) or a :class:`TrialPool` instead.
+
     Parameters
     ----------
     n_jobs:
-        Worker processes; ``1`` runs inline, ``0`` or negative uses the
-        CPU count.
+        Worker processes, canonical semantics (:func:`normalize_jobs`):
+        ``1`` inline, ``0``/negative all cores, ``k > 1`` that many.
     validate_runs:
-        Assert independence + maximality of every run (serial path only;
-        algorithms constructed with ``validate=True`` already do this
-        internally).
+        Assert independence + maximality of every run (algorithms
+        constructed with ``validate=True`` already do this internally).
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
-    seeds = spawn_trial_seeds(seed, trials)
-    if n_jobs == 1 or trials < 8:
-        counts = np.zeros(graph.n, dtype=np.int64)
-        for s in seeds:
-            rng = np.random.default_rng(s)
-            member = algorithm.run(graph, rng).membership
-            if validate_runs and not is_maximal_independent_set(graph, member):
-                raise AssertionError(
-                    f"{algorithm.name} produced an invalid MIS"
-                )
-            counts += member
-        return JoinEstimate(counts=counts, trials=trials)
-
-    import multiprocessing as mp
-
-    if n_jobs <= 0:
-        n_jobs = os.cpu_count() or 1
-    n_jobs = min(n_jobs, trials)
-    chunk_count = n_jobs * 4
-    chunks = [seeds[i::chunk_count] for i in range(chunk_count)]
-    chunks = [c for c in chunks if c]
-    ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context()
-    with ctx.Pool(
-        processes=n_jobs,
-        initializer=_init_worker,
-        initargs=(algorithm, graph),
-    ) as pool:
-        partials = pool.map(_run_chunk, chunks)
-    counts = np.sum(partials, axis=0).astype(np.int64)
-    return JoinEstimate(counts=counts, trials=trials)
+    jobs = normalize_jobs(n_jobs, limit=trials)
+    if jobs == 1 or trials < 8:
+        seeds = spawn_trial_seeds(seed, trials)
+        return JoinEstimate(
+            counts=chunk_counts(algorithm, graph, seeds, validate_runs),
+            trials=trials,
+        )
+    with TrialPool(algorithm, graph, workers=jobs) as pool:
+        return pool.run(trials, seed=seed, validate_runs=validate_runs)
 
 
 def estimate_join_probabilities(

@@ -1,0 +1,82 @@
+"""Stable public API facade for library consumers.
+
+``repro.api`` is the compatibility surface: names exported here follow
+deprecation policy (a release of ``DeprecationWarning`` before removal),
+whereas internal module layout may shift between versions.  Typical use::
+
+    from repro.api import Estimator, EstimateRequest, GraphSpec, run_trials
+
+    graph = GraphSpec.parse("tree:500:1").build()
+    with Estimator(n_jobs=0) as service:
+        result = service.estimate(
+            graph=graph, algorithm="fair_tree_fast", trials=2000, seed=0
+        )
+        print(result.estimate.inequality)
+
+Groups:
+
+* graphs — :class:`GraphSpec` parsing/building, :class:`StaticGraph`,
+  content hashing for cache keys;
+* estimation — the cold-path :func:`run_trials`, the canonical
+  :func:`normalize_jobs` semantics, :class:`JoinEstimate`;
+* service — :class:`Estimator` and the request/result dataclasses shared
+  with the ``python -m repro serve``/``batch`` CLI;
+* registry — :func:`make`/:func:`available` algorithm construction.
+"""
+
+from __future__ import annotations
+
+from .analysis.fairness import JoinEstimate, inequality_factor
+from .analysis.montecarlo import (
+    TrialPool,
+    estimate_join_probabilities,
+    normalize_jobs,
+    run_trials,
+)
+from .core.registry import available, make
+from .core.result import MISAlgorithm, MISResult
+from .graphs.graph import RootedTree, StaticGraph
+from .graphs.spec import GraphSpec, GraphSpecError, build_graph
+from .runtime.metrics import RequestRecord, ServiceCounters
+from .service import (
+    BatchScheduler,
+    Estimator,
+    EstimateCancelled,
+    EstimateRequest,
+    EstimateResult,
+    EstimateTimeout,
+    RequestHandle,
+    ResultCache,
+)
+
+__all__ = [
+    # graphs
+    "GraphSpec",
+    "GraphSpecError",
+    "build_graph",
+    "StaticGraph",
+    "RootedTree",
+    # estimation
+    "run_trials",
+    "estimate_join_probabilities",
+    "normalize_jobs",
+    "TrialPool",
+    "JoinEstimate",
+    "inequality_factor",
+    # service
+    "Estimator",
+    "RequestHandle",
+    "EstimateRequest",
+    "EstimateResult",
+    "EstimateTimeout",
+    "EstimateCancelled",
+    "BatchScheduler",
+    "ResultCache",
+    "ServiceCounters",
+    "RequestRecord",
+    # registry
+    "make",
+    "available",
+    "MISAlgorithm",
+    "MISResult",
+]

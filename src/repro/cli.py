@@ -5,6 +5,8 @@ Commands
 ``list``      registered algorithms
 ``run``       one MIS execution on a graph spec, printed summary
 ``estimate``  Monte-Carlo join probabilities + inequality factor
+``serve``     estimation service: JSON requests on stdin → results on stdout
+``batch``     estimation service over a JSON-lines request file
 ``table1``    regenerate Table I
 ``figure4``   regenerate Figure 4 (ASCII CDF panels)
 ``star``      the §I star demonstration
@@ -13,87 +15,54 @@ Commands
 ``rounds``    round-complexity measurement (faithful layer)
 ``optimal``   exact optimal fairness (LP) on small families
 
-Graph specs (``--graph``)::
+Graph specs (``--graph``) are parsed by :mod:`repro.graphs.spec` — see
+its docstring for the full ``kind:arg`` grammar (``tree:N[:SEED]``,
+``path:N``, ``grid:RxC``, ``city:N[:SEED]``, ...).
 
-    tree:N[:SEED]     random labeled tree
-    path:N            path graph
-    star:N            star graph
-    cycle:N           cycle
-    binary:DEPTH      complete binary tree
-    kary:B,D          complete B-ary tree of depth D
-    alt:B,D           alternating tree
-    grid:RxC          grid graph
-    trigrid:RxC       triangulated grid (planar, non-bipartite)
-    apex:RxC          apex grid (planar, high degree)
-    cone:K            the lower-bound cone graph
-    campus[:SEED]     Dartmouth-like WAP MST
-    city:N[:SEED]     NYC-like WAP MST
+``--jobs`` follows the canonical semantics of
+:func:`repro.analysis.montecarlo.normalize_jobs`: ``1`` inline, ``0`` or
+negative = all cores, ``k > 1`` = that many worker processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import warnings
+from typing import IO, Iterable
 
 import numpy as np
 
 from .core.registry import available, make
 from .graphs.graph import StaticGraph
+from .graphs.spec import GraphSpecError, build_graph
 
 __all__ = ["main", "parse_graph_spec"]
 
 
-def parse_graph_spec(spec: str) -> StaticGraph:
-    """Build a graph from a CLI spec string (see module docstring)."""
-    from .graphs import generators as gen
-    from .graphs.geometric import campus_model, city_model, wap_tree
-
-    kind, _, rest = spec.partition(":")
-    parts = rest.split(":") if rest else []
-
-    def ints(csv: str) -> list[int]:
-        return [int(x) for x in csv.replace("x", ",").split(",")]
-
+def _graph_from_spec(spec: str) -> StaticGraph:
+    """Build a graph from a CLI spec string; exits with a message on error."""
     try:
-        if kind == "tree":
-            n = int(parts[0])
-            seed = int(parts[1]) if len(parts) > 1 else 0
-            return gen.random_tree(n, seed=seed).graph
-        if kind == "path":
-            return gen.path_graph(int(parts[0]))
-        if kind == "star":
-            return gen.star_graph(int(parts[0]))
-        if kind == "cycle":
-            return gen.cycle_graph(int(parts[0]))
-        if kind == "binary":
-            return gen.complete_tree(2, int(parts[0])).graph
-        if kind == "kary":
-            b, d = ints(parts[0])
-            return gen.complete_tree(b, d).graph
-        if kind == "alt":
-            b, d = ints(parts[0])
-            return gen.alternating_tree(b, d).graph
-        if kind == "grid":
-            r, c = ints(parts[0])
-            return gen.grid_graph(r, c)
-        if kind == "trigrid":
-            r, c = ints(parts[0])
-            return gen.triangulated_grid(r, c)
-        if kind == "apex":
-            r, c = ints(parts[0])
-            return gen.apex_grid(r, c)
-        if kind == "cone":
-            return gen.cone_graph(int(parts[0]))
-        if kind == "campus":
-            seed = int(parts[0]) if parts else 11
-            return wap_tree(campus_model(seed=seed))
-        if kind == "city":
-            n = int(parts[0]) if parts else 2500
-            seed = int(parts[1]) if len(parts) > 1 else 12
-            return wap_tree(city_model(n=n, seed=seed))
-    except (ValueError, IndexError) as exc:
-        raise SystemExit(f"bad graph spec {spec!r}: {exc}") from exc
-    raise SystemExit(f"unknown graph kind {kind!r} (see --help)")
+        return build_graph(spec)
+    except GraphSpecError as exc:
+        raise SystemExit(f"{exc} (see --help)") from exc
+
+
+def parse_graph_spec(spec: str) -> StaticGraph:
+    """Deprecated alias — use :meth:`repro.graphs.spec.GraphSpec.parse` /
+    :func:`repro.graphs.spec.build_graph` instead.
+
+    Kept so existing scripts importing ``repro.cli.parse_graph_spec``
+    continue to work (including its ``SystemExit`` error behavior).
+    """
+    warnings.warn(
+        "repro.cli.parse_graph_spec is deprecated; use "
+        "repro.graphs.spec.GraphSpec.parse(...).build() or build_graph()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _graph_from_spec(spec)
 
 
 def _cmd_list(_args: argparse.Namespace) -> None:
@@ -102,7 +71,7 @@ def _cmd_list(_args: argparse.Namespace) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> None:
-    graph = parse_graph_spec(args.graph)
+    graph = _graph_from_spec(args.graph)
     alg = make(args.algorithm)
     result = alg.run(graph, np.random.default_rng(args.seed))
     result.validate(graph)
@@ -119,7 +88,7 @@ def _cmd_estimate(args: argparse.Namespace) -> None:
     from .analysis.ascii import render_histogram
     from .analysis.montecarlo import run_trials
 
-    graph = parse_graph_spec(args.graph)
+    graph = _graph_from_spec(args.graph)
     alg = make(args.algorithm)
     est = run_trials(alg, graph, args.trials, seed=args.seed, n_jobs=args.jobs)
     lower, upper = est.inequality_bounds()
@@ -192,6 +161,97 @@ def _cmd_families(args: argparse.Namespace) -> None:
     print(format_family_sweep(run_family_sweep(trials=args.trials, seed=args.seed)))
 
 
+def _service_loop(
+    lines: Iterable[str],
+    out: IO[str],
+    *,
+    jobs: int,
+    cache_size: int,
+    mode: str,
+    include_counts: bool,
+) -> int:
+    """Run JSON-lines requests through one warm Estimator; returns #errors."""
+    from .service import EstimateRequest, Estimator
+
+    errors = 0
+    with Estimator(n_jobs=jobs, cache_size=cache_size) as service:
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                obj = json.loads(line)
+                if mode != "auto" and "mode" not in obj:
+                    obj["mode"] = mode
+                request = EstimateRequest.from_json(obj)
+                result = service.estimate(request)
+                payload = result.to_json(include_counts=include_counts)
+            except Exception as exc:  # noqa: BLE001 - reported per request
+                errors += 1
+                payload = {"error": str(exc), "line": lineno}
+            out.write(json.dumps(payload) + "\n")
+            out.flush()
+        stats = service.counters.snapshot()
+    print(
+        "service: {requests} requests, {cache_hits} cache hits, "
+        "{trials_executed} trials executed".format(**stats),
+        file=sys.stderr,
+    )
+    return errors
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    print(
+        "repro estimation service ready — one JSON request per line "
+        "(see docs/SERVICE.md); EOF to stop",
+        file=sys.stderr,
+    )
+    try:
+        errors = _service_loop(
+            sys.stdin,
+            sys.stdout,
+            jobs=args.jobs,
+            cache_size=args.cache_size,
+            mode=args.mode,
+            include_counts=not args.no_counts,
+        )
+    except KeyboardInterrupt:
+        # The Estimator context has already torn its workers down.
+        print("interrupted", file=sys.stderr)
+        raise SystemExit(130)
+    if errors:
+        raise SystemExit(1)
+
+
+def _cmd_batch(args: argparse.Namespace) -> None:
+    try:
+        with open(args.input, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {args.input}: {exc.strerror}")
+    if args.output == "-":
+        errors = _service_loop(
+            lines,
+            sys.stdout,
+            jobs=args.jobs,
+            cache_size=args.cache_size,
+            mode=args.mode,
+            include_counts=not args.no_counts,
+        )
+    else:
+        with open(args.output, "w", encoding="utf-8") as out:
+            errors = _service_loop(
+                lines,
+                out,
+                jobs=args.jobs,
+                cache_size=args.cache_size,
+                mode=args.mode,
+                include_counts=not args.no_counts,
+            )
+    if errors:
+        raise SystemExit(1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -204,10 +264,15 @@ def build_parser() -> argparse.ArgumentParser:
         fn=_cmd_list
     )
 
+    jobs_help = (
+        "worker processes: 1 = inline, 0 or negative = all cores, "
+        "k > 1 = that many (repro.analysis.montecarlo.normalize_jobs)"
+    )
+
     def common(p: argparse.ArgumentParser, trials_default: int = 2000) -> None:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--trials", type=int, default=trials_default)
-        p.add_argument("--jobs", type=int, default=1)
+        p.add_argument("--jobs", type=int, default=1, help=jobs_help)
 
     p = sub.add_parser("run", help="one execution, validated")
     p.add_argument("--graph", required=True)
@@ -244,6 +309,35 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("rounds", help="round complexity (faithful layer)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_rounds)
+
+    def service_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=0, help=jobs_help)
+        p.add_argument("--cache-size", type=int, default=128)
+        p.add_argument(
+            "--mode",
+            choices=("auto", "exact", "vectorized"),
+            default="auto",
+            help="default executor for requests that do not specify one",
+        )
+        p.add_argument(
+            "--no-counts",
+            action="store_true",
+            help="omit per-node count vectors from result JSON",
+        )
+
+    p = sub.add_parser(
+        "serve", help="estimation service: JSON lines stdin -> stdout"
+    )
+    service_opts(p)
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "batch", help="estimation service over a JSON-lines request file"
+    )
+    p.add_argument("--input", required=True, help="request file (JSON lines)")
+    p.add_argument("--output", default="-", help="result file, or - for stdout")
+    service_opts(p)
+    p.set_defaults(fn=_cmd_batch)
     return parser
 
 

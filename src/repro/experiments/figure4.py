@@ -50,7 +50,12 @@ def run_figure4(
     algorithms: list[MISAlgorithm] | None = None,
     n_jobs: int = 1,
 ) -> list[Figure4Series]:
-    """Produce every CDF series of Figure 4."""
+    """Produce every CDF series of Figure 4.
+
+    ``n_jobs`` follows the canonical semantics of
+    :func:`repro.analysis.montecarlo.normalize_jobs` (``0``/negative =
+    all cores).
+    """
     if trees is None:
         trees = table1_trees(city_n=city_n)
     if algorithms is None:

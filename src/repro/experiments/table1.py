@@ -63,7 +63,12 @@ def run_table1(
     algorithms: list[MISAlgorithm] | None = None,
     n_jobs: int = 1,
 ) -> list[Table1Row]:
-    """Run the full Table I grid and return its rows."""
+    """Run the full Table I grid and return its rows.
+
+    ``n_jobs`` follows the canonical semantics of
+    :func:`repro.analysis.montecarlo.normalize_jobs` (``0``/negative =
+    all cores).
+    """
     if trees is None:
         trees = table1_trees(city_n=city_n)
     if algorithms is None:

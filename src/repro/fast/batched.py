@@ -24,7 +24,12 @@ from ..runtime.rng import SeedLike, generator_from
 from .fair_tree import fair_tree_run
 from .luby import luby_sweep
 
-__all__ = ["disjoint_power", "batched_luby_trials", "batched_fair_tree_trials"]
+__all__ = [
+    "disjoint_power",
+    "batched_luby_trials",
+    "batched_fair_tree_trials",
+    "vector_runner_for",
+]
 
 
 def disjoint_power(graph: StaticGraph, copies: int) -> StaticGraph:
@@ -101,3 +106,39 @@ def batched_fair_tree_trials(
         counts += _fold_counts(member, copies, n)
         done += copies
     return JoinEstimate(counts=counts, trials=trials)
+
+
+# --------------------------------------------------------------------- #
+# vector-runner registry (consumed by the estimation service)
+# --------------------------------------------------------------------- #
+def _luby_vector_runner(algorithm, graph, trials, seed):
+    return batched_luby_trials(graph, trials, seed=seed).counts
+
+
+def _fair_tree_vector_runner(algorithm, graph, trials, seed):
+    return batched_fair_tree_trials(
+        graph,
+        trials,
+        seed=seed,
+        gamma_c=algorithm.gamma_c,
+        gamma=algorithm.gamma,
+    ).counts
+
+
+def vector_runner_for(algorithm):
+    """Batched (disjoint-union) runner for *algorithm*, or ``None``.
+
+    A runner maps ``(algorithm, graph, trials, seed)`` to an int64 join-
+    count vector that is statistically equivalent to per-trial execution
+    but uses a different random-stream layout.  Only algorithms whose
+    batched kernel is parameter-identical to the per-trial one qualify;
+    the service falls back to exact per-trial chunks otherwise.
+    """
+    from .fair_tree import FastFairTree
+    from .luby import FastLuby
+
+    if isinstance(algorithm, FastLuby) and algorithm.variant == "priority":
+        return _luby_vector_runner
+    if isinstance(algorithm, FastFairTree):
+        return _fair_tree_vector_runner
+    return None

@@ -170,6 +170,27 @@ class StaticGraph:
         """Maximum vertex degree (0 for the empty graph)."""
         return int(self.degrees.max()) if self.n else 0
 
+    def content_hash(self) -> str:
+        """Stable content-addressed digest of the *labeled* graph.
+
+        Two graphs hash identically iff they have the same vertex count and
+        the same edge set — regardless of the order edges were supplied in
+        (construction canonicalizes the edge list).  Relabeling vertices
+        changes the hash: this is labeled-graph identity, not isomorphism,
+        which is exactly what result caching needs (join probabilities are
+        per-label).  The digest is platform-stable (fixed endianness).
+        """
+        cached = self.__dict__.get("_content_hash")
+        if cached is None:
+            import hashlib
+
+            h = hashlib.sha256(b"repro-static-graph-v1")
+            h.update(int(self.n).to_bytes(8, "little"))
+            h.update(np.ascontiguousarray(self.edges, dtype="<i8").tobytes())
+            cached = h.hexdigest()
+            self.__dict__["_content_hash"] = cached
+        return cached
+
     # ------------------------------------------------------------------ #
     # structure
     # ------------------------------------------------------------------ #

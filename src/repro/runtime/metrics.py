@@ -1,16 +1,22 @@
-"""Execution metrics collected by the synchronous network.
+"""Execution metrics collected by the synchronous network and the service.
 
 The paper's complexity claims are in rounds; the model also constrains
 per-message size.  The runtime therefore tracks, per round and in total:
 round count, message count, and slot volume — enough to empirically verify
 the ``O(log* n)`` / ``O(log n)`` / ``O(log^2 n)`` claims (experiment E11).
+
+The estimation service (:mod:`repro.service`) reports through the same
+module: :class:`ServiceCounters` aggregates request/cache/trial totals and
+:class:`RequestRecord` captures per-request latency and throughput, so
+``benchmarks/test_engine_speed.py`` can regress amortized-vs-cold serving.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
-__all__ = ["RoundRecord", "RunMetrics"]
+__all__ = ["RoundRecord", "RunMetrics", "ServiceCounters", "RequestRecord"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,3 +66,71 @@ class RunMetrics:
         if not self.per_round:
             return 0.0
         return self.total_messages / len(self.per_round)
+
+
+@dataclass(frozen=True, slots=True)
+class RequestRecord:
+    """Latency/throughput of one estimation-service request.
+
+    ``trials_run`` is the number of *new* trials executed for this request
+    (0 when served from cache; less than ``trials`` when coalesced chunks
+    were shared with concurrent requests).
+    """
+
+    request_id: str
+    algorithm: str
+    graph_hash: str
+    trials: int
+    trials_run: int
+    mode: str
+    cached: bool
+    coalesced: bool
+    latency_s: float
+
+    @property
+    def throughput(self) -> float:
+        """Trials executed per second (0.0 for cache hits)."""
+        if self.latency_s <= 0.0 or self.trials_run <= 0:
+            return 0.0
+        return self.trials_run / self.latency_s
+
+
+class ServiceCounters:
+    """Thread-safe monotonic counters for the estimation service.
+
+    The scheduler, cache, and worker pools all increment through one
+    instance, so a single snapshot describes a service's lifetime traffic.
+    """
+
+    _FIELDS = (
+        "requests",
+        "cache_hits",
+        "cache_misses",
+        "cache_evictions",
+        "coalesced_requests",
+        "chunks_executed",
+        "trials_executed",
+        "pools_created",
+        "pools_evicted",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name* (must be a known field)."""
+        if name not in self._FIELDS:
+            raise AttributeError(f"unknown service counter {name!r}")
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def snapshot(self) -> dict[str, int]:
+        """A consistent copy of all counters."""
+        with self._lock:
+            return {name: getattr(self, name) for name in self._FIELDS}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"ServiceCounters({inner})"

@@ -1,0 +1,34 @@
+"""In-process fairness-estimation service (persistent pools + cache).
+
+The production-facing serving layer over the Monte-Carlo engines:
+
+* :class:`Estimator` — programmatic handle with submit/poll/await,
+  timeout, and graceful-shutdown semantics;
+* :class:`EstimateRequest` / :class:`EstimateResult` — the request
+  surface shared by the library, the scheduler, and the
+  ``python -m repro serve``/``batch`` CLI;
+* :class:`ResultCache` — content-addressed LRU result cache keyed by
+  ``(graph hash, algorithm, seed, trials, mode)``;
+* :class:`BatchScheduler` — request coalescing and chunked dispatch onto
+  persistent :class:`~repro.analysis.montecarlo.TrialPool` workers.
+
+See ``docs/SERVICE.md`` for the architecture and request JSON schema.
+"""
+
+from .cache import ResultCache, cache_key
+from .estimator import Estimator, RequestHandle
+from .requests import MODES, EstimateRequest, EstimateResult
+from .scheduler import BatchScheduler, EstimateCancelled, EstimateTimeout
+
+__all__ = [
+    "Estimator",
+    "RequestHandle",
+    "EstimateRequest",
+    "EstimateResult",
+    "MODES",
+    "ResultCache",
+    "cache_key",
+    "BatchScheduler",
+    "EstimateTimeout",
+    "EstimateCancelled",
+]

@@ -1,0 +1,86 @@
+"""Content-addressed LRU cache for join estimates.
+
+Keys are ``(graph content hash, algorithm+params, seed, trials, mode)``:
+everything that determines the count vector bit-for-bit.  Requests with
+``seed=None`` (fresh entropy) are inherently unrepeatable and never touch
+the cache.  Hit/miss/eviction totals are reported through the shared
+:class:`repro.runtime.metrics.ServiceCounters` instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ..analysis.fairness import JoinEstimate
+from ..runtime.metrics import ServiceCounters
+
+__all__ = ["ResultCache", "cache_key"]
+
+
+def cache_key(
+    graph_hash: str,
+    algorithm_key: str,
+    seed: int | None,
+    trials: int,
+    mode: str,
+) -> tuple | None:
+    """The cache key for a resolved request, or ``None`` if uncacheable."""
+    if seed is None:
+        return None
+    return (graph_hash, algorithm_key, int(seed), int(trials), mode)
+
+
+class ResultCache:
+    """Thread-safe LRU mapping of cache keys to :class:`JoinEstimate`.
+
+    ``capacity=0`` disables caching entirely (every lookup is a miss and
+    nothing is stored), which the benchmarks use to time pure execution.
+    """
+
+    def __init__(
+        self, capacity: int = 128, counters: ServiceCounters | None = None
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self.counters = counters if counters is not None else ServiceCounters()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, JoinEstimate] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple | None) -> JoinEstimate | None:
+        """Look *key* up, recording a hit or miss; ``None`` keys miss."""
+        if key is None:
+            self.counters.increment("cache_misses")
+            return None
+        with self._lock:
+            est = self._entries.get(key)
+            if est is not None:
+                self._entries.move_to_end(key)
+        if est is None:
+            self.counters.increment("cache_misses")
+        else:
+            self.counters.increment("cache_hits")
+        return est
+
+    def put(self, key: tuple | None, estimate: JoinEstimate) -> None:
+        """Insert, evicting least-recently-used entries beyond capacity."""
+        if key is None or self.capacity == 0:
+            return
+        evictions = 0
+        with self._lock:
+            self._entries[key] = estimate
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evictions += 1
+        if evictions:
+            self.counters.increment("cache_evictions", evictions)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()

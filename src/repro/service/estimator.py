@@ -1,0 +1,184 @@
+"""The programmatic estimation-service handle.
+
+:class:`Estimator` is the public face of :mod:`repro.service`: a
+long-lived object owning the persistent worker pools, the batched
+scheduler, and the result cache.  Contrast with the cold path::
+
+    # cold: pays pool spin-up + graph pickling on every call
+    est = run_trials(FastLuby(), graph, 2000, seed=0, n_jobs=4)
+
+    # warm: spin-up paid once, results cached, requests coalesced
+    with Estimator(n_jobs=4) as service:
+        est = service.estimate(graph=graph, algorithm="luby_fast",
+                               trials=2000, seed=0).estimate
+
+Submission is asynchronous (`submit` returns a handle with
+``done``/``poll``/``result(timeout)``); :meth:`estimate` is the blocking
+convenience.  ``shutdown`` (or the context manager) releases every worker
+process — ``wait=True`` drains queued requests first, ``wait=False``
+cancels them and terminates workers immediately.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from typing import Any, Mapping
+
+from ..analysis.montecarlo import normalize_jobs
+from ..graphs.graph import StaticGraph
+from ..runtime.metrics import RequestRecord, ServiceCounters
+from .cache import ResultCache
+from .requests import EstimateRequest, EstimateResult
+from .scheduler import BatchScheduler, Ticket
+
+__all__ = ["Estimator", "RequestHandle"]
+
+
+class RequestHandle:
+    """Caller-side view of one submitted request (wraps a scheduler ticket)."""
+
+    def __init__(self, ticket: Ticket) -> None:
+        self._ticket = ticket
+
+    @property
+    def request(self) -> EstimateRequest:
+        """The request this handle tracks."""
+        return self._ticket.request
+
+    def done(self) -> bool:
+        """True once a result (or error) is available."""
+        return self._ticket.done()
+
+    def poll(self) -> EstimateResult | None:
+        """The result if ready, else ``None``; request errors re-raise."""
+        return self._ticket.poll()
+
+    def result(self, timeout: float | None = None) -> EstimateResult:
+        """Block for the result; :class:`~repro.service.EstimateTimeout`
+        on expiry (the request keeps running — poll again or cancel)."""
+        return self._ticket.result(timeout)
+
+    def cancel(self) -> None:
+        """Stop scheduling further trial chunks for this request."""
+        self._ticket.cancel()
+
+
+class Estimator:
+    """In-process fairness-estimation service.
+
+    Parameters
+    ----------
+    n_jobs:
+        Canonical semantics (see
+        :func:`repro.analysis.montecarlo.normalize_jobs`): ``1`` inline,
+        ``0``/negative all cores, ``k > 1`` that many workers.  Unlike the
+        low-level ``run_trials`` — which does exactly what it is told —
+        the service additionally right-sizes to the host when
+        ``clamp_to_host`` is true (default): CPU-bound trials never go
+        faster with more processes than cores, so requesting 4 jobs on a
+        1-core box yields one inline worker, not 4 thrashing processes.
+    cache_size:
+        LRU capacity of the result cache (0 disables caching).
+    chunk_trials:
+        Trials per scheduling chunk — the unit of coalescing, incremental
+        merging, and cancellation.
+    max_pools:
+        Resident ``(graph, algorithm)`` worker pools kept warm (LRU).
+    """
+
+    def __init__(
+        self,
+        n_jobs: int = 0,
+        cache_size: int = 128,
+        chunk_trials: int = 64,
+        max_pools: int = 2,
+        clamp_to_host: bool = True,
+        context: str | None = None,
+    ) -> None:
+        workers = normalize_jobs(n_jobs)
+        if clamp_to_host:
+            workers = min(workers, os.cpu_count() or 1)
+        self.counters = ServiceCounters()
+        self.cache = ResultCache(capacity=cache_size, counters=self.counters)
+        self._scheduler = BatchScheduler(
+            workers=workers,
+            cache=self.cache,
+            counters=self.counters,
+            chunk_trials=chunk_trials,
+            max_pools=max_pools,
+            context=context,
+        )
+
+    # ------------------------------------------------------------------ #
+    # request surface
+    # ------------------------------------------------------------------ #
+    @property
+    def workers(self) -> int:
+        """Effective worker count after normalization/clamping."""
+        return self._scheduler.workers
+
+    @property
+    def records(self) -> deque[RequestRecord]:
+        """Per-request latency/throughput records (bounded, newest last)."""
+        return self._scheduler.records
+
+    def submit(
+        self,
+        request: EstimateRequest | None = None,
+        *,
+        graph: StaticGraph | None = None,
+        graph_spec: str | None = None,
+        algorithm: str = "fair_tree_fast",
+        trials: int = 2000,
+        seed: int | None = 0,
+        params: Mapping[str, Any] | None = None,
+        mode: str = "auto",
+        request_id: str | None = None,
+    ) -> RequestHandle:
+        """Submit a request (non-blocking); returns a :class:`RequestHandle`.
+
+        Pass either a prebuilt :class:`EstimateRequest` or the keyword
+        fields of one.
+        """
+        if request is None:
+            request = EstimateRequest(
+                algorithm=algorithm,
+                trials=trials,
+                graph=graph,
+                graph_spec=graph_spec,
+                seed=seed,
+                params=dict(params or {}),
+                mode=mode,
+                id=request_id,
+            )
+        return RequestHandle(self._scheduler.submit(request))
+
+    def estimate(
+        self,
+        request: EstimateRequest | None = None,
+        *,
+        timeout: float | None = None,
+        **kwargs: Any,
+    ) -> EstimateResult:
+        """Blocking convenience: ``submit(...).result(timeout)``."""
+        return self.submit(request, **kwargs).result(timeout)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown(self, wait: bool = True, timeout: float | None = None) -> None:
+        """Stop the scheduler and terminate every worker process.
+
+        ``wait=True`` finishes queued requests first; ``wait=False``
+        cancels pending requests (their handles raise
+        :class:`~repro.service.EstimateCancelled`) and kills workers.
+        Afterwards no worker process of this estimator remains alive.
+        """
+        self._scheduler.shutdown(wait=wait, timeout=timeout)
+
+    def __enter__(self) -> "Estimator":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        self.shutdown(wait=exc_type is None)

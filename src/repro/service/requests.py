@@ -1,0 +1,162 @@
+"""Request/result dataclasses shared by the CLI, service, and library.
+
+:class:`EstimateRequest` is the one description of "estimate join
+probabilities for this graph/algorithm/trials/seed" used everywhere: the
+``repro.service.Estimator`` accepts it programmatically, ``python -m
+repro serve``/``batch`` read it as JSON lines, and library callers can
+build it directly.  :class:`EstimateResult` pairs the request with the
+:class:`~repro.analysis.fairness.JoinEstimate` plus serving metadata
+(cache/coalescing provenance, resolved executor mode, latency).
+
+JSON schema (one object per line; see ``docs/SERVICE.md``)::
+
+    {"id": "r1", "graph": "tree:500:1", "algorithm": "fair_tree_fast",
+     "trials": 2000, "seed": 0, "mode": "auto", "params": {}}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..analysis.fairness import JoinEstimate
+from ..graphs.graph import StaticGraph
+from ..graphs.spec import GraphSpec
+
+__all__ = ["EstimateRequest", "EstimateResult", "MODES"]
+
+#: Executor modes: ``auto`` picks the vectorized kernel when the algorithm
+#: has one, ``exact`` forces per-trial seed parity with ``run_trials``,
+#: ``vectorized`` requires the batched kernel (error if unavailable).
+MODES: tuple[str, ...] = ("auto", "exact", "vectorized")
+
+
+@dataclass(frozen=True)
+class EstimateRequest:
+    """One fairness-estimation request.
+
+    Exactly one of ``graph`` (a built :class:`StaticGraph`) or
+    ``graph_spec`` (a ``kind:arg`` string, see :mod:`repro.graphs.spec`)
+    must be provided.  ``seed`` defaults to 0 so identical requests are
+    deterministic and cacheable; pass ``seed=None`` for fresh entropy
+    (such requests bypass the cache and may share trial chunks with
+    concurrent seedless requests for the same pair).
+    """
+
+    algorithm: str
+    trials: int
+    graph: StaticGraph | None = None
+    graph_spec: str | None = None
+    seed: int | None = 0
+    params: Mapping[str, Any] = field(default_factory=dict)
+    mode: str = "auto"
+    id: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.algorithm:
+            raise ValueError("algorithm name must be non-empty")
+        if self.trials <= 0:
+            raise ValueError("trials must be positive")
+        if (self.graph is None) == (self.graph_spec is None):
+            raise ValueError("provide exactly one of graph / graph_spec")
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.graph_spec is not None:
+            GraphSpec.parse(self.graph_spec)  # fail fast on bad specs
+
+    def resolve_graph(self) -> StaticGraph:
+        """The request's graph, building it from the spec if needed."""
+        if self.graph is not None:
+            return self.graph
+        assert self.graph_spec is not None
+        return GraphSpec.parse(self.graph_spec).build()
+
+    def algorithm_key(self) -> str:
+        """Stable identity of ``(algorithm, params)`` for cache/pool keys."""
+        if not self.params:
+            return self.algorithm
+        inner = ",".join(f"{k}={self.params[k]!r}" for k in sorted(self.params))
+        return f"{self.algorithm}({inner})"
+
+    @classmethod
+    def from_json(cls, obj: Mapping[str, Any]) -> "EstimateRequest":
+        """Build a request from a decoded JSON object."""
+        known = {"id", "graph", "algorithm", "trials", "seed", "params", "mode"}
+        unknown = set(obj) - known
+        if unknown:
+            raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        if "graph" not in obj:
+            raise ValueError("request JSON requires a 'graph' spec string")
+        return cls(
+            algorithm=obj.get("algorithm", "fair_tree_fast"),
+            trials=int(obj.get("trials", 2000)),
+            graph_spec=str(obj["graph"]),
+            seed=None if obj.get("seed", 0) is None else int(obj.get("seed", 0)),
+            params=dict(obj.get("params", {})),
+            mode=str(obj.get("mode", "auto")),
+            id=obj.get("id"),
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serializable form (requires a spec-described graph)."""
+        if self.graph_spec is None:
+            raise ValueError(
+                "requests built from an in-memory graph are not serializable; "
+                "use graph_spec"
+            )
+        out: dict[str, Any] = {
+            "graph": self.graph_spec,
+            "algorithm": self.algorithm,
+            "trials": self.trials,
+            "seed": self.seed,
+            "mode": self.mode,
+        }
+        if self.params:
+            out["params"] = dict(self.params)
+        if self.id is not None:
+            out["id"] = self.id
+        return out
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """Outcome of one serviced request.
+
+    ``trials_run`` counts the *new* trials executed on behalf of this
+    request: 0 for a cache hit, possibly less than ``request.trials``
+    when chunks were shared with coalesced concurrent requests.
+    """
+
+    request: EstimateRequest
+    estimate: JoinEstimate
+    graph_hash: str
+    mode: str
+    cached: bool
+    coalesced: bool
+    trials_run: int
+    latency_s: float
+
+    def to_json(self, include_counts: bool = True) -> dict[str, Any]:
+        """JSON-serializable summary (counts optional — they can be big)."""
+        est = self.estimate
+        out: dict[str, Any] = {
+            "algorithm": self.request.algorithm,
+            "trials": est.trials,
+            "seed": self.request.seed,
+            "graph_hash": self.graph_hash,
+            "mode": self.mode,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "trials_run": self.trials_run,
+            "latency_s": self.latency_s,
+            "inequality": est.inequality,
+            "min_probability": est.min_probability,
+            "max_probability": est.max_probability,
+        }
+        if self.request.id is not None:
+            out["id"] = self.request.id
+        if self.request.graph_spec is not None:
+            out["graph"] = self.request.graph_spec
+        if include_counts:
+            out["counts"] = est.counts.tolist()
+        return out

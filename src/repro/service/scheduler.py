@@ -1,0 +1,650 @@
+"""Batched request scheduler: coalescing, chunk dispatch, incremental merge.
+
+One daemon dispatcher thread drains a FIFO of submitted requests and
+turns each into a sequence of trial *chunks* executed on a persistent
+:class:`~repro.analysis.montecarlo.TrialPool`.  Chunk results are merged
+incrementally into per-request accumulators, so partial progress is never
+lost and concurrent requests can share work two ways:
+
+* **identical-request coalescing** — a seeded request that matches an
+  in-flight request's cache key bit-for-bit subscribes to that request's
+  completion instead of re-running anything;
+* **shared seedless streams** — concurrent ``seed=None`` requests for the
+  same ``(graph, algorithm, mode)`` pair consume one shared chunk stream:
+  every finished chunk is merged into every unfinished subscriber, so N
+  overlapping requests cost roughly one request's trials, not N.
+
+Pools are kept resident per ``(graph, algorithm)`` pair (LRU-capped), so
+repeated traffic for the same pair never pays spin-up or graph pickling
+again — the amortization the ROADMAP's throughput goal asks for.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any
+
+import numpy as np
+
+from ..analysis.fairness import JoinEstimate
+from ..analysis.montecarlo import TrialPool, normalize_jobs
+from ..core.registry import make
+from ..core.result import MISAlgorithm
+from ..fast.batched import vector_runner_for
+from ..graphs.graph import StaticGraph
+from ..runtime.metrics import RequestRecord, ServiceCounters
+from ..runtime.rng import as_seed_sequence, spawn_trial_seeds
+from .cache import ResultCache, cache_key
+from .requests import EstimateRequest, EstimateResult
+
+__all__ = ["BatchScheduler", "EstimateTimeout", "EstimateCancelled", "Ticket"]
+
+
+class EstimateTimeout(TimeoutError):
+    """Waiting on a request exceeded the caller's deadline (it may still
+    complete; poll again or cancel)."""
+
+
+class EstimateCancelled(RuntimeError):
+    """The request was cancelled before completion (shutdown or caller)."""
+
+
+class Ticket:
+    """Tracks one submitted request from submission to completion."""
+
+    def __init__(
+        self,
+        request: EstimateRequest,
+        graph: StaticGraph,
+        graph_hash: str,
+        algorithm: MISAlgorithm,
+        mode: str,
+        key: tuple | None,
+    ) -> None:
+        self.request = request
+        self.graph = graph
+        self.graph_hash = graph_hash
+        self.algorithm = algorithm
+        self.mode = mode
+        self.key = key
+        self.target = request.trials
+        self.counts = np.zeros(graph.n, dtype=np.int64)
+        self.trials_done = 0
+        self.trials_run = 0
+        self.coalesced = False
+        self.subscribers: list[Ticket] = []
+        self.submitted_at = time.perf_counter()
+        self._event = threading.Event()
+        self._result: EstimateResult | None = None
+        self._error: BaseException | None = None
+        self._cancelled = False
+
+    # ---- caller-facing ------------------------------------------------ #
+    def done(self) -> bool:
+        """True once a result or error is available."""
+        return self._event.is_set()
+
+    def cancel(self) -> None:
+        """Stop executing further chunks for this request."""
+        self._cancelled = True
+
+    def result(self, timeout: float | None = None) -> EstimateResult:
+        """Block until complete; raise :class:`EstimateTimeout` on expiry."""
+        if not self._event.wait(timeout):
+            raise EstimateTimeout(
+                f"request {self.request.id or self.request.algorithm!r} "
+                f"not complete within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def poll(self) -> EstimateResult | None:
+        """The result if complete, else ``None`` (errors re-raise)."""
+        if not self._event.is_set():
+            return None
+        return self.result(timeout=0)
+
+    # ---- scheduler-facing --------------------------------------------- #
+    @property
+    def dead(self) -> bool:
+        return self._cancelled or self._event.is_set()
+
+    def _complete(self, result: EstimateResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class _Stream:
+    """Shared chunk stream for seedless requests on one pair."""
+
+    def __init__(self, pair: tuple) -> None:
+        self.pair = pair
+        self.root = as_seed_sequence(None)
+        self.subscribers: list[Ticket] = []
+        self.inflight_trials = 0
+        self.scheduled = False
+        self.closed = False
+
+
+class BatchScheduler:
+    """Owns the dispatcher thread, resident pools, cache, and records.
+
+    Most callers should use :class:`repro.service.Estimator`, which wraps
+    this with a friendlier construction/submission surface.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        counters: ServiceCounters | None = None,
+        chunk_trials: int = 64,
+        max_pools: int = 2,
+        max_records: int = 1024,
+        context: str | None = None,
+    ) -> None:
+        if chunk_trials <= 0:
+            raise ValueError("chunk_trials must be positive")
+        if max_pools <= 0:
+            raise ValueError("max_pools must be positive")
+        self.workers = normalize_jobs(workers)
+        self.counters = (
+            counters
+            if counters is not None
+            else (cache.counters if cache is not None else ServiceCounters())
+        )
+        self.cache = (
+            cache if cache is not None else ResultCache(counters=self.counters)
+        )
+        self.chunk_trials = chunk_trials
+        self.max_pools = max_pools
+        self.records: deque[RequestRecord] = deque(maxlen=max_records)
+        self._context = context
+        self._lock = threading.RLock()
+        self._queue: queue.Queue[Any] = queue.Queue()
+        self._inflight: dict[tuple, Ticket] = {}
+        self._streams: dict[tuple, _Stream] = {}
+        self._pools: OrderedDict[tuple, TrialPool] = OrderedDict()
+        self._pool_busy: dict[tuple, int] = {}
+        self._graph_memo: OrderedDict[str, StaticGraph] = OrderedDict()
+        self._sem = threading.BoundedSemaphore(self.workers * 2)
+        self._closed = False
+        self._hard_stop = False
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-service-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(self, request: EstimateRequest) -> Ticket:
+        """Register *request*; returns a :class:`Ticket` immediately.
+
+        Cache hits complete before this returns; identical in-flight
+        requests and same-pair seedless requests are coalesced rather
+        than re-executed.
+        """
+        if self._closed:
+            raise RuntimeError("scheduler is shut down")
+        self.counters.increment("requests")
+        graph = self._resolve_graph(request)
+        algorithm = make(request.algorithm, **dict(request.params))
+        mode = self._resolve_mode(request.mode, algorithm)
+        graph_hash = graph.content_hash()
+        key = cache_key(
+            graph_hash, request.algorithm_key(), request.seed, request.trials, mode
+        )
+        ticket = Ticket(request, graph, graph_hash, algorithm, mode, key)
+
+        if key is not None:
+            est = self.cache.get(key)
+            if est is not None:
+                self._finish(ticket, est, cached=True)
+                return ticket
+            with self._lock:
+                primary = self._inflight.get(key)
+                if primary is not None and not primary.done():
+                    ticket.coalesced = True
+                    primary.subscribers.append(ticket)
+                    self.counters.increment("coalesced_requests")
+                    return ticket
+                self._inflight[key] = ticket
+            self._queue.put(ticket)
+            return ticket
+
+        # Seedless: join (or open) the shared stream for this pair.
+        pair = (graph_hash, request.algorithm_key(), mode)
+        with self._lock:
+            stream = self._streams.get(pair)
+            if stream is not None and not stream.closed:
+                ticket.coalesced = True
+                stream.subscribers.append(ticket)
+                self.counters.increment("coalesced_requests")
+                if not stream.scheduled:
+                    stream.scheduled = True
+                    self._queue.put(stream)
+                return ticket
+            stream = _Stream(pair)
+            stream.subscribers.append(ticket)
+            stream.scheduled = True
+            self._streams[pair] = stream
+        self._queue.put(stream)
+        return ticket
+
+    # ------------------------------------------------------------------ #
+    # resolution helpers
+    # ------------------------------------------------------------------ #
+    def _resolve_graph(self, request: EstimateRequest) -> StaticGraph:
+        if request.graph is not None:
+            return request.graph
+        spec = request.graph_spec
+        assert spec is not None
+        with self._lock:
+            memo = self._graph_memo.get(spec)
+            if memo is not None:
+                self._graph_memo.move_to_end(spec)
+                return memo
+        graph = request.resolve_graph()
+        with self._lock:
+            self._graph_memo[spec] = graph
+            while len(self._graph_memo) > 8:
+                self._graph_memo.popitem(last=False)
+        return graph
+
+    @staticmethod
+    def _resolve_mode(mode: str, algorithm: MISAlgorithm) -> str:
+        runner = vector_runner_for(algorithm)
+        if mode == "auto":
+            return "vectorized" if runner is not None else "exact"
+        if mode == "vectorized" and runner is None:
+            raise ValueError(
+                f"algorithm {algorithm.name!r} has no vectorized runner; "
+                "use mode='exact' or 'auto'"
+            )
+        return mode
+
+    # ------------------------------------------------------------------ #
+    # dispatcher
+    # ------------------------------------------------------------------ #
+    def _loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                break
+            try:
+                if isinstance(item, _Stream):
+                    self._dispatch_stream(item)
+                else:
+                    self._dispatch_ticket(item)
+            except BaseException as exc:  # noqa: BLE001 - fail the request
+                if isinstance(item, _Stream):
+                    with self._lock:
+                        subs = list(item.subscribers)
+                        item.closed = True
+                        self._streams.pop(item.pair, None)
+                    for sub in subs:
+                        sub._fail(exc)
+                else:
+                    self._abort(item, exc)
+
+    def _acquire_slot(self) -> bool:
+        """Bounded-concurrency gate; gives up when hard-stopped."""
+        while not self._sem.acquire(timeout=0.05):
+            if self._hard_stop:
+                return False
+        if self._hard_stop:
+            self._sem.release()
+            return False
+        return True
+
+    def _pool_for(self, ticket_pair: tuple, algorithm, graph) -> TrialPool:
+        with self._lock:
+            pool = self._pools.get(ticket_pair)
+            if pool is not None:
+                self._pools.move_to_end(ticket_pair)
+                return pool
+        pool = TrialPool(
+            algorithm, graph, workers=self.workers, context=self._context
+        )
+        self.counters.increment("pools_created")
+        with self._lock:
+            self._pools[ticket_pair] = pool
+            self._pool_busy.setdefault(ticket_pair, 0)
+            victims = []
+            if len(self._pools) > self.max_pools:
+                for key in list(self._pools):
+                    if len(self._pools) <= self.max_pools:
+                        break
+                    if key != ticket_pair and self._pool_busy.get(key, 0) == 0:
+                        victims.append((key, self._pools.pop(key)))
+                        self._pool_busy.pop(key, None)
+        for _key, victim in victims:
+            victim.close(wait=True)
+            self.counters.increment("pools_evicted")
+        return pool
+
+    def _plan_chunks(self, ticket: Ticket) -> list[tuple[Any, int]]:
+        """Split a seeded request into ``(payload, n_trials)`` chunks.
+
+        Exact mode partitions the same spawned per-trial seeds
+        ``run_trials`` would use, contiguously — totals are bit-identical
+        to serial execution however the chunks land on workers.
+        Vectorized mode spawns one child seed per chunk, so results are
+        deterministic for a fixed ``chunk_trials``.
+        """
+        trials, seed = ticket.target, ticket.request.seed
+        size = self.chunk_trials
+        n_chunks = math.ceil(trials / size)
+        if ticket.mode == "exact":
+            seeds = spawn_trial_seeds(seed, trials)
+            parts = [seeds[i * size : (i + 1) * size] for i in range(n_chunks)]
+            return [(part, len(part)) for part in parts]
+        roots = as_seed_sequence(seed).spawn(n_chunks)
+        sizes = [min(size, trials - i * size) for i in range(n_chunks)]
+        return [((root, k), k) for root, k in zip(roots, sizes)]
+
+    def _dispatch_ticket(self, ticket: Ticket) -> None:
+        pair = (ticket.graph_hash, ticket.request.algorithm_key())
+        pool = self._pool_for(pair, ticket.algorithm, ticket.graph)
+        vectorized = ticket.mode == "vectorized"
+        for payload, n_trials in self._plan_chunks(ticket):
+            if ticket.dead:
+                break
+            if not self._acquire_slot():
+                self._abort(ticket, EstimateCancelled("scheduler stopped"))
+                return
+            with self._lock:
+                self._pool_busy[pair] = self._pool_busy.get(pair, 0) + 1
+            pool.submit_chunk(
+                payload,
+                vectorized,
+                callback=lambda counts, t=ticket, p=pair, n=n_trials: (
+                    self._on_ticket_chunk(t, p, n, counts)
+                ),
+                error_callback=lambda exc, t=ticket, p=pair: (
+                    self._on_chunk_error(t, p, exc)
+                ),
+            )
+        if ticket._cancelled and not ticket.done():
+            self._abort(ticket, EstimateCancelled("request cancelled"))
+
+    def _on_ticket_chunk(
+        self, ticket: Ticket, pair: tuple, n_trials: int, counts: np.ndarray
+    ) -> None:
+        self._release_slot(pair)
+        self.counters.increment("chunks_executed")
+        self.counters.increment("trials_executed", n_trials)
+        finish = False
+        with self._lock:
+            ticket.counts += counts
+            ticket.trials_done += n_trials
+            ticket.trials_run += n_trials
+            if ticket.trials_done >= ticket.target and not ticket.done():
+                finish = True
+        if finish:
+            est = JoinEstimate(
+                counts=ticket.counts.copy(), trials=ticket.trials_done
+            )
+            self.cache.put(ticket.key, est)
+            with self._lock:
+                if self._inflight.get(ticket.key) is ticket:
+                    self._inflight.pop(ticket.key, None)
+            self._finish(ticket, est, cached=False)
+
+    def _on_chunk_error(
+        self, ticket: Ticket, pair: tuple, exc: BaseException
+    ) -> None:
+        self._release_slot(pair)
+        self._abort(ticket, exc)
+
+    def _release_slot(self, pair: tuple) -> None:
+        with self._lock:
+            self._pool_busy[pair] = max(0, self._pool_busy.get(pair, 0) - 1)
+        try:
+            self._sem.release()
+        except ValueError:  # pragma: no cover - defensive
+            pass
+
+    # ---- seedless streams --------------------------------------------- #
+    def _stream_need(self, stream: _Stream) -> int:
+        """Trials still to dispatch so every subscriber can reach target."""
+        with self._lock:
+            shortfall = 0
+            for sub in stream.subscribers:
+                if sub.dead:
+                    continue
+                shortfall = max(
+                    shortfall,
+                    sub.target - sub.trials_done - stream.inflight_trials,
+                )
+            return shortfall
+
+    def _dispatch_stream(self, stream: _Stream) -> None:
+        graph_hash, algorithm_key, _mode = stream.pair
+        with self._lock:
+            live = [s for s in stream.subscribers if not s.dead]
+        if not live:
+            self._close_stream(stream)
+            return
+        exemplar = live[0]
+        pair = (graph_hash, algorithm_key)
+        pool = self._pool_for(pair, exemplar.algorithm, exemplar.graph)
+        vectorized = exemplar.mode == "vectorized"
+        while True:
+            need = self._stream_need(stream)
+            if need <= 0:
+                break
+            n_trials = min(self.chunk_trials, need)
+            chunk_seed = stream.root.spawn(1)[0]
+            if not self._acquire_slot():
+                for sub in list(stream.subscribers):
+                    self._abort(sub, EstimateCancelled("scheduler stopped"))
+                self._close_stream(stream)
+                return
+            with self._lock:
+                stream.inflight_trials += n_trials
+                self._pool_busy[pair] = self._pool_busy.get(pair, 0) + 1
+            payload = (
+                (chunk_seed, n_trials)
+                if vectorized
+                else chunk_seed.spawn(n_trials)
+            )
+            pool.submit_chunk(
+                payload,
+                vectorized,
+                callback=lambda counts, s=stream, p=pair, n=n_trials: (
+                    self._on_stream_chunk(s, p, n, counts)
+                ),
+                error_callback=lambda exc, s=stream, p=pair: (
+                    self._on_stream_error(s, p, exc)
+                ),
+            )
+        with self._lock:
+            stream.scheduled = False
+            # Late subscribers may have joined after the last need check.
+            if self._stream_need(stream) > 0 and not stream.closed:
+                stream.scheduled = True
+                self._queue.put(stream)
+            elif not any(not s.done() for s in stream.subscribers):
+                self._close_stream(stream)
+
+    def _on_stream_chunk(
+        self, stream: _Stream, pair: tuple, n_trials: int, counts: np.ndarray
+    ) -> None:
+        self._release_slot(pair)
+        self.counters.increment("chunks_executed")
+        self.counters.increment("trials_executed", n_trials)
+        finished: list[Ticket] = []
+        with self._lock:
+            stream.inflight_trials = max(0, stream.inflight_trials - n_trials)
+            charged = False
+            for sub in stream.subscribers:
+                if sub.dead or sub.trials_done >= sub.target:
+                    continue
+                sub.counts += counts
+                sub.trials_done += n_trials
+                if not charged:
+                    sub.trials_run += n_trials
+                    charged = True
+                if sub.trials_done >= sub.target:
+                    finished.append(sub)
+            for sub in finished:
+                stream.subscribers.remove(sub)
+            drained = not stream.subscribers
+        for sub in finished:
+            est = JoinEstimate(counts=sub.counts.copy(), trials=sub.trials_done)
+            self._finish(sub, est, cached=False)
+        if drained:
+            self._close_stream(stream)
+
+    def _on_stream_error(
+        self, stream: _Stream, pair: tuple, exc: BaseException
+    ) -> None:
+        self._release_slot(pair)
+        with self._lock:
+            subs = list(stream.subscribers)
+            stream.subscribers.clear()
+        for sub in subs:
+            self._abort(sub, exc)
+        self._close_stream(stream)
+
+    def _close_stream(self, stream: _Stream) -> None:
+        with self._lock:
+            stream.closed = True
+            if self._streams.get(stream.pair) is stream:
+                self._streams.pop(stream.pair, None)
+
+    # ------------------------------------------------------------------ #
+    # completion / records
+    # ------------------------------------------------------------------ #
+    def _finish(
+        self, ticket: Ticket, estimate: JoinEstimate, cached: bool
+    ) -> None:
+        latency = time.perf_counter() - ticket.submitted_at
+        result = EstimateResult(
+            request=ticket.request,
+            estimate=estimate,
+            graph_hash=ticket.graph_hash,
+            mode=ticket.mode,
+            cached=cached,
+            coalesced=ticket.coalesced,
+            trials_run=0 if cached else ticket.trials_run,
+            latency_s=latency,
+        )
+        ticket._complete(result)
+        self._record(ticket, result)
+        with self._lock:
+            subscribers = list(ticket.subscribers)
+        for sub in subscribers:
+            if sub.done():
+                continue
+            sub_latency = time.perf_counter() - sub.submitted_at
+            sub_result = EstimateResult(
+                request=sub.request,
+                estimate=estimate,
+                graph_hash=sub.graph_hash,
+                mode=sub.mode,
+                cached=cached,
+                coalesced=True,
+                trials_run=0,
+                latency_s=sub_latency,
+            )
+            sub._complete(sub_result)
+            self._record(sub, sub_result)
+
+    def _record(self, ticket: Ticket, result: EstimateResult) -> None:
+        self.records.append(
+            RequestRecord(
+                request_id=ticket.request.id or "",
+                algorithm=ticket.request.algorithm,
+                graph_hash=ticket.graph_hash,
+                trials=ticket.request.trials,
+                trials_run=result.trials_run,
+                mode=result.mode,
+                cached=result.cached,
+                coalesced=result.coalesced,
+                latency_s=result.latency_s,
+            )
+        )
+
+    def _abort(self, ticket: Ticket, exc: BaseException) -> None:
+        with self._lock:
+            if ticket.key is not None and self._inflight.get(ticket.key) is ticket:
+                self._inflight.pop(ticket.key, None)
+            subs = list(ticket.subscribers)
+        if not ticket.done():
+            ticket._fail(exc)
+        for sub in subs:
+            if not sub.done():
+                sub._fail(exc)
+
+    # ------------------------------------------------------------------ #
+    # shutdown
+    # ------------------------------------------------------------------ #
+    def worker_processes(self) -> list:
+        """Live worker ``Process`` objects across all resident pools.
+
+        Empty when every pool is inline (workers == 1).  Diagnostics and
+        the shutdown tests use this to assert no process outlives
+        :meth:`shutdown`.
+        """
+        with self._lock:
+            pools = list(self._pools.values())
+        procs = []
+        for pool in pools:
+            procs.extend(pool.processes)
+        return procs
+
+    def shutdown(self, wait: bool = True, timeout: float | None = None) -> None:
+        """Stop the scheduler and its worker pools.
+
+        With ``wait=True`` (graceful) queued requests finish first; with
+        ``wait=False`` pending work is cancelled and worker processes are
+        terminated immediately.  Idempotent.
+        """
+        if self._closed and not self._thread.is_alive():
+            return
+        self._closed = True
+        if not wait:
+            self._hard_stop = True
+            with self._lock:
+                pending = list(self._inflight.values())
+                streams = list(self._streams.values())
+            for ticket in pending:
+                ticket.cancel()
+            for stream in streams:
+                for sub in stream.subscribers:
+                    sub.cancel()
+        self._queue.put(None)
+        self._thread.join(timeout)
+        with self._lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+            self._pool_busy.clear()
+        for pool in pools:
+            pool.close(wait=wait)
+        if not wait:
+            with self._lock:
+                pending = list(self._inflight.values())
+                self._inflight.clear()
+                streams = list(self._streams.values())
+                self._streams.clear()
+            exc = EstimateCancelled("service shut down")
+            for ticket in pending:
+                if not ticket.done():
+                    ticket._fail(exc)
+            for stream in streams:
+                for sub in stream.subscribers:
+                    if not sub.done():
+                        sub._fail(exc)

@@ -63,3 +63,80 @@ class TestParallel:
         g = path_graph(8)
         est = run_trials(FastLuby(), g, trials=16, seed=0, n_jobs=0)
         assert est.trials == 16
+
+
+class TestNormalizeJobs:
+    def test_one_is_inline(self):
+        from repro.analysis.montecarlo import normalize_jobs
+
+        assert normalize_jobs(1) == 1
+
+    def test_zero_and_negative_mean_all_cores(self):
+        import os
+
+        from repro.analysis.montecarlo import normalize_jobs
+
+        cores = os.cpu_count() or 1
+        assert normalize_jobs(0) == cores
+        assert normalize_jobs(-1) == cores
+        assert normalize_jobs(-7) == cores
+
+    def test_positive_passthrough(self):
+        from repro.analysis.montecarlo import normalize_jobs
+
+        assert normalize_jobs(3) == 3
+
+    def test_limit_caps_result(self):
+        from repro.analysis.montecarlo import normalize_jobs
+
+        assert normalize_jobs(8, limit=2) == 2
+        assert normalize_jobs(0, limit=1) == 1
+
+
+class TestTrialPool:
+    def test_inline_pool_matches_run_trials(self):
+        from repro.analysis.montecarlo import TrialPool
+
+        g = random_tree(25, seed=2).graph
+        serial = run_trials(FastLuby(), g, trials=48, seed=3)
+        with TrialPool(FastLuby(), g, workers=1) as pool:
+            est = pool.run(48, seed=3)
+        assert np.array_equal(est.counts, serial.counts)
+
+    def test_process_pool_matches_run_trials(self):
+        from repro.analysis.montecarlo import TrialPool
+
+        g = random_tree(25, seed=2).graph
+        serial = run_trials(FastLuby(), g, trials=48, seed=3)
+        with TrialPool(FastLuby(), g, workers=2) as pool:
+            est = pool.run(48, seed=3)
+            assert pool.processes  # real subprocesses exist while open
+        assert np.array_equal(est.counts, serial.counts)
+
+    def test_pool_reuse_across_runs(self):
+        from repro.analysis.montecarlo import TrialPool
+
+        g = random_tree(25, seed=2).graph
+        with TrialPool(FastLuby(), g, workers=1) as pool:
+            a = pool.run(16, seed=0)
+            b = pool.run(16, seed=0)
+            c = pool.run(16, seed=1)
+        assert np.array_equal(a.counts, b.counts)
+        assert not np.array_equal(a.counts, c.counts)
+
+    def test_inline_pool_has_no_processes(self):
+        from repro.analysis.montecarlo import TrialPool
+
+        g = path_graph(6)
+        with TrialPool(FastLuby(), g, workers=1) as pool:
+            assert pool.processes == []
+
+    def test_close_joins_workers(self):
+        from repro.analysis.montecarlo import TrialPool
+
+        g = path_graph(6)
+        pool = TrialPool(FastLuby(), g, workers=2)
+        procs = pool.processes
+        pool.run(16, seed=0)
+        pool.close(wait=True)
+        assert not any(p.is_alive() for p in procs)

@@ -207,3 +207,42 @@ class TestBipartition:
         g = StaticGraph.from_edges(3, [])
         colors = g.bipartition()
         assert colors is not None and len(colors) == 3
+
+
+class TestContentHash:
+    def test_stable_across_calls(self):
+        g = path_graph(6)
+        assert g.content_hash() == g.content_hash()
+
+    def test_equal_graphs_equal_hash(self):
+        a = StaticGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        b = StaticGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert a.content_hash() == b.content_hash()
+
+    def test_edge_input_order_invariant(self):
+        a = StaticGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        b = StaticGraph.from_edges(4, [(2, 3), (1, 2), (0, 1)])
+        c = StaticGraph.from_edges(4, [(3, 2), (1, 0), (2, 1)])
+        assert a.content_hash() == b.content_hash() == c.content_hash()
+
+    def test_isomorphic_relabeling_differs(self):
+        # content_hash is a labeled-graph identity, not an isomorphism
+        # invariant: relabeling the star center must change the digest.
+        a = StaticGraph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        b = StaticGraph.from_edges(4, [(1, 0), (1, 2), (1, 3)])
+        assert a.content_hash() != b.content_hash()
+
+    def test_isolated_vertices_matter(self):
+        a = StaticGraph.from_edges(3, [(0, 1)])
+        b = StaticGraph.from_edges(4, [(0, 1)])
+        assert a.content_hash() != b.content_hash()
+
+    def test_empty_vs_nonempty(self):
+        assert (
+            StaticGraph.from_edges(0, []).content_hash()
+            != StaticGraph.from_edges(1, []).content_hash()
+        )
+
+    def test_hex_digest_shape(self):
+        h = path_graph(3).content_hash()
+        assert len(h) == 64 and int(h, 16) >= 0

@@ -1,0 +1,68 @@
+"""Tests for the public GraphSpec parse/build API."""
+
+import pytest
+
+from repro.graphs.spec import KINDS, GraphSpec, GraphSpecError, build_graph
+
+
+class TestParse:
+    def test_parse_splits_kind_and_args(self):
+        spec = GraphSpec.parse("tree:20:5")
+        assert spec.kind == "tree"
+        assert spec.args == ("20", "5")
+
+    def test_parse_no_args(self):
+        assert GraphSpec.parse("campus").args == ()
+
+    def test_canonical_round_trips(self):
+        for text in ("tree:20:5", "grid:3x4", "campus", "city:300:1"):
+            assert GraphSpec.parse(text).canonical == text
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(GraphSpecError):
+            GraphSpec.parse("donut:5")
+
+    def test_error_is_value_error(self):
+        # Library callers can catch plain ValueError.
+        with pytest.raises(ValueError):
+            GraphSpec.parse("donut:5")
+
+    def test_all_kinds_listed(self):
+        assert "tree" in KINDS and "city" in KINDS
+
+
+class TestBuild:
+    @pytest.mark.parametrize(
+        "spec,n",
+        [
+            ("path:7", 7),
+            ("star:9", 9),
+            ("cycle:5", 5),
+            ("binary:3", 15),
+            ("kary:3,2", 13),
+            ("alt:4,2", 9),
+            ("grid:3x4", 12),
+            ("trigrid:3x3", 9),
+            ("apex:3x3", 10),
+            ("cone:3", 7),
+            ("tree:20:5", 20),
+        ],
+    )
+    def test_build_sizes(self, spec, n):
+        assert build_graph(spec).n == n
+
+    def test_campus_builds_tree(self):
+        assert build_graph("campus:11").is_tree()
+
+    def test_malformed_args_raise(self):
+        with pytest.raises(GraphSpecError):
+            build_graph("path:notanumber")
+
+    def test_missing_args_raise(self):
+        with pytest.raises(GraphSpecError):
+            build_graph("path")
+
+    def test_build_deterministic(self):
+        a = build_graph("tree:30:7")
+        b = build_graph("tree:30:7")
+        assert a == b

@@ -37,3 +37,84 @@ class TestRunMetrics:
         assert rec.messages == 5
         assert rec.slots == 9
         assert rec.active_nodes == 4
+
+
+class TestServiceCounters:
+    def test_increment_and_snapshot(self):
+        from repro.runtime import ServiceCounters
+
+        c = ServiceCounters()
+        c.increment("requests")
+        c.increment("cache_hits", 3)
+        snap = c.snapshot()
+        assert snap["requests"] == 1
+        assert snap["cache_hits"] == 3
+        assert snap["cache_misses"] == 0
+
+    def test_snapshot_is_a_copy(self):
+        from repro.runtime import ServiceCounters
+
+        c = ServiceCounters()
+        snap = c.snapshot()
+        snap["requests"] = 99
+        assert c.snapshot()["requests"] == 0
+
+    def test_unknown_counter_rejected(self):
+        import pytest
+
+        from repro.runtime import ServiceCounters
+
+        with pytest.raises((AttributeError, KeyError, ValueError)):
+            ServiceCounters().increment("bogus_counter")
+
+    def test_thread_safety(self):
+        import threading
+
+        from repro.runtime import ServiceCounters
+
+        c = ServiceCounters()
+
+        def bump():
+            for _ in range(1000):
+                c.increment("trials_executed")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.snapshot()["trials_executed"] == 4000
+
+
+class TestRequestRecord:
+    def test_throughput(self):
+        from repro.runtime import RequestRecord
+
+        rec = RequestRecord(
+            request_id="r1",
+            algorithm="luby_fast",
+            graph_hash="abc",
+            trials=100,
+            trials_run=100,
+            mode="vectorized",
+            cached=False,
+            coalesced=False,
+            latency_s=0.5,
+        )
+        assert rec.throughput == 200.0
+
+    def test_zero_latency_throughput(self):
+        from repro.runtime import RequestRecord
+
+        rec = RequestRecord(
+            request_id=None,
+            algorithm="luby_fast",
+            graph_hash="abc",
+            trials=10,
+            trials_run=0,
+            mode="exact",
+            cached=True,
+            coalesced=False,
+            latency_s=0.0,
+        )
+        assert rec.throughput == 0.0

@@ -1,0 +1,48 @@
+"""Shared fixtures for the estimation-service tests.
+
+``slow_algorithm`` registers a deliberately slow (simulator-style, no
+vectorized runner) MIS algorithm so coalescing/timeout tests get real
+wall-clock overlap without large graphs.  It runs inline (workers=1), so
+the class never crosses a process boundary.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.registry import _REGISTRY, register
+from repro.core.result import MISResult
+
+SLOW_NAME = "svc_test_slow"
+
+
+class SlowGreedy:
+    """Greedy-by-index MIS with an artificial per-run delay."""
+
+    def __init__(self, delay_s: float = 0.002):
+        self.delay_s = delay_s
+
+    @property
+    def name(self) -> str:
+        return SLOW_NAME
+
+    def run(self, graph, rng) -> MISResult:
+        time.sleep(self.delay_s)
+        member = np.zeros(graph.n, dtype=bool)
+        blocked = np.zeros(graph.n, dtype=bool)
+        order = rng.permutation(graph.n)
+        adj = [graph.neighbors(v) for v in range(graph.n)]
+        for v in order:
+            if not blocked[v]:
+                member[v] = True
+                blocked[adj[v]] = True
+                blocked[v] = True
+        return MISResult(membership=member, rounds=1)
+
+
+@pytest.fixture(scope="session")
+def slow_algorithm():
+    if SLOW_NAME not in _REGISTRY:
+        register(SLOW_NAME)(SlowGreedy)
+    return SLOW_NAME

@@ -1,0 +1,99 @@
+"""Result-cache unit tests plus end-to-end hit/miss accounting."""
+
+import numpy as np
+
+from repro.analysis.fairness import JoinEstimate
+from repro.runtime.metrics import ServiceCounters
+from repro.service import Estimator, ResultCache, cache_key
+
+
+def est(trials=4):
+    return JoinEstimate(counts=np.array([0, trials // 2, trials]), trials=trials)
+
+
+class TestCacheKey:
+    def test_distinct_inputs_distinct_keys(self):
+        base = cache_key("h", "luby_fast", 0, 100, "exact")
+        assert base != cache_key("g", "luby_fast", 0, 100, "exact")
+        assert base != cache_key("h", "fair_tree_fast", 0, 100, "exact")
+        assert base != cache_key("h", "luby_fast", 1, 100, "exact")
+        assert base != cache_key("h", "luby_fast", 0, 101, "exact")
+        assert base != cache_key("h", "luby_fast", 0, 100, "vectorized")
+
+    def test_seedless_is_uncacheable(self):
+        assert cache_key("h", "luby_fast", None, 100, "exact") is None
+
+
+class TestResultCache:
+    def test_get_put(self):
+        c = ResultCache(capacity=4, counters=ServiceCounters())
+        assert c.get("k") is None
+        c.put("k", est())
+        assert c.get("k").trials == 4
+
+    def test_lru_eviction(self):
+        counters = ServiceCounters()
+        c = ResultCache(capacity=2, counters=counters)
+        c.put("a", est(1))
+        c.put("b", est(2))
+        c.get("a")  # refresh a → b is now least-recent
+        c.put("c", est(3))
+        assert c.get("b") is None
+        assert c.get("a") is not None and c.get("c") is not None
+        assert counters.snapshot()["cache_evictions"] == 1
+
+    def test_counters_track_hits_and_misses(self):
+        counters = ServiceCounters()
+        c = ResultCache(capacity=4, counters=counters)
+        c.get("k")
+        c.put("k", est())
+        c.get("k")
+        snap = counters.snapshot()
+        assert snap["cache_misses"] == 1
+        assert snap["cache_hits"] == 1
+
+    def test_capacity_zero_disables(self):
+        c = ResultCache(capacity=0, counters=ServiceCounters())
+        c.put("k", est())
+        assert c.get("k") is None
+
+
+class TestEstimatorCaching:
+    def test_repeat_request_served_from_cache(self):
+        with Estimator(n_jobs=1) as svc:
+            first = svc.estimate(
+                graph_spec="tree:40:3", algorithm="luby_fast", trials=64, seed=3
+            )
+            again = svc.estimate(
+                graph_spec="tree:40:3", algorithm="luby_fast", trials=64, seed=3
+            )
+            snap = svc.counters.snapshot()
+        assert not first.cached
+        assert again.cached
+        assert again.trials_run == 0
+        assert np.array_equal(again.estimate.counts, first.estimate.counts)
+        assert snap["cache_hits"] == 1
+        assert snap["cache_misses"] >= 1
+        # No new trials were executed for the repeat.
+        assert snap["trials_executed"] == 64
+
+    def test_different_seed_misses(self):
+        with Estimator(n_jobs=1) as svc:
+            svc.estimate(graph_spec="path:12", algorithm="luby_fast", trials=32, seed=0)
+            other = svc.estimate(
+                graph_spec="path:12", algorithm="luby_fast", trials=32, seed=1
+            )
+        assert not other.cached
+
+    def test_seedless_request_bypasses_cache(self):
+        with Estimator(n_jobs=1, cache_size=8) as svc:
+            a = svc.estimate(
+                graph_spec="path:12", algorithm="luby_fast", trials=32, seed=None
+            )
+            b = svc.estimate(
+                graph_spec="path:12", algorithm="luby_fast", trials=32, seed=None
+            )
+            snap = svc.counters.snapshot()
+        assert not a.cached and not b.cached
+        assert snap["cache_hits"] == 0
+        assert snap["trials_executed"] == 64

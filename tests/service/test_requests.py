@@ -1,0 +1,122 @@
+"""Validation and JSON round-trip tests for EstimateRequest/EstimateResult."""
+
+import pytest
+
+from repro.graphs import build_graph
+from repro.service import EstimateRequest, MODES
+
+
+def tree():
+    return build_graph("tree:20:5")
+
+
+class TestValidation:
+    def test_requires_exactly_one_graph_source(self):
+        with pytest.raises(ValueError):
+            EstimateRequest(algorithm="luby_fast", trials=10)
+        with pytest.raises(ValueError):
+            EstimateRequest(
+                algorithm="luby_fast",
+                trials=10,
+                graph=tree(),
+                graph_spec="tree:20:5",
+            )
+
+    def test_rejects_nonpositive_trials(self):
+        with pytest.raises(ValueError):
+            EstimateRequest(algorithm="luby_fast", trials=0, graph=tree())
+
+    def test_rejects_empty_algorithm(self):
+        with pytest.raises(ValueError):
+            EstimateRequest(algorithm="", trials=10, graph=tree())
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            EstimateRequest(
+                algorithm="luby_fast", trials=10, graph=tree(), mode="warp"
+            )
+
+    def test_rejects_bad_spec_eagerly(self):
+        with pytest.raises(ValueError):
+            EstimateRequest(algorithm="luby_fast", trials=10, graph_spec="donut:4")
+
+    def test_modes_tuple(self):
+        assert MODES == ("auto", "exact", "vectorized")
+
+
+class TestResolution:
+    def test_resolve_graph_from_spec(self):
+        req = EstimateRequest(
+            algorithm="luby_fast", trials=10, graph_spec="path:6"
+        )
+        assert req.resolve_graph().n == 6
+
+    def test_resolve_graph_passthrough(self):
+        g = tree()
+        req = EstimateRequest(algorithm="luby_fast", trials=10, graph=g)
+        assert req.resolve_graph() is g
+
+    def test_algorithm_key_without_params(self):
+        req = EstimateRequest(algorithm="luby_fast", trials=10, graph=tree())
+        assert req.algorithm_key() == "luby_fast"
+
+    def test_algorithm_key_sorts_params(self):
+        a = EstimateRequest(
+            algorithm="fair_tree_fast",
+            trials=10,
+            graph=tree(),
+            params={"gamma_c": 1.0, "validate": True},
+        )
+        b = EstimateRequest(
+            algorithm="fair_tree_fast",
+            trials=10,
+            graph=tree(),
+            params={"validate": True, "gamma_c": 1.0},
+        )
+        assert a.algorithm_key() == b.algorithm_key()
+        assert a.algorithm_key().startswith("fair_tree_fast(")
+
+
+class TestJson:
+    def test_round_trip(self):
+        obj = {
+            "id": "r1",
+            "graph": "tree:20:5",
+            "algorithm": "luby_fast",
+            "trials": 32,
+            "seed": 7,
+            "mode": "exact",
+        }
+        req = EstimateRequest.from_json(obj)
+        assert req.to_json() == {
+            "graph": "tree:20:5",
+            "algorithm": "luby_fast",
+            "trials": 32,
+            "seed": 7,
+            "mode": "exact",
+            "id": "r1",
+        }
+
+    def test_from_json_defaults(self):
+        req = EstimateRequest.from_json({"graph": "path:4"})
+        assert req.algorithm == "fair_tree_fast"
+        assert req.trials == 2000
+        assert req.seed == 0
+        assert req.mode == "auto"
+
+    def test_from_json_null_seed(self):
+        req = EstimateRequest.from_json({"graph": "path:4", "seed": None})
+        assert req.seed is None
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown request fields"):
+            EstimateRequest.from_json({"graph": "path:4", "bogus": 1})
+
+    def test_from_json_requires_graph(self):
+        with pytest.raises(ValueError, match="graph"):
+            EstimateRequest.from_json({"algorithm": "luby_fast"})
+
+    def test_to_json_rejects_in_memory_graph(self):
+        req = EstimateRequest(algorithm="luby_fast", trials=10, graph=tree())
+        with pytest.raises(ValueError):
+            req.to_json()
