@@ -1,4 +1,10 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Run ``python -m repro --help`` for the command list; service commands
+(``serve``/``batch``/``stats``) expose the observability layer via
+``--stats-every``, ``--log-level`` and the metrics expositions — see
+``docs/OBSERVABILITY.md``.
+"""
 
 from .cli import main
 

@@ -21,6 +21,10 @@ Groups:
   :func:`normalize_jobs` semantics, :class:`JoinEstimate`;
 * service — :class:`Estimator` and the request/result dataclasses shared
   with the ``python -m repro serve``/``batch`` CLI;
+* observability — structured logging (:func:`get_logger`,
+  :func:`configure_logging`), request tracing (:func:`span`), and the
+  :class:`MetricsRegistry` behind every estimator's counters and
+  histograms (see ``docs/OBSERVABILITY.md``);
 * registry — :func:`make`/:func:`available` algorithm construction.
 """
 
@@ -37,6 +41,13 @@ from .core.registry import available, make
 from .core.result import MISAlgorithm, MISResult
 from .graphs.graph import RootedTree, StaticGraph
 from .graphs.spec import GraphSpec, GraphSpecError, build_graph
+from .obs import (
+    MetricsRegistry,
+    configure_logging,
+    default_registry,
+    get_logger,
+    span,
+)
 from .runtime.metrics import RequestRecord, ServiceCounters
 from .service import (
     BatchScheduler,
@@ -74,6 +85,12 @@ __all__ = [
     "ResultCache",
     "ServiceCounters",
     "RequestRecord",
+    # observability
+    "MetricsRegistry",
+    "default_registry",
+    "configure_logging",
+    "get_logger",
+    "span",
     # registry
     "make",
     "available",

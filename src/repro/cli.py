@@ -7,6 +7,7 @@ Commands
 ``estimate``  Monte-Carlo join probabilities + inequality factor
 ``serve``     estimation service: JSON requests on stdin → results on stdout
 ``batch``     estimation service over a JSON-lines request file
+``stats``     probe the service and print its metrics exposition
 ``table1``    regenerate Table I
 ``figure4``   regenerate Figure 4 (ASCII CDF panels)
 ``star``      the §I star demonstration
@@ -169,11 +170,18 @@ def _service_loop(
     cache_size: int,
     mode: str,
     include_counts: bool,
+    stats_every: int = 0,
 ) -> int:
-    """Run JSON-lines requests through one warm Estimator; returns #errors."""
+    """Run JSON-lines requests through one warm Estimator; returns #errors.
+
+    With ``stats_every=N`` a one-line JSON stats snapshot (counters plus
+    the full metrics-registry snapshot) is written to stderr after every
+    N served requests — the live-monitoring hook for ``serve``/``batch``.
+    """
     from .service import EstimateRequest, Estimator
 
     errors = 0
+    served = 0
     with Estimator(n_jobs=jobs, cache_size=cache_size) as service:
         for lineno, line in enumerate(lines, start=1):
             line = line.strip()
@@ -191,6 +199,16 @@ def _service_loop(
                 payload = {"error": str(exc), "line": lineno}
             out.write(json.dumps(payload) + "\n")
             out.flush()
+            served += 1
+            if stats_every and served % stats_every == 0:
+                snapshot = {
+                    "event": "stats",
+                    "requests_served": served,
+                    "counters": service.counters.snapshot(),
+                    "metrics": service.registry.snapshot(),
+                }
+                print(json.dumps(snapshot), file=sys.stderr)
+                sys.stderr.flush()
         stats = service.counters.snapshot()
     print(
         "service: {requests} requests, {cache_hits} cache hits, "
@@ -200,7 +218,16 @@ def _service_loop(
     return errors
 
 
+def _configure_service_logging(args: argparse.Namespace) -> None:
+    """Enable structured JSON logging on stderr when ``--log-level`` set."""
+    if getattr(args, "log_level", None):
+        from .obs.logging import configure_logging
+
+        configure_logging(stream=sys.stderr, level=args.log_level)
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
+    _configure_service_logging(args)
     print(
         "repro estimation service ready — one JSON request per line "
         "(see docs/SERVICE.md); EOF to stop",
@@ -214,6 +241,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             cache_size=args.cache_size,
             mode=args.mode,
             include_counts=not args.no_counts,
+            stats_every=args.stats_every,
         )
     except KeyboardInterrupt:
         # The Estimator context has already torn its workers down.
@@ -224,6 +252,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
 
 
 def _cmd_batch(args: argparse.Namespace) -> None:
+    _configure_service_logging(args)
     try:
         with open(args.input, "r", encoding="utf-8") as fh:
             lines = fh.readlines()
@@ -237,6 +266,7 @@ def _cmd_batch(args: argparse.Namespace) -> None:
             cache_size=args.cache_size,
             mode=args.mode,
             include_counts=not args.no_counts,
+            stats_every=args.stats_every,
         )
     else:
         with open(args.output, "w", encoding="utf-8") as out:
@@ -247,9 +277,45 @@ def _cmd_batch(args: argparse.Namespace) -> None:
                 cache_size=args.cache_size,
                 mode=args.mode,
                 include_counts=not args.no_counts,
+                stats_every=args.stats_every,
             )
     if errors:
         raise SystemExit(1)
+
+
+def _cmd_stats(args: argparse.Namespace) -> None:
+    """Exercise the service with a small probe and print its metrics.
+
+    The probe issues one exact-mode request (filling the rounds-per-trial,
+    trials-per-chunk and latency histograms) and repeats it (filling the
+    cache-hit path), then renders the estimator's registry in
+    Prometheus text and/or JSON form.
+    """
+    from .service import Estimator
+
+    graph = _graph_from_spec(args.graph)
+    with Estimator(n_jobs=args.jobs, cache_size=8) as service:
+        for _ in range(2):  # second pass exercises the cache-hit path
+            service.estimate(
+                graph=graph,
+                algorithm=args.algorithm,
+                trials=args.trials,
+                seed=args.seed,
+                mode="exact",
+            )
+        counters = service.counters.snapshot()
+        registry = service.registry
+        if args.format in ("prom", "both"):
+            print(registry.render_prometheus(), end="")
+        if args.format in ("json", "both"):
+            if args.format == "both":
+                print()
+            print(
+                json.dumps(
+                    {"counters": counters, "metrics": registry.snapshot()},
+                    indent=2,
+                )
+            )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -324,6 +390,20 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="omit per-node count vectors from result JSON",
         )
+        p.add_argument(
+            "--stats-every",
+            type=int,
+            default=0,
+            metavar="N",
+            help="emit a JSON stats snapshot to stderr every N requests "
+            "(0 = off)",
+        )
+        p.add_argument(
+            "--log-level",
+            choices=("debug", "info", "warning", "error"),
+            default=None,
+            help="enable structured JSON-lines logging on stderr",
+        )
 
     p = sub.add_parser(
         "serve", help="estimation service: JSON lines stdin -> stdout"
@@ -338,6 +418,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="-", help="result file, or - for stdout")
     service_opts(p)
     p.set_defaults(fn=_cmd_batch)
+
+    p = sub.add_parser(
+        "stats", help="probe the service and print its metrics exposition"
+    )
+    p.add_argument("--graph", default="tree:63", help="probe graph spec")
+    p.add_argument("--algorithm", default="luby_fast")
+    p.add_argument("--trials", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    p.add_argument(
+        "--format",
+        choices=("prom", "json", "both"),
+        default="both",
+        help="exposition format: Prometheus text, JSON snapshot, or both",
+    )
+    p.set_defaults(fn=_cmd_stats)
     return parser
 
 

@@ -1,0 +1,94 @@
+"""Unified observability layer: structured logs, spans, metrics.
+
+One subsystem, three signals, shared context:
+
+* **Structured logging** (:mod:`repro.obs.logging`) — :func:`get_logger`
+  returns a named logger emitting JSON-lines events; off by default,
+  enabled with :func:`configure_logging`.
+* **Tracing** (:mod:`repro.obs.spans`) — :func:`span` times a phase and
+  links it into a per-request trace via contextvars;
+  :func:`bind_trace` continues a trace across threads.  Every log
+  record emitted inside a span carries its ``trace_id``/``span_id``.
+* **Metrics** (:mod:`repro.obs.metrics`) — counters, gauges, and
+  fixed-bucket histograms in a :class:`MetricsRegistry` with Prometheus
+  text and JSON expositions; :func:`use_registry` scopes observations
+  to a service's own registry.
+
+:mod:`repro.obs.bridge` feeds the engines' round/message/slot
+measurements into the same histograms, so ``python -m repro stats`` and
+``python -m repro serve --stats-every N`` expose the paper's round
+distributions alongside request latency and cache behavior.  See
+``docs/OBSERVABILITY.md``.
+
+:func:`set_enabled(False) <set_enabled>` is the global kill switch; the
+benchmark suite uses it to bound instrumentation overhead.
+"""
+
+from .bridge import observe_run_metrics, observe_trial
+from .logging import (
+    StructLogger,
+    configure_logging,
+    disable_logging,
+    get_logger,
+    logging_enabled,
+)
+from .metrics import (
+    AGE_BUCKETS,
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    ROUND_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    default_registry,
+    enabled,
+    get_registry,
+    set_enabled,
+    use_registry,
+)
+from .spans import (
+    Span,
+    bind_trace,
+    current_span_id,
+    current_trace_id,
+    new_span_id,
+    new_trace_id,
+    span,
+)
+
+__all__ = [
+    # logging
+    "StructLogger",
+    "get_logger",
+    "configure_logging",
+    "disable_logging",
+    "logging_enabled",
+    # spans
+    "Span",
+    "span",
+    "bind_trace",
+    "current_trace_id",
+    "current_span_id",
+    "new_trace_id",
+    "new_span_id",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "get_registry",
+    "default_registry",
+    "use_registry",
+    "set_enabled",
+    "enabled",
+    "LATENCY_BUCKETS",
+    "ROUND_BUCKETS",
+    "COUNT_BUCKETS",
+    "AGE_BUCKETS",
+    # bridge
+    "observe_run_metrics",
+    "observe_trial",
+]

@@ -1,0 +1,93 @@
+"""Bridges from execution-layer metrics into the observability registry.
+
+The engines already measure what the paper's claims are about — rounds,
+messages, slot traffic (:class:`repro.runtime.metrics.RunMetrics`) and
+per-trial round counts (``MISResult.rounds`` on the faithful layer,
+``info["iterations"]`` on the fast sweeps).  These functions feed those
+measurements into the *active* metrics registry
+(:func:`repro.obs.metrics.get_registry`), so the same histograms that
+serve operator dashboards also answer the distributional questions
+behind the ``O(log* n)`` / ``O(log n)`` / ``O(log^2 n)`` round bounds.
+
+Observation lands in whichever registry is context-bound: the estimation
+service binds its own around dispatch (inline pools), everything else
+feeds the process default.  Observations made inside multiprocess pool
+*workers* stay in the worker's process and are not aggregated — use
+inline execution (``n_jobs=1``) when the round histograms matter.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .metrics import COUNT_BUCKETS, ROUND_BUCKETS, enabled, get_registry
+
+__all__ = ["observe_run_metrics", "observe_trial", "trial_rounds_histogram"]
+
+
+def observe_run_metrics(metrics: Any, registry: Any | None = None) -> None:
+    """Feed one engine run's :class:`RunMetrics` into the registry.
+
+    Populates ``engine_rounds_per_run``, ``engine_messages_per_run``,
+    ``engine_slots_per_run`` histograms and the ``engine_runs_total``
+    counter.  *metrics* is duck-typed (``rounds`` / ``total_messages`` /
+    ``total_slots``) to keep this module import-free of the runtime.
+    """
+    if not enabled():
+        return
+    reg = registry if registry is not None else get_registry()
+    reg.histogram(
+        "engine_rounds_per_run",
+        "Synchronous rounds consumed by one engine execution",
+        buckets=ROUND_BUCKETS,
+    ).observe(metrics.rounds)
+    reg.histogram(
+        "engine_messages_per_run",
+        "Messages delivered over one engine execution",
+        buckets=COUNT_BUCKETS,
+    ).observe(metrics.total_messages)
+    reg.histogram(
+        "engine_slots_per_run",
+        "Message slots (O(log n)-bit words) over one engine execution",
+        buckets=COUNT_BUCKETS,
+    ).observe(metrics.total_slots)
+    reg.counter(
+        "engine_runs_total", "Completed synchronous engine executions"
+    ).inc()
+
+
+def trial_rounds_histogram(algorithm: str, registry: Any | None = None):
+    """The per-*algorithm* ``trial_rounds`` histogram child, or ``None``
+    when observability is disabled.
+
+    Resolving the registry family costs more than observing into it, so
+    per-trial loops hoist this lookup out of the loop — one resolution
+    per chunk, one cheap ``observe`` per trial.
+    """
+    if not enabled():
+        return None
+    reg = registry if registry is not None else get_registry()
+    return reg.histogram(
+        "trial_rounds",
+        "Rounds (or vectorized sweep iterations) per Monte-Carlo trial",
+        buckets=ROUND_BUCKETS,
+        labelnames=("algorithm",),
+    ).labels(algorithm=algorithm)
+
+
+def observe_trial(
+    algorithm: str, result: Any, registry: Any | None = None
+) -> None:
+    """Feed one Monte-Carlo trial's round count into the registry.
+
+    *result* is duck-typed as a :class:`~repro.core.result.MISResult`:
+    faithful algorithms report ``rounds`` directly, fast engines report
+    sweep ``iterations`` through ``info``.  Trials with no round signal
+    (pure vectorized kernels) are skipped.
+    """
+    if not enabled():
+        return
+    rounds = result.rounds or result.info.get("iterations", 0)
+    if not rounds:
+        return
+    trial_rounds_histogram(algorithm, registry).observe(int(rounds))

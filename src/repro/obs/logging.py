@@ -1,0 +1,162 @@
+"""Structured JSON-lines logging with trace correlation.
+
+:func:`get_logger` returns a named :class:`StructLogger` whose methods
+emit one JSON object per line::
+
+    {"ts": 1722860000.123456, "level": "info", "logger": "repro.service",
+     "event": "request_completed", "trace_id": "9f…", "latency_s": 0.012}
+
+Logging is **off by default** — the library stays silent until
+:func:`configure_logging` installs an output stream (the CLI wires this
+to ``--log-level``).  Records automatically carry the active
+``trace_id``/``span_id`` from :mod:`repro.obs.spans`, which is what
+makes one service request greppable as a connected event tree.
+
+This is deliberately not built on :mod:`logging`: the hot paths need a
+single ``is-enabled`` branch costing nanoseconds, and the schema (flat
+JSON, trace correlation) is the product, not an adapter concern.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import IO, Any, Mapping
+
+from .metrics import enabled as _obs_enabled
+from .spans import current_span_id, current_trace_id
+
+__all__ = [
+    "StructLogger",
+    "get_logger",
+    "configure_logging",
+    "disable_logging",
+    "logging_enabled",
+    "LEVELS",
+]
+
+#: Numeric severities (stdlib-compatible ordering).
+LEVELS: dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class _Config:
+    __slots__ = ("stream", "level", "lock")
+
+    def __init__(self) -> None:
+        self.stream: IO[str] | None = None
+        self.level: int = LEVELS["info"]
+        self.lock = threading.Lock()
+
+
+_config = _Config()
+
+
+def configure_logging(
+    stream: IO[str] | None = None, level: str | int = "info"
+) -> None:
+    """Enable structured logging to *stream* (default ``sys.stderr``) at
+    *level* (``debug``/``info``/``warning``/``error``)."""
+    if isinstance(level, str):
+        try:
+            level_no = LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {sorted(LEVELS)}"
+            ) from None
+    else:
+        level_no = int(level)
+    _config.stream = stream if stream is not None else sys.stderr
+    _config.level = level_no
+
+
+def disable_logging() -> None:
+    """Turn structured logging back off (the default state)."""
+    _config.stream = None
+
+
+def logging_enabled(level: str = "debug") -> bool:
+    """Whether a record at *level* would currently be emitted."""
+    return (
+        _config.stream is not None
+        and _obs_enabled()
+        and LEVELS.get(level, 0) >= _config.level
+    )
+
+
+class StructLogger:
+    """A named logger emitting JSON-lines events with bound fields."""
+
+    __slots__ = ("name", "_fields")
+
+    def __init__(self, name: str, fields: Mapping[str, Any] | None = None):
+        self.name = name
+        self._fields = dict(fields or {})
+
+    def bind(self, **fields: Any) -> "StructLogger":
+        """A child logger whose records always include *fields*."""
+        return StructLogger(self.name, {**self._fields, **fields})
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        """Emit one event at *level*; extra *fields* become JSON keys.
+
+        Explicit ``trace_id``/``span_id`` fields override the ambient
+        span context (used when crossing threads).
+        """
+        stream = _config.stream
+        if (
+            stream is None
+            or not _obs_enabled()
+            or LEVELS.get(level, 0) < _config.level
+        ):
+            return
+        record: dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        span_id = current_span_id()
+        if span_id is not None:
+            record["span_id"] = span_id
+        record.update(self._fields)
+        record.update(fields)
+        line = json.dumps(record, default=repr, separators=(",", ":"))
+        with _config.lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except ValueError:  # pragma: no cover - stream closed mid-run
+                pass
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+
+_loggers: dict[str, StructLogger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(name: str) -> StructLogger:
+    """The (cached) structured logger for *name*."""
+    logger = _loggers.get(name)
+    if logger is None:
+        with _loggers_lock:
+            logger = _loggers.get(name)
+            if logger is None:
+                logger = StructLogger(name)
+                _loggers[name] = logger
+    return logger

@@ -13,8 +13,9 @@ module: :class:`ServiceCounters` aggregates request/cache/trial totals and
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
+
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["RoundRecord", "RunMetrics", "ServiceCounters", "RequestRecord"]
 
@@ -42,8 +43,13 @@ class RunMetrics:
     def record_round(
         self, round_index: int, messages: int, slots: int, active_nodes: int
     ) -> None:
-        """Append one round's traffic and update the running totals."""
-        self.rounds = round_index
+        """Append one round's traffic and update the running totals.
+
+        ``rounds`` tracks the highest index seen (not the last recorded),
+        so out-of-order recording — or a restart at round 0 — can never
+        silently under-count the run.
+        """
+        self.rounds = max(self.rounds, round_index)
         self.total_messages += messages
         self.total_slots += slots
         self.per_round.append(
@@ -100,6 +106,13 @@ class ServiceCounters:
 
     The scheduler, cache, and worker pools all increment through one
     instance, so a single snapshot describes a service's lifetime traffic.
+
+    Since the observability layer landed this is a compatibility shim
+    over :class:`repro.obs.metrics.MetricsRegistry`: each field is backed
+    by a registry counter named ``service_<field>_total``, so the same
+    totals appear in the Prometheus/JSON expositions without double
+    bookkeeping.  The historical surface — ``increment``, ``snapshot``,
+    attribute reads like ``counters.requests`` — is unchanged.
     """
 
     _FIELDS = (
@@ -114,22 +127,55 @@ class ServiceCounters:
         "pools_evicted",
     )
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        for name in self._FIELDS:
-            setattr(self, name, 0)
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self._registry.counter(
+                f"service_{name}_total",
+                f"Estimation-service lifetime total: {name.replace('_', ' ')}",
+            )
+            for name in self._FIELDS
+        }
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The backing metrics registry."""
+        return self._registry
 
     def increment(self, name: str, amount: int = 1) -> None:
-        """Add *amount* to counter *name* (must be a known field)."""
-        if name not in self._FIELDS:
+        """Add *amount* to counter *name* (must be a known field).
+
+        Validation and update are a single atomic step: the dictionary
+        lookup either yields the live counter (whose own lock serializes
+        the add) or fails immediately — there is no window in which an
+        unknown name can partially update state.
+        """
+        counter = self._counters.get(name)
+        if counter is None:
             raise AttributeError(f"unknown service counter {name!r}")
-        with self._lock:
-            setattr(self, name, getattr(self, name) + amount)
+        counter.inc(amount)
+
+    def reset(self) -> None:
+        """Zero every counter (test isolation)."""
+        for counter in self._counters.values():
+            counter.reset()
 
     def snapshot(self) -> dict[str, int]:
         """A consistent copy of all counters."""
-        with self._lock:
-            return {name: getattr(self, name) for name in self._FIELDS}
+        return {name: int(c.value) for name, c in self._counters.items()}
+
+    def __getattr__(self, name: str):
+        # Attribute-style reads (``counters.requests``) for known fields.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            counters = object.__getattribute__(self, "_counters")
+        except AttributeError:
+            raise AttributeError(name) from None
+        counter = counters.get(name)
+        if counter is None:
+            raise AttributeError(f"unknown service counter {name!r}")
+        return int(counter.value)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())

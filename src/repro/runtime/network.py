@@ -15,6 +15,7 @@ from typing import Any
 import numpy as np
 
 from ..graphs.graph import StaticGraph
+from ..obs.bridge import observe_run_metrics
 from .errors import MessageTooLarge, NotTerminated, RoundLimitExceeded
 from .message import Message, UNBOUNDED_SLOTS, slot_cost
 from .metrics import RunMetrics
@@ -122,7 +123,6 @@ class SyncNetwork:
         delivered = self._collect(contexts, inboxes, metrics, 0, trace)
         self._trace_terminations(trace, contexts, set(), 0)
         metrics.record_round(0, *delivered, active_nodes=n)
-        metrics.rounds = 0
 
         round_index = 0
         while any(not ctx.terminated for ctx in contexts):
@@ -151,6 +151,7 @@ class SyncNetwork:
         outputs = np.empty(n, dtype=object)
         for v, ctx in enumerate(contexts):
             outputs[v] = ctx.output if ctx.terminated else None
+        observe_run_metrics(metrics)
         return RunResult(outputs=outputs, metrics=metrics)
 
     # ------------------------------------------------------------------ #

@@ -10,12 +10,17 @@ the cache.  Hit/miss/eviction totals are reported through the shared
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 
 from ..analysis.fairness import JoinEstimate
+from ..obs.logging import get_logger
+from ..obs.metrics import AGE_BUCKETS, MetricsRegistry
 from ..runtime.metrics import ServiceCounters
 
 __all__ = ["ResultCache", "cache_key"]
+
+_log = get_logger("repro.service.cache")
 
 
 def cache_key(
@@ -39,31 +44,51 @@ class ResultCache:
     """
 
     def __init__(
-        self, capacity: int = 128, counters: ServiceCounters | None = None
+        self,
+        capacity: int = 128,
+        counters: ServiceCounters | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity = capacity
         self.counters = counters if counters is not None else ServiceCounters()
+        if registry is None:
+            registry = self.counters.registry
+        self._h_age = registry.histogram(
+            "service_cache_age_seconds",
+            "Age of the cached entry at the moment it served a hit",
+            buckets=AGE_BUCKETS,
+        )
         self._lock = threading.Lock()
-        self._entries: OrderedDict[tuple, JoinEstimate] = OrderedDict()
+        self._entries: OrderedDict[tuple, tuple[JoinEstimate, float]] = (
+            OrderedDict()
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, key: tuple | None) -> JoinEstimate | None:
-        """Look *key* up, recording a hit or miss; ``None`` keys miss."""
+        """Look *key* up, recording a hit or miss; ``None`` keys miss.
+
+        Hits additionally observe the entry's age (time since insertion)
+        into the ``service_cache_age_seconds`` histogram.
+        """
         if key is None:
             self.counters.increment("cache_misses")
             return None
         with self._lock:
-            est = self._entries.get(key)
-            if est is not None:
+            entry = self._entries.get(key)
+            if entry is not None:
                 self._entries.move_to_end(key)
-        if est is None:
+        if entry is None:
             self.counters.increment("cache_misses")
-        else:
-            self.counters.increment("cache_hits")
+            return None
+        est, inserted_at = entry
+        age = time.monotonic() - inserted_at
+        self._h_age.observe(age)
+        self.counters.increment("cache_hits")
+        _log.debug("cache_hit", age_s=round(age, 6))
         return est
 
     def put(self, key: tuple | None, estimate: JoinEstimate) -> None:
@@ -72,13 +97,14 @@ class ResultCache:
             return
         evictions = 0
         with self._lock:
-            self._entries[key] = estimate
+            self._entries[key] = (estimate, time.monotonic())
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 evictions += 1
         if evictions:
             self.counters.increment("cache_evictions", evictions)
+            _log.debug("cache_evicted", evictions=evictions)
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""

@@ -27,6 +27,9 @@ from typing import Any, Mapping
 
 from ..analysis.montecarlo import normalize_jobs
 from ..graphs.graph import StaticGraph
+from ..obs.logging import get_logger
+from ..obs.metrics import MetricsRegistry, use_registry
+from ..obs.spans import span
 from ..runtime.metrics import RequestRecord, ServiceCounters
 from .cache import ResultCache
 from .requests import EstimateRequest, EstimateResult
@@ -95,12 +98,18 @@ class Estimator:
         max_pools: int = 2,
         clamp_to_host: bool = True,
         context: str | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         workers = normalize_jobs(n_jobs)
         if clamp_to_host:
             workers = min(workers, os.cpu_count() or 1)
-        self.counters = ServiceCounters()
-        self.cache = ResultCache(capacity=cache_size, counters=self.counters)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.counters = ServiceCounters(registry=self.registry)
+        self.cache = ResultCache(
+            capacity=cache_size,
+            counters=self.counters,
+            registry=self.registry,
+        )
         self._scheduler = BatchScheduler(
             workers=workers,
             cache=self.cache,
@@ -108,6 +117,15 @@ class Estimator:
             chunk_trials=chunk_trials,
             max_pools=max_pools,
             context=context,
+            registry=self.registry,
+        )
+        self._log = get_logger("repro.service.estimator")
+        self._log.info(
+            "service_started",
+            workers=workers,
+            cache_size=cache_size,
+            chunk_trials=chunk_trials,
+            max_pools=max_pools,
         )
 
     # ------------------------------------------------------------------ #
@@ -152,7 +170,13 @@ class Estimator:
                 mode=mode,
                 id=request_id,
             )
-        return RequestHandle(self._scheduler.submit(request))
+        with use_registry(self.registry), span(
+            "estimator.submit",
+            algorithm=request.algorithm,
+            trials=request.trials,
+        ):
+            ticket = self._scheduler.submit(request)
+        return RequestHandle(ticket)
 
     def estimate(
         self,
@@ -175,6 +199,7 @@ class Estimator:
         :class:`~repro.service.EstimateCancelled`) and kills workers.
         Afterwards no worker process of this estimator remains alive.
         """
+        self._log.info("service_shutdown", graceful=wait)
         self._scheduler.shutdown(wait=wait, timeout=timeout)
 
     def __enter__(self) -> "Estimator":

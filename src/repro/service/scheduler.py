@@ -36,6 +36,14 @@ from ..core.registry import make
 from ..core.result import MISAlgorithm
 from ..fast.batched import vector_runner_for
 from ..graphs.graph import StaticGraph
+from ..obs.logging import get_logger
+from ..obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    use_registry,
+)
+from ..obs.spans import bind_trace, current_span_id, current_trace_id, new_trace_id, span
 from ..runtime.metrics import RequestRecord, ServiceCounters
 from ..runtime.rng import as_seed_sequence, spawn_trial_seeds
 from .cache import ResultCache, cache_key
@@ -71,6 +79,11 @@ class Ticket:
         self.algorithm = algorithm
         self.mode = mode
         self.key = key
+        # Trace continuation: tickets join the submitting context's trace
+        # (e.g. the Estimator.submit span) or start a fresh one, so every
+        # scheduler/pool/chunk event for this request shares one trace_id.
+        self.trace_id = current_trace_id() or new_trace_id()
+        self.parent_span_id = current_span_id()
         self.target = request.trials
         self.counts = np.zeros(graph.n, dtype=np.int64)
         self.trials_done = 0
@@ -152,6 +165,7 @@ class BatchScheduler:
         max_pools: int = 2,
         max_records: int = 1024,
         context: str | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if chunk_trials <= 0:
             raise ValueError("chunk_trials must be positive")
@@ -161,10 +175,42 @@ class BatchScheduler:
         self.counters = (
             counters
             if counters is not None
-            else (cache.counters if cache is not None else ServiceCounters())
+            else (
+                cache.counters
+                if cache is not None
+                else ServiceCounters(registry=registry)
+            )
+        )
+        self.registry = (
+            registry if registry is not None else self.counters.registry
         )
         self.cache = (
-            cache if cache is not None else ResultCache(counters=self.counters)
+            cache
+            if cache is not None
+            else ResultCache(counters=self.counters, registry=self.registry)
+        )
+        self._log = get_logger("repro.service.scheduler")
+        self._h_latency = self.registry.histogram(
+            "service_request_latency_seconds",
+            "Submit-to-completion latency of estimation requests",
+            buckets=LATENCY_BUCKETS,
+            labelnames=("algorithm",),
+        )
+        self._h_chunk = self.registry.histogram(
+            "service_trials_per_chunk",
+            "Trials executed per scheduled chunk",
+            buckets=COUNT_BUCKETS,
+        )
+        self._h_queue = self.registry.histogram(
+            "service_queue_depth",
+            "Dispatcher queue depth sampled at each submission",
+            buckets=COUNT_BUCKETS,
+        )
+        self._g_queue = self.registry.gauge(
+            "service_queue_depth_current", "Current dispatcher queue depth"
+        )
+        self._g_pools = self.registry.gauge(
+            "service_pools_resident", "Worker pools currently kept warm"
         )
         self.chunk_trials = chunk_trials
         self.max_pools = max_pools
@@ -206,6 +252,19 @@ class BatchScheduler:
             graph_hash, request.algorithm_key(), request.seed, request.trials, mode
         )
         ticket = Ticket(request, graph, graph_hash, algorithm, mode, key)
+        depth = self._queue.qsize()
+        self._h_queue.observe(depth)
+        self._g_queue.set(depth)
+        self._log.info(
+            "request_submitted",
+            trace_id=ticket.trace_id,
+            request_id=request.id,
+            algorithm=request.algorithm,
+            trials=request.trials,
+            mode=mode,
+            seeded=request.seed is not None,
+            queue_depth=depth,
+        )
 
         if key is not None:
             est = self.cache.get(key)
@@ -218,6 +277,12 @@ class BatchScheduler:
                     ticket.coalesced = True
                     primary.subscribers.append(ticket)
                     self.counters.increment("coalesced_requests")
+                    self._log.info(
+                        "request_coalesced",
+                        trace_id=ticket.trace_id,
+                        primary_trace_id=primary.trace_id,
+                        request_id=request.id,
+                    )
                     return ticket
                 self._inflight[key] = ticket
             self._queue.put(ticket)
@@ -231,6 +296,12 @@ class BatchScheduler:
                 ticket.coalesced = True
                 stream.subscribers.append(ticket)
                 self.counters.increment("coalesced_requests")
+                self._log.info(
+                    "request_coalesced",
+                    trace_id=ticket.trace_id,
+                    stream=repr(pair[1]),
+                    request_id=request.id,
+                )
                 if not stream.scheduled:
                     stream.scheduled = True
                     self._queue.put(stream)
@@ -280,6 +351,7 @@ class BatchScheduler:
     def _loop(self) -> None:
         while True:
             item = self._queue.get()
+            self._g_queue.set(self._queue.qsize())
             if item is None:
                 break
             try:
@@ -332,6 +404,8 @@ class BatchScheduler:
         for _key, victim in victims:
             victim.close(wait=True)
             self.counters.increment("pools_evicted")
+        with self._lock:
+            self._g_pools.set(len(self._pools))
         return pool
 
     def _plan_chunks(self, ticket: Ticket) -> list[tuple[Any, int]]:
@@ -355,27 +429,37 @@ class BatchScheduler:
         return [((root, k), k) for root, k in zip(roots, sizes)]
 
     def _dispatch_ticket(self, ticket: Ticket) -> None:
-        pair = (ticket.graph_hash, ticket.request.algorithm_key())
-        pool = self._pool_for(pair, ticket.algorithm, ticket.graph)
-        vectorized = ticket.mode == "vectorized"
-        for payload, n_trials in self._plan_chunks(ticket):
-            if ticket.dead:
-                break
-            if not self._acquire_slot():
-                self._abort(ticket, EstimateCancelled("scheduler stopped"))
-                return
-            with self._lock:
-                self._pool_busy[pair] = self._pool_busy.get(pair, 0) + 1
-            pool.submit_chunk(
-                payload,
-                vectorized,
-                callback=lambda counts, t=ticket, p=pair, n=n_trials: (
-                    self._on_ticket_chunk(t, p, n, counts)
-                ),
-                error_callback=lambda exc, t=ticket, p=pair: (
-                    self._on_chunk_error(t, p, exc)
-                ),
-            )
+        # Re-enter the request's trace on the dispatcher thread and bind
+        # the service registry so pool/engine observations land here.
+        with bind_trace(ticket.trace_id, ticket.parent_span_id), use_registry(
+            self.registry
+        ), span(
+            "scheduler.dispatch",
+            algorithm=ticket.request.algorithm,
+            trials=ticket.target,
+            mode=ticket.mode,
+        ):
+            pair = (ticket.graph_hash, ticket.request.algorithm_key())
+            pool = self._pool_for(pair, ticket.algorithm, ticket.graph)
+            vectorized = ticket.mode == "vectorized"
+            for payload, n_trials in self._plan_chunks(ticket):
+                if ticket.dead:
+                    break
+                if not self._acquire_slot():
+                    self._abort(ticket, EstimateCancelled("scheduler stopped"))
+                    return
+                with self._lock:
+                    self._pool_busy[pair] = self._pool_busy.get(pair, 0) + 1
+                pool.submit_chunk(
+                    payload,
+                    vectorized,
+                    callback=lambda counts, t=ticket, p=pair, n=n_trials: (
+                        self._on_ticket_chunk(t, p, n, counts)
+                    ),
+                    error_callback=lambda exc, t=ticket, p=pair: (
+                        self._on_chunk_error(t, p, exc)
+                    ),
+                )
         if ticket._cancelled and not ticket.done():
             self._abort(ticket, EstimateCancelled("request cancelled"))
 
@@ -385,6 +469,13 @@ class BatchScheduler:
         self._release_slot(pair)
         self.counters.increment("chunks_executed")
         self.counters.increment("trials_executed", n_trials)
+        self._h_chunk.observe(n_trials)
+        self._log.debug(
+            "chunk_completed",
+            trace_id=ticket.trace_id,
+            trials=n_trials,
+            algorithm=ticket.request.algorithm,
+        )
         finish = False
         with self._lock:
             ticket.counts += counts
@@ -438,6 +529,22 @@ class BatchScheduler:
             self._close_stream(stream)
             return
         exemplar = live[0]
+        with bind_trace(
+            exemplar.trace_id, exemplar.parent_span_id
+        ), use_registry(self.registry), span(
+            "scheduler.dispatch_stream",
+            algorithm=exemplar.request.algorithm,
+            subscribers=len(live),
+        ):
+            self._pump_stream(stream, exemplar, graph_hash, algorithm_key)
+
+    def _pump_stream(
+        self,
+        stream: _Stream,
+        exemplar: Ticket,
+        graph_hash: str,
+        algorithm_key: str,
+    ) -> None:
         pair = (graph_hash, algorithm_key)
         pool = self._pool_for(pair, exemplar.algorithm, exemplar.graph)
         vectorized = exemplar.mode == "vectorized"
@@ -485,6 +592,14 @@ class BatchScheduler:
         self._release_slot(pair)
         self.counters.increment("chunks_executed")
         self.counters.increment("trials_executed", n_trials)
+        self._h_chunk.observe(n_trials)
+        subs_now = list(stream.subscribers)
+        self._log.debug(
+            "chunk_completed",
+            trace_id=subs_now[0].trace_id if subs_now else None,
+            trials=n_trials,
+            stream=repr(pair[1]),
+        )
         finished: list[Ticket] = []
         with self._lock:
             stream.inflight_trials = max(0, stream.inflight_trials - n_trials)
@@ -532,6 +647,19 @@ class BatchScheduler:
         self, ticket: Ticket, estimate: JoinEstimate, cached: bool
     ) -> None:
         latency = time.perf_counter() - ticket.submitted_at
+        self._h_latency.labels(algorithm=ticket.request.algorithm).observe(
+            latency
+        )
+        self._log.info(
+            "request_completed",
+            trace_id=ticket.trace_id,
+            request_id=ticket.request.id,
+            algorithm=ticket.request.algorithm,
+            cached=cached,
+            coalesced=ticket.coalesced,
+            trials_run=0 if cached else ticket.trials_run,
+            latency_s=round(latency, 6),
+        )
         result = EstimateResult(
             request=ticket.request,
             estimate=estimate,
@@ -550,6 +678,19 @@ class BatchScheduler:
             if sub.done():
                 continue
             sub_latency = time.perf_counter() - sub.submitted_at
+            self._h_latency.labels(algorithm=sub.request.algorithm).observe(
+                sub_latency
+            )
+            self._log.info(
+                "request_completed",
+                trace_id=sub.trace_id,
+                request_id=sub.request.id,
+                algorithm=sub.request.algorithm,
+                cached=cached,
+                coalesced=True,
+                trials_run=0,
+                latency_s=round(sub_latency, 6),
+            )
             sub_result = EstimateResult(
                 request=sub.request,
                 estimate=estimate,
@@ -579,6 +720,13 @@ class BatchScheduler:
         )
 
     def _abort(self, ticket: Ticket, exc: BaseException) -> None:
+        self._log.error(
+            "request_failed",
+            trace_id=ticket.trace_id,
+            request_id=ticket.request.id,
+            algorithm=ticket.request.algorithm,
+            error=f"{type(exc).__name__}: {exc}",
+        )
         with self._lock:
             if ticket.key is not None and self._inflight.get(ticket.key) is ticket:
                 self._inflight.pop(ticket.key, None)
@@ -616,6 +764,7 @@ class BatchScheduler:
         if self._closed and not self._thread.is_alive():
             return
         self._closed = True
+        self._log.info("scheduler_shutdown", graceful=wait)
         if not wait:
             self._hard_stop = True
             with self._lock:

@@ -183,3 +183,88 @@ class TestServeCommand:
         (result,) = [json.loads(line) for line in captured.out.splitlines()]
         assert result["trials"] == 16
         assert "ready" in captured.err
+
+    def test_serve_stats_every_emits_snapshots(self, capsys, monkeypatch):
+        request = json.dumps(
+            {"graph": "path:8", "algorithm": "luby_fast", "trials": 16,
+             "seed": 1, "mode": "exact"}
+        )
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(request + "\n" + request + "\n")
+        )
+        assert main(["serve", "--jobs", "1", "--stats-every", "1"]) == 0
+        captured = capsys.readouterr()
+        stats = [
+            json.loads(line)
+            for line in captured.err.splitlines()
+            if line.startswith("{")
+        ]
+        assert [s["requests_served"] for s in stats] == [1, 2]
+        assert stats[0]["counters"]["trials_executed"] == 16
+        assert stats[1]["counters"]["cache_hits"] == 1
+        # the full registry snapshot rides along
+        assert "service_request_latency_seconds" in stats[0]["metrics"][
+            "histograms"
+        ]
+
+    def test_serve_log_level_emits_structured_events(
+        self, capsys, monkeypatch
+    ):
+        from repro.obs.logging import disable_logging
+
+        request = json.dumps(
+            {"graph": "path:8", "algorithm": "luby_fast", "trials": 8,
+             "seed": 1}
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        try:
+            assert main(["serve", "--jobs", "1", "--log-level", "info"]) == 0
+        finally:
+            disable_logging()
+        err = capsys.readouterr().err
+        events = [
+            json.loads(line)
+            for line in err.splitlines()
+            if line.startswith("{") and '"event"' in line
+        ]
+        names = {e["event"] for e in events}
+        assert "request_submitted" in names
+        assert "request_completed" in names
+
+
+class TestStatsCommand:
+    def test_stats_both_formats(self, capsys):
+        assert main(["stats", "--trials", "16"]) == 0
+        out = capsys.readouterr().out
+        # Prometheus text exposition: counters plus the three headline
+        # histograms.
+        assert "# TYPE service_requests_total counter" in out
+        assert "service_requests_total 2" in out
+        assert "service_request_latency_seconds_bucket" in out
+        assert "service_trials_per_chunk_bucket" in out
+        assert 'trial_rounds_bucket{algorithm="luby_fast"' in out
+        # JSON snapshot follows and parses
+        json_part = out[out.index('{\n  "counters"'):]
+        doc = json.loads(json_part)
+        assert doc["counters"]["trials_executed"] == 16
+        assert doc["counters"]["cache_hits"] == 1
+        assert "trial_rounds" in doc["metrics"]["histograms"]
+
+    def test_stats_json_only(self, capsys):
+        assert main(["stats", "--trials", "8", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counters"]["requests"] == 2
+        hists = doc["metrics"]["histograms"]
+        assert "service_request_latency_seconds" in hists
+        assert "service_trials_per_chunk" in hists
+        assert "trial_rounds" in hists
+
+    def test_stats_prom_only(self, capsys):
+        assert main(["stats", "--trials", "8", "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# HELP")
+        assert "{" not in out.splitlines()[-2] or "le=" in out  # no JSON tail
+
+    def test_stats_bad_graph_exits(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--graph", "donut:5"])

@@ -1,0 +1,87 @@
+"""Unit tests for the engine → registry observation bridge."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import MISResult
+from repro.obs.bridge import observe_run_metrics, observe_trial
+from repro.obs.metrics import MetricsRegistry, set_enabled, use_registry
+from repro.runtime.metrics import RunMetrics
+
+
+@pytest.fixture(autouse=True)
+def _restore():
+    yield
+    set_enabled(True)
+
+
+def _result(rounds=0, info=None):
+    return MISResult(
+        membership=np.zeros(3, dtype=bool), rounds=rounds, info=info or {}
+    )
+
+
+class TestObserveRunMetrics:
+    def test_populates_engine_histograms(self):
+        reg = MetricsRegistry()
+        m = RunMetrics()
+        m.record_round(1, messages=10, slots=20, active_nodes=5)
+        m.record_round(2, messages=4, slots=8, active_nodes=2)
+        observe_run_metrics(m, registry=reg)
+        snap = reg.snapshot()
+        assert snap["histograms"]["engine_rounds_per_run"][""]["sum"] == 2.0
+        assert snap["histograms"]["engine_messages_per_run"][""]["sum"] == 14.0
+        assert snap["histograms"]["engine_slots_per_run"][""]["sum"] == 28.0
+        assert snap["counters"]["engine_runs_total"][""] == 1.0
+
+    def test_context_registry_used_by_default(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            observe_run_metrics(RunMetrics())
+        assert reg.snapshot()["counters"]["engine_runs_total"][""] == 1.0
+
+    def test_disabled_is_noop(self):
+        reg = MetricsRegistry()
+        set_enabled(False)
+        observe_run_metrics(RunMetrics(), registry=reg)
+        assert reg.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestObserveTrial:
+    def test_faithful_rounds(self):
+        reg = MetricsRegistry()
+        observe_trial("luby", _result(rounds=7), registry=reg)
+        snap = reg.snapshot()
+        series = snap["histograms"]["trial_rounds"]['algorithm="luby"']
+        assert series["count"] == 1
+        assert series["sum"] == 7.0
+
+    def test_fast_sweep_iterations(self):
+        reg = MetricsRegistry()
+        observe_trial(
+            "luby_fast", _result(rounds=0, info={"iterations": 3}), registry=reg
+        )
+        series = reg.snapshot()["histograms"]["trial_rounds"][
+            'algorithm="luby_fast"'
+        ]
+        assert series["sum"] == 3.0
+
+    def test_no_round_signal_skipped(self):
+        reg = MetricsRegistry()
+        observe_trial("vectorized", _result(rounds=0), registry=reg)
+        assert reg.snapshot()["histograms"] == {}
+
+    def test_engine_run_feeds_context_registry(self):
+        # End-to-end: a SyncNetwork run observes into the bound registry.
+        from repro.algorithms.luby import LubyProcess
+        from repro.graphs.generators import path_graph
+        from repro.runtime import SyncNetwork
+
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            SyncNetwork(path_graph(5)).run(lambda v: LubyProcess(), seed=0)
+        assert reg.snapshot()["counters"]["engine_runs_total"][""] == 1.0

@@ -1,0 +1,97 @@
+"""Unit tests for structured JSON-lines logging."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.logging import (
+    configure_logging,
+    disable_logging,
+    get_logger,
+    logging_enabled,
+)
+from repro.obs.spans import bind_trace
+
+
+@pytest.fixture(autouse=True)
+def _silence_after():
+    yield
+    disable_logging()
+
+
+def capture(level="debug"):
+    buf = io.StringIO()
+    configure_logging(stream=buf, level=level)
+    return buf
+
+
+def records(buf):
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+class TestEmission:
+    def test_off_by_default(self):
+        disable_logging()
+        assert not logging_enabled("error")
+        # must not raise even with no stream configured
+        get_logger("t").info("quiet")
+
+    def test_json_record_shape(self):
+        buf = capture()
+        get_logger("repro.test").info("hello", answer=42)
+        (rec,) = records(buf)
+        assert rec["event"] == "hello"
+        assert rec["logger"] == "repro.test"
+        assert rec["level"] == "info"
+        assert rec["answer"] == 42
+        assert isinstance(rec["ts"], float)
+
+    def test_level_filtering(self):
+        buf = capture(level="warning")
+        log = get_logger("t")
+        log.debug("nope")
+        log.info("nope")
+        log.warning("yes")
+        log.error("yes")
+        assert [r["level"] for r in records(buf)] == ["warning", "error"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging(stream=io.StringIO(), level="loud")
+
+    def test_unserializable_fields_fall_back_to_repr(self):
+        buf = capture()
+        get_logger("t").info("obj", thing=object())
+        (rec,) = records(buf)
+        assert "object object" in rec["thing"]
+
+
+class TestBindingAndContext:
+    def test_bound_fields_inherited(self):
+        buf = capture()
+        child = get_logger("t").bind(request_id="r-1")
+        child.info("evt", extra=1)
+        (rec,) = records(buf)
+        assert rec["request_id"] == "r-1"
+        assert rec["extra"] == 1
+
+    def test_records_carry_active_trace(self):
+        buf = capture()
+        with bind_trace("trace-abc", "span-xyz"):
+            get_logger("t").info("inside")
+        get_logger("t").info("outside")
+        inside, outside = records(buf)
+        assert inside["trace_id"] == "trace-abc"
+        assert inside["span_id"] == "span-xyz"
+        assert "trace_id" not in outside
+
+    def test_explicit_trace_overrides_ambient(self):
+        buf = capture()
+        with bind_trace("ambient"):
+            get_logger("t").info("evt", trace_id="explicit")
+        (rec,) = records(buf)
+        assert rec["trace_id"] == "explicit"
+
+    def test_logger_cache(self):
+        assert get_logger("same") is get_logger("same")

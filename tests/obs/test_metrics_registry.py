@@ -1,0 +1,191 @@
+"""Unit tests for the metrics registry (counters/gauges/histograms)."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    get_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_reset(self):
+        c = Counter()
+        c.inc(3)
+        c.reset()
+        assert c.value == 0.0
+
+    def test_thread_safety(self):
+        c = Counter()
+
+        def bump():
+            for _ in range(2000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000.0
+
+
+class TestGauge:
+    def test_up_and_down(self):
+        g = Gauge()
+        g.set(5)
+        g.inc(2)
+        g.dec(4)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_le_semantics(self):
+        # bounds are inclusive upper bounds (Prometheus ``le``)
+        h = Histogram(buckets=(1, 2, 4))
+        for v in (1, 2, 2, 3, 100):
+            h.observe(v)
+        cum = dict(h.cumulative_buckets())
+        assert cum[1.0] == 1
+        assert cum[2.0] == 3
+        assert cum[4.0] == 4
+        assert cum[float("inf")] == 5
+        assert h.count == 5
+        assert h.sum == 108.0
+
+    def test_bounds_sorted_and_distinct(self):
+        h = Histogram(buckets=(4, 1, 2))
+        assert h.bounds == (1.0, 2.0, 4.0)
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1, 1))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_snapshot_value(self):
+        h = Histogram(buckets=(1, 2))
+        h.observe(1.5)
+        snap = h.snapshot_value()
+        assert snap["count"] == 1
+        assert snap["buckets"] == {"1": 0, "2": 1, "+Inf": 1}
+
+
+class TestMetricFamily:
+    def test_labeled_children(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("reqs", labelnames=("algorithm",))
+        fam.labels(algorithm="a").inc()
+        fam.labels(algorithm="a").inc()
+        fam.labels(algorithm="b").inc(5)
+        values = {
+            labels["algorithm"]: m.value for labels, m in fam.children()
+        }
+        assert values == {"a": 2.0, "b": 5.0}
+
+    def test_wrong_labels_rejected(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("reqs2", labelnames=("algorithm",))
+        with pytest.raises(ValueError):
+            fam.labels(other="x")
+        with pytest.raises(ValueError):
+            fam.inc()  # labeled family has no solo child
+
+    def test_unlabeled_delegation(self):
+        reg = MetricsRegistry()
+        reg.counter("plain").inc(2)
+        assert reg.counter("plain").value == 2.0
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", "help text")
+        b = reg.counter("x")
+        assert a is b
+
+    def test_redeclare_kind_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("y")
+        with pytest.raises(ValueError):
+            reg.gauge("y")
+        reg.histogram("z", buckets=COUNT_BUCKETS)
+        with pytest.raises(ValueError):
+            reg.histogram("z", labelnames=("a",))
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs_total", "Requests").inc(3)
+        reg.gauge("depth").set(2)
+        h = reg.histogram(
+            "lat", "Latency", buckets=(0.1, 1.0), labelnames=("alg",)
+        )
+        h.labels(alg="luby").observe(0.5)
+        text = reg.render_prometheus()
+        assert "# HELP reqs_total Requests" in text
+        assert "# TYPE reqs_total counter" in text
+        assert "reqs_total 3" in text
+        assert "depth 2" in text
+        assert 'lat_bucket{alg="luby",le="0.1"} 0' in text
+        assert 'lat_bucket{alg="luby",le="1"} 1' in text
+        assert 'lat_bucket{alg="luby",le="+Inf"} 1' in text
+        assert 'lat_sum{alg="luby"} 0.5' in text
+        assert 'lat_count{alg="luby"} 1' in text
+
+    def test_empty_families_omitted(self):
+        reg = MetricsRegistry()
+        reg.counter("declared_only", labelnames=("a",))  # no children yet
+        assert reg.render_prometheus() == ""
+        assert reg.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h", buckets=(1,), labelnames=("k",)).labels(
+            k="v"
+        ).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"][""] == 1.0
+        assert snap["histograms"]["h"]['k="v"']["count"] == 1
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(9)
+        reg.reset()
+        assert reg.counter("c").value == 0.0
+
+
+class TestRegistryResolution:
+    def test_default_is_process_global(self):
+        assert get_registry() is default_registry()
+
+    def test_use_registry_rebinds_and_restores(self):
+        mine = MetricsRegistry()
+        with use_registry(mine) as bound:
+            assert bound is mine
+            assert get_registry() is mine
+            mine2 = MetricsRegistry()
+            with use_registry(mine2):
+                assert get_registry() is mine2
+            assert get_registry() is mine
+        assert get_registry() is default_registry()

@@ -1,0 +1,117 @@
+"""Unit tests for trace/span context management."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.logging import configure_logging, disable_logging
+from repro.obs.metrics import (
+    MetricsRegistry,
+    set_enabled,
+    use_registry,
+)
+from repro.obs.spans import (
+    bind_trace,
+    current_span_id,
+    current_trace_id,
+    new_span_id,
+    new_trace_id,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore():
+    yield
+    disable_logging()
+    set_enabled(True)
+
+
+class TestIds:
+    def test_fresh_and_distinct(self):
+        assert new_trace_id() != new_trace_id()
+        assert len(new_trace_id()) == 32
+        assert len(new_span_id()) == 16
+
+    def test_no_ambient_ids_by_default(self):
+        assert current_trace_id() is None
+        assert current_span_id() is None
+
+
+class TestBindTrace:
+    def test_binds_and_restores(self):
+        with bind_trace("t1", "s1"):
+            assert current_trace_id() == "t1"
+            assert current_span_id() == "s1"
+        assert current_trace_id() is None
+        assert current_span_id() is None
+
+
+class TestSpan:
+    def test_nesting_links_parents(self):
+        with span("outer") as outer:
+            assert current_trace_id() == outer.trace_id
+            with span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+            assert current_span_id() == outer.span_id
+        assert outer.parent_id is None
+        assert outer.duration_s is not None and outer.duration_s >= 0
+
+    def test_span_continues_bound_trace(self):
+        with bind_trace("t-fixed", "s-parent"):
+            with span("child") as s:
+                assert s.trace_id == "t-fixed"
+                assert s.parent_id == "s-parent"
+
+    def test_span_logs_completion_event(self):
+        buf = io.StringIO()
+        configure_logging(stream=buf, level="debug")
+        with span("phase", items=3) as s:
+            s.annotate(extra="yes")
+        (rec,) = [json.loads(l) for l in buf.getvalue().splitlines()]
+        assert rec["event"] == "span"
+        assert rec["span"] == "phase"
+        assert rec["items"] == 3
+        assert rec["extra"] == "yes"
+        assert rec["trace_id"] == s.trace_id
+        assert rec["span_id"] == s.span_id
+        assert rec["duration_ms"] >= 0
+
+    def test_span_observes_duration_histogram(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with span("timed"):
+                pass
+        snap = reg.snapshot()
+        assert (
+            snap["histograms"]["obs_span_duration_seconds"]['span="timed"'][
+                "count"
+            ]
+            == 1
+        )
+
+    def test_disabled_spans_are_inert(self):
+        reg = MetricsRegistry()
+        set_enabled(False)
+        with use_registry(reg):
+            with span("ghost") as s:
+                assert s.trace_id is None
+                assert current_trace_id() is None
+        assert reg.snapshot()["histograms"] == {}
+
+    def test_exception_still_closes_span(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with pytest.raises(RuntimeError):
+                with span("boom"):
+                    raise RuntimeError("x")
+        assert current_span_id() is None
+        snap = reg.snapshot()
+        assert (
+            snap["histograms"]["obs_span_duration_seconds"]['span="boom"'][
+                "count"
+            ]
+            == 1
+        )

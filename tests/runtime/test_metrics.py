@@ -38,6 +38,17 @@ class TestRunMetrics:
         assert rec.slots == 9
         assert rec.active_nodes == 4
 
+    def test_record_round_out_of_order_keeps_max(self):
+        # Regression: ``rounds`` previously took the *last* recorded index,
+        # so out-of-order recording (or a trailing round-0 record) would
+        # silently under-count the run.
+        m = RunMetrics()
+        m.record_round(5, messages=1, slots=1, active_nodes=1)
+        m.record_round(3, messages=1, slots=1, active_nodes=1)
+        m.record_round(0, messages=0, slots=0, active_nodes=0)
+        assert m.rounds == 5
+        assert len(m.per_round) == 3
+
 
 class TestServiceCounters:
     def test_increment_and_snapshot(self):
@@ -66,6 +77,51 @@ class TestServiceCounters:
 
         with pytest.raises((AttributeError, KeyError, ValueError)):
             ServiceCounters().increment("bogus_counter")
+
+    def test_unknown_counter_leaves_state_untouched(self):
+        # Validate-and-update is atomic: a rejected name must not create
+        # a counter or disturb existing totals.
+        import pytest
+
+        from repro.runtime import ServiceCounters
+
+        c = ServiceCounters()
+        c.increment("requests")
+        with pytest.raises(AttributeError):
+            c.increment("bogus_counter", 7)
+        snap = c.snapshot()
+        assert snap["requests"] == 1
+        assert "bogus_counter" not in snap
+
+    def test_reset_zeroes_all(self):
+        from repro.runtime import ServiceCounters
+
+        c = ServiceCounters()
+        c.increment("requests", 5)
+        c.increment("trials_executed", 100)
+        c.reset()
+        assert all(v == 0 for v in c.snapshot().values())
+
+    def test_attribute_reads(self):
+        import pytest
+
+        from repro.runtime import ServiceCounters
+
+        c = ServiceCounters()
+        c.increment("cache_hits", 2)
+        assert c.cache_hits == 2
+        assert c.requests == 0
+        with pytest.raises(AttributeError):
+            c.no_such_counter
+
+    def test_backed_by_registry(self):
+        # The shim exposes the same totals through the metrics registry.
+        from repro.runtime import ServiceCounters
+
+        c = ServiceCounters()
+        c.increment("requests", 3)
+        snap = c.registry.snapshot()
+        assert snap["counters"]["service_requests_total"][""] == 3.0
 
     def test_thread_safety(self):
         import threading

@@ -67,6 +67,47 @@ class TestQuerying:
         assert "output" in term.describe()
 
 
+class TestDescribe:
+    def test_dict_payload_shows_type_tag(self):
+        from repro.runtime.trace import TraceEvent
+
+        e = TraceEvent(3, "message", 1, 2, {"type": "prio", "value": 0.5})
+        text = e.describe()
+        assert "[prio]" in text
+        assert "1 → 2" in text
+        assert "r   3" in text
+
+    def test_non_dict_payload_shows_type_name(self):
+        from repro.runtime.trace import TraceEvent
+
+        e = TraceEvent(0, "message", 4, 0, 42)
+        text = e.describe()
+        assert "[int]" in text
+        assert "42" in text
+
+    def test_terminate_event_shows_output(self):
+        from repro.runtime.trace import TraceEvent
+
+        e = TraceEvent(7, "terminate", 5, None, 1)
+        text = e.describe()
+        assert "node 5" in text
+        assert "output 1" in text
+
+    def test_transcript_filters_rounds(self):
+        trace = run_traced(path_graph(4))
+        only_r0 = trace.transcript(rounds=[0])
+        assert all(line.startswith("r   0") for line in only_r0.splitlines())
+        # an empty slice renders to an empty string (no truncation note)
+        assert trace.transcript(rounds=[10_000]) == ""
+
+    def test_payload_types_non_dict(self):
+        trace = MessageTrace()
+        trace.record_message(0, 0, 1, "raw-string")
+        trace.record_message(0, 1, 0, {"type": "prio"})
+        hist = trace.payload_types()
+        assert hist == {"str": 1, "prio": 1}
+
+
 class TestTruncation:
     def test_truncates_at_cap(self):
         trace = run_traced(star_graph(10), max_events=5)
