@@ -22,15 +22,26 @@ Groups:
 * service — :class:`Estimator` and the request/result dataclasses shared
   with the ``python -m repro serve``/``batch`` CLI;
 * observability — structured logging (:func:`get_logger`,
-  :func:`configure_logging`), request tracing (:func:`span`), and the
+  :func:`configure_logging`), request tracing (:func:`span`), the
   :class:`MetricsRegistry` behind every estimator's counters and
-  histograms (see ``docs/OBSERVABILITY.md``);
+  histograms, and the opt-in engine :class:`PhaseProfiler`
+  (:func:`use_profiler`) (see ``docs/OBSERVABILITY.md``);
+* benchmarking — :class:`BenchConfig`/:func:`run_suite` and artifact
+  comparison behind ``python -m repro bench``;
 * registry — :func:`make`/:func:`available` algorithm construction.
 """
 
 from __future__ import annotations
 
 from .analysis.fairness import JoinEstimate, inequality_factor
+from .bench import (
+    BenchConfig,
+    compare_artifacts,
+    load_artifact,
+    make_artifact,
+    run_suite,
+    write_artifact,
+)
 from .analysis.montecarlo import (
     TrialPool,
     estimate_join_probabilities,
@@ -43,10 +54,13 @@ from .graphs.graph import RootedTree, StaticGraph
 from .graphs.spec import GraphSpec, GraphSpecError, build_graph
 from .obs import (
     MetricsRegistry,
+    PhaseProfiler,
     configure_logging,
+    current_profiler,
     default_registry,
     get_logger,
     span,
+    use_profiler,
 )
 from .runtime.metrics import RequestRecord, ServiceCounters
 from .service import (
@@ -91,6 +105,16 @@ __all__ = [
     "configure_logging",
     "get_logger",
     "span",
+    "PhaseProfiler",
+    "use_profiler",
+    "current_profiler",
+    # benchmarking
+    "BenchConfig",
+    "run_suite",
+    "make_artifact",
+    "write_artifact",
+    "load_artifact",
+    "compare_artifacts",
     # registry
     "make",
     "available",

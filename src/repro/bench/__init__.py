@@ -1,0 +1,44 @@
+"""Continuous benchmark harness (``repro bench``).
+
+Three layers, each usable on its own:
+
+* :mod:`~repro.bench.suite` — the declarative benchmark suite: engine
+  throughput, service latency percentiles, cache warm-vs-cold speedup,
+  and deterministic per-algorithm round/message counts.
+* :mod:`~repro.bench.artifact` — schema-versioned ``BENCH_<sha>.json``
+  artifacts with an environment fingerprint.
+* :mod:`~repro.bench.compare` — baseline comparison with per-metric
+  deltas and regression gating (count metrics gate on any deviation;
+  timing metrics are report-only unless ``strict_timing``).
+
+The CLI front-end is ``repro bench`` (see :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+from .artifact import (
+    SCHEMA_VERSION,
+    default_artifact_path,
+    environment_fingerprint,
+    git_sha,
+    load_artifact,
+    make_artifact,
+    write_artifact,
+)
+from .compare import CompareReport, CompareRow, compare_artifacts
+from .suite import BenchConfig, run_suite
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchConfig",
+    "CompareReport",
+    "CompareRow",
+    "compare_artifacts",
+    "default_artifact_path",
+    "environment_fingerprint",
+    "git_sha",
+    "load_artifact",
+    "make_artifact",
+    "run_suite",
+    "write_artifact",
+]

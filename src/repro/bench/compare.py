@@ -1,0 +1,171 @@
+"""Baseline comparison and regression gating for bench artifacts.
+
+The comparison walks the union of metric names in two artifacts and
+classifies each shared metric:
+
+* ``count`` metrics are deterministic — *any* delta beyond the metric's
+  tolerance (default 0%) is a behavioural regression and gates whenever
+  the metric's ``gate`` flag is set.
+* ``timing`` metrics are machine-dependent — a bad-direction delta
+  beyond tolerance is *reported* but only gates when the caller passes
+  ``strict_timing=True`` (same-machine comparisons, perf CI boxes).
+
+``repro bench --compare BASELINE.json`` prints :meth:`CompareReport.format`
+and exits nonzero when :attr:`CompareReport.ok` is false.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["CompareReport", "CompareRow", "compare_artifacts"]
+
+
+@dataclass
+class CompareRow:
+    """One metric's baseline-vs-current verdict."""
+
+    name: str
+    kind: str
+    unit: str
+    baseline: float | None
+    current: float | None
+    delta_pct: float | None
+    tolerance_pct: float
+    regressed: bool
+    gated: bool
+    note: str = ""
+
+
+@dataclass
+class CompareReport:
+    """All rows plus the overall gate verdict."""
+
+    rows: list[CompareRow] = field(default_factory=list)
+    baseline_sha: str = "unknown"
+    current_sha: str = "unknown"
+    strict_timing: bool = False
+
+    @property
+    def gating_failures(self) -> list[CompareRow]:
+        return [r for r in self.rows if r.regressed and r.gated]
+
+    @property
+    def ok(self) -> bool:
+        """True when no gated metric regressed."""
+        return not self.gating_failures
+
+    def format(self) -> str:
+        """Human-readable report (fixed-width table + verdict)."""
+        lines = [
+            f"bench compare: baseline {self.baseline_sha} -> "
+            f"current {self.current_sha}"
+            + (" [strict timing]" if self.strict_timing else ""),
+            f"{'metric':<38} {'kind':<7} {'baseline':>12} {'current':>12} "
+            f"{'delta':>9}  verdict",
+        ]
+        for r in sorted(self.rows, key=lambda r: (not r.regressed, r.name)):
+            base = "-" if r.baseline is None else f"{r.baseline:.4g}"
+            cur = "-" if r.current is None else f"{r.current:.4g}"
+            delta = "-" if r.delta_pct is None else f"{r.delta_pct:+.1f}%"
+            if r.regressed and r.gated:
+                verdict = "REGRESSED"
+            elif r.regressed:
+                verdict = "regressed (not gated)"
+            else:
+                verdict = "ok"
+            if r.note:
+                verdict += f" [{r.note}]"
+            lines.append(
+                f"{r.name:<38} {r.kind:<7} {base:>12} {cur:>12} {delta:>9}  "
+                f"{verdict}"
+            )
+        failures = self.gating_failures
+        if failures:
+            lines.append(
+                f"FAIL: {len(failures)} gated metric(s) regressed: "
+                + ", ".join(r.name for r in failures)
+            )
+        else:
+            lines.append(f"OK: {len(self.rows)} metric(s) compared, no gated "
+                         "regressions")
+        return "\n".join(lines)
+
+
+def _delta_pct(baseline: float, current: float) -> float:
+    if baseline == 0:
+        return 0.0 if current == 0 else math.inf
+    return (current - baseline) / abs(baseline) * 100.0
+
+
+def compare_artifacts(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    tolerance_pct: float | None = None,
+    strict_timing: bool = False,
+) -> CompareReport:
+    """Compare two artifact documents (see :mod:`repro.bench.artifact`).
+
+    ``tolerance_pct`` overrides every metric's own tolerance when given.
+    """
+    report = CompareReport(
+        baseline_sha=str(baseline.get("git_sha", "unknown")),
+        current_sha=str(current.get("git_sha", "unknown")),
+        strict_timing=strict_timing,
+    )
+    base_metrics: Mapping[str, Any] = baseline.get("metrics", {})
+    cur_metrics: Mapping[str, Any] = current.get("metrics", {})
+    for name in sorted(set(base_metrics) | set(cur_metrics)):
+        base_entry = base_metrics.get(name)
+        cur_entry = cur_metrics.get(name)
+        if base_entry is None or cur_entry is None:
+            missing = "baseline" if base_entry is None else "current"
+            entry = cur_entry if base_entry is None else base_entry
+            report.rows.append(CompareRow(
+                name=name,
+                kind=str(entry.get("kind", "timing")),
+                unit=str(entry.get("unit", "")),
+                baseline=None if base_entry is None else float(base_entry["value"]),
+                current=None if cur_entry is None else float(cur_entry["value"]),
+                delta_pct=None,
+                tolerance_pct=0.0,
+                regressed=False,
+                gated=False,
+                note=f"missing in {missing}",
+            ))
+            continue
+
+        kind = str(cur_entry.get("kind", "timing"))
+        base_val = float(base_entry["value"])
+        cur_val = float(cur_entry["value"])
+        delta = _delta_pct(base_val, cur_val)
+        tol = (
+            float(tolerance_pct)
+            if tolerance_pct is not None
+            else float(cur_entry.get("tolerance_pct", 0.0))
+        )
+
+        if kind == "count":
+            # Deterministic: any deviation beyond tolerance is real.
+            regressed = abs(delta) > tol
+            gated = bool(cur_entry.get("gate", True))
+        else:
+            higher_is_better = bool(cur_entry.get("higher_is_better", False))
+            bad = -delta if higher_is_better else delta
+            regressed = bad > tol
+            gated = strict_timing or bool(cur_entry.get("gate", False))
+
+        report.rows.append(CompareRow(
+            name=name,
+            kind=kind,
+            unit=str(cur_entry.get("unit", "")),
+            baseline=base_val,
+            current=cur_val,
+            delta_pct=delta,
+            tolerance_pct=tol,
+            regressed=regressed,
+            gated=gated,
+        ))
+    return report

@@ -1,0 +1,342 @@
+"""The declarative benchmark suite behind ``repro bench``.
+
+Every benchmark is a :class:`BenchCase` whose ``fn(config)`` returns one
+or more *metric entries* (flat dicts, see :mod:`repro.bench.artifact`).
+Two kinds coexist:
+
+``timing``
+    Wall-clock-derived (throughput, latency percentiles, speedups).
+    Machine-dependent, so comparisons treat them as advisory unless
+    explicitly gated (``repro bench --compare --strict-timing``).
+
+``count``
+    Deterministic given the pinned seeds — synchronous rounds and
+    message totals from :class:`~repro.runtime.metrics.RunMetrics`, fast
+    engine iteration counts.  Any deviation from baseline is a real
+    behavioural change and gates by default.
+
+Count cases use *fixed* graph sizes and seeds independent of the scale
+knobs, so a ``--quick`` baseline stays valid for full runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+__all__ = ["BenchCase", "BenchConfig", "build_cases", "run_suite"]
+
+#: Advisory tolerance for timing metrics (percent) before a comparison
+#: even mentions the delta as a regression candidate.
+TIMING_TOLERANCE_PCT = 25.0
+
+# Pinned inputs for deterministic count metrics — never scaled by knobs.
+_COUNT_N = 60
+_COUNT_SEED = 12345
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@dataclass
+class BenchConfig:
+    """Scale knobs for one suite run.
+
+    ``quick`` pins a small deterministic workload for CI smoke gates;
+    otherwise ``REPRO_BENCH_TRIALS`` / ``REPRO_BENCH_CITY_N`` (the same
+    knobs as ``benchmarks/conftest.py``) set the scale.
+    """
+
+    quick: bool = False
+    trials: int = field(default=0)
+    tree_n: int = field(default=0)
+    service_requests: int = field(default=0)
+    only: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.trials <= 0:
+            self.trials = 200 if self.quick else _env_int("REPRO_BENCH_TRIALS", 400)
+        if self.tree_n <= 0:
+            self.tree_n = 120 if self.quick else _env_int("REPRO_BENCH_CITY_N", 400)
+        if self.service_requests <= 0:
+            self.service_requests = 6 if self.quick else 16
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "quick": self.quick,
+            "trials": self.trials,
+            "tree_n": self.tree_n,
+            "service_requests": self.service_requests,
+            "count_n": _COUNT_N,
+            "count_seed": _COUNT_SEED,
+        }
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One named benchmark producing one or more metric entries."""
+
+    name: str
+    fn: Callable[[BenchConfig], dict[str, dict[str, Any]]]
+    description: str = ""
+
+
+def _entry(
+    value: float,
+    unit: str,
+    kind: str,
+    higher_is_better: bool,
+    gate: bool,
+    tolerance_pct: float,
+    details: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "value": float(value),
+        "unit": unit,
+        "kind": kind,
+        "higher_is_better": higher_is_better,
+        "gate": gate,
+        "tolerance_pct": tolerance_pct,
+    }
+    if details:
+        out["details"] = details
+    return out
+
+
+def _timing(value: float, unit: str, higher_is_better: bool, **kw: Any):
+    return _entry(
+        value, unit, "timing", higher_is_better,
+        gate=False, tolerance_pct=TIMING_TOLERANCE_PCT, **kw,
+    )
+
+
+def _count(value: float, unit: str, **kw: Any):
+    return _entry(
+        value, unit, "count", higher_is_better=False,
+        gate=True, tolerance_pct=0.0, **kw,
+    )
+
+
+def _bench_tree(n: int, seed: int = 7):
+    from ..graphs.generators import random_tree
+
+    return random_tree(n, seed=seed).graph
+
+
+# --------------------------------------------------------------------- #
+# timing cases
+# --------------------------------------------------------------------- #
+def _engine_throughput(config: BenchConfig) -> dict[str, dict[str, Any]]:
+    """Exact per-trial throughput (trials/sec) for the fast engines."""
+    from ..fast.fair_tree import FastFairTree
+    from ..fast.luby import FastLuby
+    from ..runtime.rng import generator_from
+
+    graph = _bench_tree(config.tree_n)
+    trials = max(1, config.trials // 4)
+    out: dict[str, dict[str, Any]] = {}
+    for algorithm in (FastLuby(), FastFairTree()):
+        rng = generator_from(0)
+        started = time.perf_counter()
+        for _ in range(trials):
+            algorithm.run(graph, rng)
+        elapsed = time.perf_counter() - started
+        out[f"engine.{algorithm.name}.throughput"] = _timing(
+            trials / elapsed, "trials/s", higher_is_better=True,
+            details={"trials": trials, "n": config.tree_n},
+        )
+    return out
+
+
+def _batched_throughput(config: BenchConfig) -> dict[str, dict[str, Any]]:
+    """Disjoint-union batched throughput (trials/sec)."""
+    from ..fast.batched import batched_fair_tree_trials, batched_luby_trials
+
+    graph = _bench_tree(config.tree_n)
+    out: dict[str, dict[str, Any]] = {}
+    for name, runner in (
+        ("batched_luby", batched_luby_trials),
+        ("batched_fair_tree", batched_fair_tree_trials),
+    ):
+        started = time.perf_counter()
+        runner(graph, config.trials, seed=0)
+        elapsed = time.perf_counter() - started
+        out[f"engine.{name}.throughput"] = _timing(
+            config.trials / elapsed, "trials/s", higher_is_better=True,
+            details={"trials": config.trials, "n": config.tree_n},
+        )
+    return out
+
+
+def _service_latency(config: BenchConfig) -> dict[str, dict[str, Any]]:
+    """Submit→complete latency percentiles through the estimation service."""
+    from ..service.estimator import Estimator
+
+    graph = _bench_tree(max(40, config.tree_n // 4))
+    trials = max(8, config.trials // 8)
+    with Estimator(n_jobs=1) as service:
+        handles = [
+            service.submit(
+                graph=graph,
+                algorithm="fair_tree_fast",
+                trials=trials,
+                seed=1000 + i,  # distinct seeds: no cache coalescing
+            )
+            for i in range(config.service_requests)
+        ]
+        for handle in handles:
+            handle.result(timeout=120.0)
+        summaries = service.registry.quantiles("service_request_latency_seconds")
+    out: dict[str, dict[str, Any]] = {}
+    for labels, summary in summaries.items():
+        for pct in ("p50", "p95", "p99"):
+            out[f"service.latency_ms.{pct}"] = _timing(
+                summary[pct] * 1e3, "ms", higher_is_better=False,
+                details={
+                    "labels": labels,
+                    "count": summary["count"],
+                    "mean_ms": summary["mean"] * 1e3,
+                },
+            )
+        break  # single algorithm submitted → single label set
+    return out
+
+
+def _cache_speedup(config: BenchConfig) -> dict[str, dict[str, Any]]:
+    """Warm-vs-cold speedup of an identical repeated request."""
+    from ..service.estimator import Estimator
+
+    graph = _bench_tree(max(40, config.tree_n // 4))
+    trials = max(8, config.trials // 4)
+    with Estimator(n_jobs=1) as service:
+        started = time.perf_counter()
+        service.estimate(graph=graph, algorithm="fair_tree_fast",
+                         trials=trials, seed=0, timeout=120.0)
+        cold = time.perf_counter() - started
+        started = time.perf_counter()
+        service.estimate(graph=graph, algorithm="fair_tree_fast",
+                         trials=trials, seed=0, timeout=120.0)
+        warm = time.perf_counter() - started
+    return {
+        "cache.warm_cold_speedup": _timing(
+            cold / warm if warm > 0 else float("inf"), "x",
+            higher_is_better=True,
+            details={"cold_ms": cold * 1e3, "warm_ms": warm * 1e3,
+                     "trials": trials},
+        )
+    }
+
+
+def _profiled_run(config: BenchConfig) -> dict[str, dict[str, Any]]:
+    """One profiled FastFairTree run; per-phase breakdown in details."""
+    from ..fast.fair_tree import FastFairTree
+    from ..obs.profile import use_profiler
+    from ..runtime.rng import generator_from
+
+    graph = _bench_tree(config.tree_n)
+    with use_profiler() as prof:
+        started = time.perf_counter()
+        FastFairTree().run(graph, generator_from(0))
+        elapsed = time.perf_counter() - started
+    report = prof.report()
+    return {
+        "profile.fair_tree_fast.run_ms": _timing(
+            elapsed * 1e3, "ms", higher_is_better=False,
+            details={"phases": report["phases"], "counts": report["counts"]},
+        )
+    }
+
+
+# --------------------------------------------------------------------- #
+# count cases (deterministic; gate on any deviation)
+# --------------------------------------------------------------------- #
+def _faithful_counts(config: BenchConfig) -> dict[str, dict[str, Any]]:
+    """Rounds/messages of the faithful engines on a pinned seeded run."""
+    from ..algorithms.fair_tree import FairTree
+    from ..algorithms.luby import LubyMIS
+    from ..runtime.rng import generator_from
+
+    graph = _bench_tree(_COUNT_N, seed=_COUNT_SEED)
+    out: dict[str, dict[str, Any]] = {}
+    for algorithm in (LubyMIS(), FairTree()):
+        result = algorithm.run(graph, generator_from(_COUNT_SEED))
+        metrics = result.metrics
+        assert metrics is not None
+        out[f"faithful.{algorithm.name}.rounds"] = _count(
+            metrics.rounds, "rounds", details={"n": _COUNT_N, "seed": _COUNT_SEED}
+        )
+        out[f"faithful.{algorithm.name}.messages"] = _count(
+            metrics.total_messages, "messages",
+            details={"n": _COUNT_N, "seed": _COUNT_SEED},
+        )
+    return out
+
+
+def _fast_counts(config: BenchConfig) -> dict[str, dict[str, Any]]:
+    """Iteration counts of the fast engines on a pinned seeded run."""
+    from ..fast.luby import FastLuby
+    from ..runtime.rng import generator_from
+
+    graph = _bench_tree(_COUNT_N, seed=_COUNT_SEED)
+    out: dict[str, dict[str, Any]] = {}
+    for variant in ("priority", "degree"):
+        algorithm = FastLuby(variant=variant)
+        result = algorithm.run(graph, generator_from(_COUNT_SEED))
+        out[f"fast.{algorithm.name}.iterations"] = _count(
+            result.info["iterations"], "iterations",
+            details={"n": _COUNT_N, "seed": _COUNT_SEED},
+        )
+    return out
+
+
+def build_cases(config: BenchConfig) -> list[BenchCase]:
+    """The suite, optionally filtered by ``config.only`` (substring)."""
+    cases = [
+        BenchCase("engine_throughput", _engine_throughput,
+                  "exact per-trial fast-engine throughput"),
+        BenchCase("batched_throughput", _batched_throughput,
+                  "disjoint-union batched throughput"),
+        BenchCase("service_latency", _service_latency,
+                  "service submit→complete latency percentiles"),
+        BenchCase("cache_speedup", _cache_speedup,
+                  "result-cache warm vs cold speedup"),
+        BenchCase("profiled_run", _profiled_run,
+                  "per-phase profile of one FAIRTREE run"),
+        BenchCase("faithful_counts", _faithful_counts,
+                  "faithful-engine rounds/messages (deterministic)"),
+        BenchCase("fast_counts", _fast_counts,
+                  "fast-engine iteration counts (deterministic)"),
+    ]
+    if config.only:
+        needle = config.only.lower()
+        cases = [c for c in cases if needle in c.name.lower()]
+    return cases
+
+
+def run_suite(
+    config: BenchConfig,
+    progress: Callable[[str], None] | None = None,
+    cases: Iterable[BenchCase] | None = None,
+) -> dict[str, dict[str, Any]]:
+    """Execute the suite; returns ``{metric_name: entry}`` for the artifact."""
+    metrics: dict[str, dict[str, Any]] = {}
+    for case in cases if cases is not None else build_cases(config):
+        if progress is not None:
+            progress(f"bench: {case.name} ({case.description})")
+        started = time.perf_counter()
+        produced = case.fn(config)
+        elapsed = time.perf_counter() - started
+        for name, entry in produced.items():
+            if name in metrics:
+                raise ValueError(f"duplicate bench metric name {name!r}")
+            metrics[name] = entry
+        if progress is not None:
+            progress(f"bench: {case.name} done in {elapsed:.2f}s "
+                     f"({len(produced)} metrics)")
+    return metrics

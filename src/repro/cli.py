@@ -8,6 +8,7 @@ Commands
 ``serve``     estimation service: JSON requests on stdin → results on stdout
 ``batch``     estimation service over a JSON-lines request file
 ``stats``     probe the service and print its metrics exposition
+``bench``     continuous benchmark suite → ``BENCH_<sha>.json`` artifact
 ``table1``    regenerate Table I
 ``figure4``   regenerate Figure 4 (ASCII CDF panels)
 ``star``      the §I star demonstration
@@ -31,6 +32,7 @@ import argparse
 import json
 import sys
 import warnings
+from contextlib import contextmanager
 from typing import IO, Iterable
 
 import numpy as np
@@ -162,6 +164,21 @@ def _cmd_families(args: argparse.Namespace) -> None:
     print(format_family_sweep(run_family_sweep(trials=args.trials, seed=args.seed)))
 
 
+def _latency_summary(registry) -> dict[str, dict[str, float]]:
+    """Per-algorithm request-latency percentiles (ms) from the registry."""
+    out: dict[str, dict[str, float]] = {}
+    summaries = registry.quantiles("service_request_latency_seconds")
+    for labels, summary in summaries.items():
+        out[labels or "all"] = {
+            "count": summary["count"],
+            "mean_ms": summary["mean"] * 1e3,
+            "p50_ms": summary["p50"] * 1e3,
+            "p95_ms": summary["p95"] * 1e3,
+            "p99_ms": summary["p99"] * 1e3,
+        }
+    return out
+
+
 def _service_loop(
     lines: Iterable[str],
     out: IO[str],
@@ -171,12 +188,15 @@ def _service_loop(
     mode: str,
     include_counts: bool,
     stats_every: int = 0,
+    stats_stream: IO[str] | None = None,
 ) -> int:
     """Run JSON-lines requests through one warm Estimator; returns #errors.
 
-    With ``stats_every=N`` a one-line JSON stats snapshot (counters plus
-    the full metrics-registry snapshot) is written to stderr after every
-    N served requests — the live-monitoring hook for ``serve``/``batch``.
+    With ``stats_every=N`` a one-line JSON stats snapshot (counters,
+    request-latency percentiles, plus the full metrics-registry snapshot)
+    is written after every N served requests — the live-monitoring hook
+    for ``serve``/``batch``.  Snapshots go to *stats_stream* when given
+    (``--stats-file``, JSON-lines), otherwise to stderr.
     """
     from .service import EstimateRequest, Estimator
 
@@ -205,10 +225,12 @@ def _service_loop(
                     "event": "stats",
                     "requests_served": served,
                     "counters": service.counters.snapshot(),
+                    "latency_ms": _latency_summary(service.registry),
                     "metrics": service.registry.snapshot(),
                 }
-                print(json.dumps(snapshot), file=sys.stderr)
-                sys.stderr.flush()
+                target = stats_stream if stats_stream is not None else sys.stderr
+                target.write(json.dumps(snapshot) + "\n")
+                target.flush()
         stats = service.counters.snapshot()
     print(
         "service: {requests} requests, {cache_hits} cache hits, "
@@ -226,6 +248,20 @@ def _configure_service_logging(args: argparse.Namespace) -> None:
         configure_logging(stream=sys.stderr, level=args.log_level)
 
 
+@contextmanager
+def _stats_stream(args: argparse.Namespace):
+    """Open ``--stats-file`` (append-mode JSON lines), or yield ``None``."""
+    path = getattr(args, "stats_file", None)
+    if not path:
+        yield None
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as fh:
+            yield fh
+    except OSError as exc:
+        raise SystemExit(f"error: cannot open {path}: {exc.strerror}")
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     _configure_service_logging(args)
     print(
@@ -234,15 +270,17 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         file=sys.stderr,
     )
     try:
-        errors = _service_loop(
-            sys.stdin,
-            sys.stdout,
-            jobs=args.jobs,
-            cache_size=args.cache_size,
-            mode=args.mode,
-            include_counts=not args.no_counts,
-            stats_every=args.stats_every,
-        )
+        with _stats_stream(args) as stats_stream:
+            errors = _service_loop(
+                sys.stdin,
+                sys.stdout,
+                jobs=args.jobs,
+                cache_size=args.cache_size,
+                mode=args.mode,
+                include_counts=not args.no_counts,
+                stats_every=args.stats_every,
+                stats_stream=stats_stream,
+            )
     except KeyboardInterrupt:
         # The Estimator context has already torn its workers down.
         print("interrupted", file=sys.stderr)
@@ -258,27 +296,30 @@ def _cmd_batch(args: argparse.Namespace) -> None:
             lines = fh.readlines()
     except OSError as exc:
         raise SystemExit(f"error: cannot read {args.input}: {exc.strerror}")
-    if args.output == "-":
-        errors = _service_loop(
-            lines,
-            sys.stdout,
-            jobs=args.jobs,
-            cache_size=args.cache_size,
-            mode=args.mode,
-            include_counts=not args.no_counts,
-            stats_every=args.stats_every,
-        )
-    else:
-        with open(args.output, "w", encoding="utf-8") as out:
+    with _stats_stream(args) as stats_stream:
+        if args.output == "-":
             errors = _service_loop(
                 lines,
-                out,
+                sys.stdout,
                 jobs=args.jobs,
                 cache_size=args.cache_size,
                 mode=args.mode,
                 include_counts=not args.no_counts,
                 stats_every=args.stats_every,
+                stats_stream=stats_stream,
             )
+        else:
+            with open(args.output, "w", encoding="utf-8") as out:
+                errors = _service_loop(
+                    lines,
+                    out,
+                    jobs=args.jobs,
+                    cache_size=args.cache_size,
+                    mode=args.mode,
+                    include_counts=not args.no_counts,
+                    stats_every=args.stats_every,
+                    stats_stream=stats_stream,
+                )
     if errors:
         raise SystemExit(1)
 
@@ -305,6 +346,7 @@ def _cmd_stats(args: argparse.Namespace) -> None:
             )
         counters = service.counters.snapshot()
         registry = service.registry
+        latency = _latency_summary(registry)
         if args.format in ("prom", "both"):
             print(registry.render_prometheus(), end="")
         if args.format in ("json", "both"):
@@ -312,10 +354,72 @@ def _cmd_stats(args: argparse.Namespace) -> None:
                 print()
             print(
                 json.dumps(
-                    {"counters": counters, "metrics": registry.snapshot()},
+                    {
+                        "counters": counters,
+                        "latency_ms": latency,
+                        "metrics": registry.snapshot(),
+                    },
                     indent=2,
                 )
             )
+        for labels, summary in latency.items():
+            print(
+                "latency[{key}]: p50 {p50_ms:.2f}ms  p95 {p95_ms:.2f}ms  "
+                "p99 {p99_ms:.2f}ms  (n={count:.0f})".format(
+                    key=labels, **summary
+                ),
+                file=sys.stderr,
+            )
+
+
+def _cmd_bench(args: argparse.Namespace) -> None:
+    """Run the benchmark suite, write the artifact, optionally gate."""
+    from .bench import (
+        BenchConfig,
+        compare_artifacts,
+        default_artifact_path,
+        load_artifact,
+        make_artifact,
+        run_suite,
+        write_artifact,
+    )
+    from .bench.suite import build_cases
+
+    config = BenchConfig(quick=args.quick, only=args.only)
+    cases = build_cases(config)
+    if args.list:
+        for case in cases:
+            print(f"{case.name:<22} {case.description}")
+        return
+    if not cases:
+        raise SystemExit(f"error: no bench cases match --only {args.only!r}")
+
+    def progress(message: str) -> None:
+        print(message, file=sys.stderr)
+        sys.stderr.flush()
+
+    metrics = run_suite(config, progress=progress, cases=cases)
+    doc = make_artifact(metrics, config.as_dict())
+    out_path = args.out if args.out else default_artifact_path(sha=doc["git_sha"])
+    write_artifact(doc, out_path)
+    print(f"wrote {out_path} ({len(metrics)} metrics)", file=sys.stderr)
+    for name in sorted(metrics):
+        entry = metrics[name]
+        print(f"{name:<38} {entry['value']:>12.4g} {entry['unit']}")
+    if args.compare:
+        try:
+            baseline = load_artifact(args.compare)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"error: cannot load baseline {args.compare}: {exc}")
+        report = compare_artifacts(
+            doc,
+            baseline,
+            tolerance_pct=args.tolerance,
+            strict_timing=args.strict_timing,
+        )
+        print(report.format())
+        if not report.ok:
+            raise SystemExit(1)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -399,6 +503,13 @@ def build_parser() -> argparse.ArgumentParser:
             "(0 = off)",
         )
         p.add_argument(
+            "--stats-file",
+            default=None,
+            metavar="PATH",
+            help="append stats snapshots to PATH (JSON lines) instead of "
+            "interleaving them on stderr",
+        )
+        p.add_argument(
             "--log-level",
             choices=("debug", "info", "warning", "error"),
             default=None,
@@ -434,6 +545,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="exposition format: Prometheus text, JSON snapshot, or both",
     )
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "bench", help="continuous benchmark suite -> BENCH_<sha>.json"
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="small deterministic workload (CI smoke scale)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="artifact path (default: BENCH_<git-sha>.json in the cwd)",
+    )
+    p.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline artifact; exit 1 on gated regression",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="override every metric's tolerance (percent)",
+    )
+    p.add_argument(
+        "--strict-timing",
+        action="store_true",
+        help="gate timing metrics too (same-machine comparisons only)",
+    )
+    p.add_argument(
+        "--only",
+        default=None,
+        metavar="SUBSTR",
+        help="run only bench cases whose name contains SUBSTR",
+    )
+    p.add_argument(
+        "--list", action="store_true", help="list bench cases and exit"
+    )
+    p.set_defaults(fn=_cmd_bench)
     return parser
 
 

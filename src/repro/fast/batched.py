@@ -20,6 +20,7 @@ import numpy as np
 from ..analysis.fairness import JoinEstimate
 from ..graphs.graph import StaticGraph
 from ..algorithms.fair_tree import default_gamma
+from ..obs.profile import phase
 from ..runtime.rng import SeedLike, generator_from
 from .fair_tree import fair_tree_run
 from .luby import luby_sweep
@@ -72,9 +73,12 @@ def batched_luby_trials(
     done = 0
     while done < trials:
         copies = min(batch, trials - done)
-        union = disjoint_power(graph, copies)
-        member, _ = luby_sweep(union, rng)
-        counts += _fold_counts(member, copies, n)
+        with phase("batched.union"):
+            union = disjoint_power(graph, copies)
+        with phase("batched.sweep"):
+            member, _ = luby_sweep(union, rng)
+        with phase("batched.fold"):
+            counts += _fold_counts(member, copies, n)
         done += copies
     return JoinEstimate(counts=counts, trials=trials)
 
@@ -101,9 +105,12 @@ def batched_fair_tree_trials(
     done = 0
     while done < trials:
         copies = min(batch, trials - done)
-        union = disjoint_power(graph, copies)
-        member, _ = fair_tree_run(union, rng, gamma=g_eff)
-        counts += _fold_counts(member, copies, n)
+        with phase("batched.union"):
+            union = disjoint_power(graph, copies)
+        with phase("batched.sweep"):
+            member, _ = fair_tree_run(union, rng, gamma=g_eff)
+        with phase("batched.fold"):
+            counts += _fold_counts(member, copies, n)
         done += copies
     return JoinEstimate(counts=counts, trials=trials)
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.graph import StaticGraph
+from ..obs.profile import phase
 from .engine import neighbor_count
 
 __all__ = ["cfb_fast"]
@@ -51,31 +52,33 @@ def cfb_fast(
     ces, ced = es[emask], ed[emask]
 
     # -- leader election: d_hat rounds of max-ID flooding ------------------- #
-    ids = np.arange(n, dtype=np.int64)
-    max_seen = np.where(active, ids, np.int64(-1))
-    for _ in range(d_hat):
-        prev = max_seen
-        max_seen = prev.copy()
-        if ces.size:
-            np.maximum.at(max_seen, ced, prev[ces])
-    leader = max_seen
-    is_leader = active & (leader == ids)
+    with phase("cfb.election"):
+        ids = np.arange(n, dtype=np.int64)
+        max_seen = np.where(active, ids, np.int64(-1))
+        for _ in range(d_hat):
+            prev = max_seen
+            max_seen = prev.copy()
+            if ces.size:
+                np.maximum.at(max_seen, ced, prev[ces])
+        leader = max_seen
+        is_leader = active & (leader == ids)
 
     # -- every node draws a bit; only self-elected leaders' bits are used --- #
     bits = rng.integers(0, 2, size=n, dtype=np.int64)
 
     # -- parity BFS from leaders, origin-checked ----------------------------- #
-    level = np.full(n, -1, dtype=np.int64)
-    level[is_leader] = 0
-    for _ in range(d_hat):
-        if ces.size == 0:
-            break
-        offer = (
-            (level[ces] >= 0) & (level[ced] < 0) & (leader[ces] == leader[ced])
-        )
-        if not offer.any():
-            break
-        level[ced[offer]] = level[ces[offer]] + 1
+    with phase("cfb.bfs"):
+        level = np.full(n, -1, dtype=np.int64)
+        level[is_leader] = 0
+        for _ in range(d_hat):
+            if ces.size == 0:
+                break
+            offer = (
+                (level[ces] >= 0) & (level[ced] < 0) & (leader[ces] == leader[ced])
+            )
+            if not offer.any():
+                break
+            level[ced[offer]] = level[ces[offer]] + 1
 
     reached = active & (level >= 0)
     b_leader = bits[np.where(leader >= 0, leader, 0)]

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.profile import current_profiler
+
 __all__ = [
     "neighbor_any",
     "neighbor_max",
@@ -32,6 +34,9 @@ def neighbor_any(
     edge_mask: np.ndarray | None = None,
 ) -> np.ndarray:
     """``out[v] = any(mask[u] for u ~ v)`` over (optionally masked) edges."""
+    prof = current_profiler()
+    if prof is not None:
+        prof.count("engine.neighbor_any")
     out = np.zeros(n, dtype=bool)
     if es.size == 0:
         return out
@@ -51,6 +56,9 @@ def neighbor_max(
     fill: int = -1,
 ) -> np.ndarray:
     """``out[v] = max(values[u] for u ~ v)`` (``fill`` when no neighbor)."""
+    prof = current_profiler()
+    if prof is not None:
+        prof.count("engine.neighbor_max")
     out = np.full(n, fill, dtype=values.dtype)
     if es.size == 0:
         return out
@@ -69,6 +77,9 @@ def neighbor_count(
     edge_mask: np.ndarray | None = None,
 ) -> np.ndarray:
     """``out[v] = #{u ~ v : mask[u]}`` over (optionally masked) edges."""
+    prof = current_profiler()
+    if prof is not None:
+        prof.count("engine.neighbor_count")
     if es.size == 0:
         return np.zeros(n, dtype=np.int64)
     hit = mask[es]

@@ -21,6 +21,7 @@ from ..core.registry import register
 from ..core.result import MISResult
 from ..graphs.graph import StaticGraph
 from ..algorithms.fair_tree import default_gamma
+from ..obs.profile import phase
 from .cfb import cfb_fast
 from .engine import neighbor_any
 from .luby import luby_sweep
@@ -40,29 +41,33 @@ def fair_tree_run(
     all_nodes = np.ones(n, dtype=bool)
 
     # -- Stage 1: cut + CFB on uncut edges ---------------------------------- #
-    cut_undirected = rng.integers(0, 2, size=m, dtype=np.int64)
-    cut = np.concatenate([cut_undirected, cut_undirected])  # symmetric order
-    i1 = cfb_fast(graph, rng, gamma, active=all_nodes, edge_mask=cut == 0)
+    with phase("fair_tree.stage1_cut"):
+        cut_undirected = rng.integers(0, 2, size=m, dtype=np.int64)
+        cut = np.concatenate([cut_undirected, cut_undirected])  # symmetric order
+        i1 = cfb_fast(graph, rng, gamma, active=all_nodes, edge_mask=cut == 0)
 
     # -- Stage 2: resolve conflicts among I₁ -------------------------------- #
-    joined2 = cfb_fast(graph, rng, gamma, active=i1)
-    i2 = i1 & joined2
+    with phase("fair_tree.stage2_resolve"):
+        joined2 = cfb_fast(graph, rng, gamma, active=i1)
+        i2 = i1 & joined2
 
     # -- Stage 3: maximalize over uncovered nodes ---------------------------- #
-    covered2 = i2 | neighbor_any(i2, es, ed, n)
-    uncovered = ~covered2
-    joined3 = cfb_fast(graph, rng, gamma, active=uncovered)
-    i3 = i2 | (uncovered & joined3)
+    with phase("fair_tree.stage3_maximalize"):
+        covered2 = i2 | neighbor_any(i2, es, ed, n)
+        uncovered = ~covered2
+        joined3 = cfb_fast(graph, rng, gamma, active=uncovered)
+        i3 = i2 | (uncovered & joined3)
 
     # -- Stage 4: fix + fallback --------------------------------------------- #
-    conflict = neighbor_any(i3, es, ed, n) & i3
-    fixed = i3 & ~conflict
-    covered = fixed | neighbor_any(fixed, es, ed, n)
-    fallback_nodes = int((~covered).sum())
-    member = fixed
-    if fallback_nodes:
-        extra, _ = luby_sweep(graph, rng, active=~covered)
-        member = fixed | extra
+    with phase("fair_tree.stage4_fallback"):
+        conflict = neighbor_any(i3, es, ed, n) & i3
+        fixed = i3 & ~conflict
+        covered = fixed | neighbor_any(fixed, es, ed, n)
+        fallback_nodes = int((~covered).sum())
+        member = fixed
+        if fallback_nodes:
+            extra, _ = luby_sweep(graph, rng, active=~covered)
+            member = fixed | extra
     info = {
         "engine": "fast",
         "gamma": gamma,

@@ -9,6 +9,7 @@ practical in pure Python.
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 import numpy as np
@@ -16,6 +17,7 @@ import numpy as np
 from ..core.registry import register
 from ..core.result import MISResult
 from ..graphs.graph import StaticGraph
+from ..obs.profile import current_profiler
 from .engine import edge_both, neighbor_any, neighbor_count, neighbor_max, priority_keys
 
 __all__ = ["luby_sweep", "luby_degree_sweep", "FastLuby"]
@@ -39,11 +41,13 @@ def luby_sweep(
     member = np.zeros(n, dtype=bool)
     if max_iterations is None:
         max_iterations = 8 * (int(np.log2(max(n, 2))) + 4)
+    prof = current_profiler()  # hoisted: one contextvar read per sweep
     iterations = 0
     while live.any():
         iterations += 1
         if iterations > max_iterations:  # pragma: no cover - safety valve
             raise RuntimeError("Luby failed to terminate within the budget")
+        started = time.perf_counter() if prof is not None else 0.0
         keys = priority_keys(rng, n)
         emask = edge_both(live, es, ed)
         if edge_mask is not None:
@@ -53,6 +57,8 @@ def luby_sweep(
         member |= winners
         covered = neighbor_any(winners, es, ed, n, edge_mask=emask)
         live &= ~winners & ~covered
+        if prof is not None:
+            prof.record_round("luby.sweep", time.perf_counter() - started)
     return member, iterations
 
 
@@ -72,11 +78,13 @@ def luby_degree_sweep(
         max_iterations = 64 * (int(np.log2(max(n, 2))) + 4)
     id_bits = max(1, int(n - 1).bit_length())
     ids = np.arange(n, dtype=np.int64)
+    prof = current_profiler()
     iterations = 0
     while live.any():
         iterations += 1
         if iterations > max_iterations:  # pragma: no cover - safety valve
             raise RuntimeError("Luby(degree) failed to terminate within budget")
+        started = time.perf_counter() if prof is not None else 0.0
         emask = edge_both(live, es, ed)
         if edge_mask is not None:
             emask &= edge_mask
@@ -85,6 +93,10 @@ def luby_degree_sweep(
         member |= isolated
         live &= ~isolated
         if not live.any():
+            if prof is not None:
+                prof.record_round(
+                    "luby.degree_sweep", time.perf_counter() - started
+                )
             break
         prob = np.zeros(n)
         prob[live] = 1.0 / (2.0 * deg[live])
@@ -95,6 +107,10 @@ def luby_degree_sweep(
         member |= keep
         covered = neighbor_any(keep, es, ed, n, edge_mask=emask)
         live &= ~keep & ~covered
+        if prof is not None:
+            prof.record_round(
+                "luby.degree_sweep", time.perf_counter() - started
+            )
     return member, iterations
 
 

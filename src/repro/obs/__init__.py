@@ -13,6 +13,10 @@ One subsystem, three signals, shared context:
   fixed-bucket histograms in a :class:`MetricsRegistry` with Prometheus
   text and JSON expositions; :func:`use_registry` scopes observations
   to a service's own registry.
+* **Phase profiling** (:mod:`repro.obs.profile`) — a contextvar-scoped
+  :class:`PhaseProfiler` fed by named-phase / per-round hooks inside the
+  fast engines and the staged runtime; off unless :func:`use_profiler`
+  binds one, and the backbone of ``python -m repro bench``.
 
 :mod:`repro.obs.bridge` feeds the engines' round/message/slot
 measurements into the same histograms, so ``python -m repro stats`` and
@@ -48,6 +52,7 @@ from .metrics import (
     set_enabled,
     use_registry,
 )
+from .profile import PhaseProfiler, current_profiler, phase, use_profiler
 from .spans import (
     Span,
     bind_trace,
@@ -65,6 +70,11 @@ __all__ = [
     "configure_logging",
     "disable_logging",
     "logging_enabled",
+    # profiling
+    "PhaseProfiler",
+    "current_profiler",
+    "use_profiler",
+    "phase",
     # spans
     "Span",
     "span",

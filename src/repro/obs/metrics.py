@@ -236,6 +236,37 @@ class Histogram:
         out.append((math.inf, running + counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile by linear interpolation over buckets.
+
+        Uses the Prometheus ``histogram_quantile`` convention: the mass
+        inside each bucket is assumed uniform between the previous upper
+        bound and its own (the first bucket's lower edge is 0, matching
+        the non-negative quantities this registry records).  Observations
+        in the ``+Inf`` bucket clamp to the largest finite bound — a
+        known-floor estimate rather than an invented tail.  Returns
+        ``nan`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile q must be within [0, 1]")
+        cum = self.cumulative_buckets()
+        total = cum[-1][1]
+        if total == 0:
+            return math.nan
+        target = q * total
+        prev_bound = 0.0
+        prev_cum = 0
+        for bound, c in cum:
+            if c >= target:
+                if bound == math.inf:
+                    return prev_bound
+                if c == prev_cum:
+                    return bound
+                frac = (target - prev_cum) / (c - prev_cum)
+                return prev_bound + frac * (bound - prev_bound)
+            prev_bound, prev_cum = bound, c
+        return prev_bound  # pragma: no cover - cum always reaches total
+
     def snapshot_value(self) -> dict[str, Any]:
         buckets = {
             _fmt_number(bound): cum for bound, cum in self.cumulative_buckets()
@@ -312,6 +343,9 @@ class MetricFamily:
 
     def observe_many(self, values: Sequence[float]) -> None:
         self._solo().observe_many(values)
+
+    def quantile(self, q: float) -> float:
+        return self._solo().quantile(q)
 
     @property
     def value(self) -> float:
@@ -408,6 +442,34 @@ class MetricsRegistry:
     def families(self) -> list[MetricFamily]:
         with self._lock:
             return list(self._families.values())
+
+    def quantiles(
+        self, name: str, qs: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> dict[str, dict[str, float]]:
+        """Percentile summaries for histogram family *name*.
+
+        Returns ``{label_key: {"count", "mean", "p50", ...}}`` with one
+        ``p<percentile>`` entry per requested quantile (``0.5`` → ``p50``,
+        ``0.99`` → ``p99``) — the compact view ``repro stats`` and the
+        ``--stats-every`` snapshots surface instead of raw bucket dumps.
+        Empty dict when the family does not exist or is not a histogram.
+        """
+        family = self._families.get(name)
+        if family is None or family.kind != "histogram":
+            return {}
+        out: dict[str, dict[str, float]] = {}
+        for labels, metric in family.children():
+            key = ",".join(f'{k}="{v}"' for k, v in labels.items())
+            count = metric.count
+            summary: dict[str, float] = {
+                "count": float(count),
+                "mean": (metric.sum / count) if count else math.nan,
+            }
+            for q in qs:
+                label = f"p{q * 100:g}".replace(".", "_")
+                summary[label] = metric.quantile(q)
+            out[key] = summary
+        return out
 
     def reset(self) -> None:
         """Zero every metric (test isolation)."""

@@ -1,0 +1,226 @@
+"""Low-overhead phase profiling for the engines (``repro.obs.profile``).
+
+The spans layer (:mod:`repro.obs.spans`) answers *service*-level timing
+questions — one span per request phase, logged and bucketed.  The hot
+engine internals need something an order of magnitude cheaper: FAIRTREE
+executes four algorithmic stages per run and a Luby sweep iterates
+dozens of times per trial, so per-event logging would dominate the very
+thing being measured.
+
+This module provides a :class:`PhaseProfiler` that engine code reports
+into through three hook shapes:
+
+* :func:`phase` — a context manager timing one named phase
+  (``with phase("fair_tree.stage1_cut"): ...``);
+* :meth:`PhaseProfiler.record_round` — per-round wall-clock inside
+  iteration loops (callers hoist :func:`current_profiler` and do the
+  ``perf_counter`` arithmetic inline);
+* :meth:`PhaseProfiler.count` — event counting (numpy kernel
+  invocations, staged-runtime stage entries).
+
+**Off by default, contextvar-scoped**: no profiler is bound unless the
+caller opens :func:`use_profiler`, and every hook short-circuits on a
+single contextvar read when none is.  This is independent of the global
+:func:`repro.obs.metrics.set_enabled` switch, so the benchmarked <5%
+observability-overhead gate is unaffected by profiling hooks (they cost
+the same — one ``None`` check — on both sides of that comparison).
+
+A finished profiler renders as a JSON-safe :meth:`~PhaseProfiler.report`
+and can :meth:`~PhaseProfiler.flush_to_registry` into the active metrics
+registry (``engine_phase_seconds{phase=...}`` /
+``engine_round_seconds{phase=...}``), joining the same exposition the
+service histograms use.  Construct it with ``emit_spans=True`` to also
+emit each completed :func:`phase` into the span tree (heavier; useful
+when correlating engine phases with request traces).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+from .metrics import LATENCY_BUCKETS, get_registry
+
+__all__ = [
+    "PhaseProfiler",
+    "current_profiler",
+    "use_profiler",
+    "phase",
+]
+
+_profiler_var: ContextVar["PhaseProfiler | None"] = ContextVar(
+    "repro_obs_profiler", default=None
+)
+
+
+# The profiler bound to this context, or ``None`` (the default).  Bound
+# directly to the ContextVar's C-level getter so per-kernel hooks pay no
+# Python-frame cost; hot loops hoist the lookup once and guard their
+# timing arithmetic on the result being non-``None``.
+current_profiler = _profiler_var.get
+
+
+@contextmanager
+def use_profiler(
+    profiler: "PhaseProfiler | None" = None,
+) -> Iterator["PhaseProfiler"]:
+    """Bind *profiler* (a fresh one if omitted) for the current context.
+
+    Everything executed under the ``with`` — including nested engine
+    calls — reports into it::
+
+        with use_profiler() as prof:
+            FastFairTree().run(graph, rng)
+        print(prof.report()["phases"])
+    """
+    if profiler is None:
+        profiler = PhaseProfiler()
+    token = _profiler_var.set(profiler)
+    try:
+        yield profiler
+    finally:
+        _profiler_var.reset(token)
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Time one named phase into the bound profiler (no-op when unbound)."""
+    prof = _profiler_var.get()
+    if prof is None:
+        yield
+        return
+    if prof.emit_spans:
+        from .spans import span  # deferred: spans is the heavier layer
+
+        with span("phase." + name):
+            started = time.perf_counter()
+            try:
+                yield
+            finally:
+                prof.add_phase(name, time.perf_counter() - started)
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        prof.add_phase(name, time.perf_counter() - started)
+
+
+class PhaseProfiler:
+    """Accumulates named-phase timings, per-round timings, and counts.
+
+    Thread-safe (one lock per mutation) but designed for the common case
+    of one profiler per run/chunk.  All durations are seconds.
+    """
+
+    __slots__ = ("_lock", "_phases", "_rounds", "_counts", "emit_spans")
+
+    def __init__(self, emit_spans: bool = False) -> None:
+        self._lock = threading.Lock()
+        # name -> [calls, total_s]
+        self._phases: dict[str, list[float]] = {}
+        # name -> [rounds, total_s, max_s]
+        self._rounds: dict[str, list[float]] = {}
+        self._counts: dict[str, int] = {}
+        self.emit_spans = emit_spans
+
+    # ------------------------------------------------------------------ #
+    # recording hooks
+    # ------------------------------------------------------------------ #
+    def add_phase(self, name: str, duration_s: float) -> None:
+        """Record one completed phase of *duration_s* seconds."""
+        with self._lock:
+            cell = self._phases.get(name)
+            if cell is None:
+                self._phases[name] = [1, duration_s]
+            else:
+                cell[0] += 1
+                cell[1] += duration_s
+
+    def record_round(self, name: str, duration_s: float) -> None:
+        """Record one round/iteration of loop *name*."""
+        with self._lock:
+            cell = self._rounds.get(name)
+            if cell is None:
+                self._rounds[name] = [1, duration_s, duration_s]
+            else:
+                cell[0] += 1
+                cell[1] += duration_s
+                if duration_s > cell[2]:
+                    cell[2] = duration_s
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump event counter *name* (kernel invocations, stage entries)."""
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def report(self) -> dict[str, Any]:
+        """JSON-safe summary of everything recorded so far."""
+        with self._lock:
+            phases = {k: list(v) for k, v in self._phases.items()}
+            rounds = {k: list(v) for k, v in self._rounds.items()}
+            counts = dict(self._counts)
+        return {
+            "phases": {
+                name: {
+                    "calls": int(calls),
+                    "total_s": total,
+                    "mean_ms": (total / calls) * 1e3 if calls else 0.0,
+                }
+                for name, (calls, total) in phases.items()
+            },
+            "rounds": {
+                name: {
+                    "rounds": int(n),
+                    "total_s": total,
+                    "mean_ms": (total / n) * 1e3 if n else 0.0,
+                    "max_ms": peak * 1e3,
+                }
+                for name, (n, total, peak) in rounds.items()
+            },
+            "counts": counts,
+        }
+
+    def flush_to_registry(self, registry: Any | None = None) -> None:
+        """Feed phase/round durations into a metrics registry.
+
+        Observes ``engine_phase_seconds{phase=...}`` with each phase's
+        *total* duration per call-batch and ``engine_round_seconds`` with
+        per-round means, so profiled runs are queryable through the same
+        Prometheus/JSON expositions as the service histograms.
+        """
+        reg = registry if registry is not None else get_registry()
+        h_phase = reg.histogram(
+            "engine_phase_seconds",
+            "Wall-clock per profiled engine phase invocation (mean)",
+            buckets=LATENCY_BUCKETS,
+            labelnames=("phase",),
+        )
+        h_round = reg.histogram(
+            "engine_round_seconds",
+            "Mean wall-clock per round of profiled engine loops",
+            buckets=LATENCY_BUCKETS,
+            labelnames=("phase",),
+        )
+        with self._lock:
+            phases = {k: list(v) for k, v in self._phases.items()}
+            rounds = {k: list(v) for k, v in self._rounds.items()}
+        for name, (calls, total) in phases.items():
+            if calls:
+                h_phase.labels(phase=name).observe(total / calls)
+        for name, (n, total, _peak) in rounds.items():
+            if n:
+                h_round.labels(phase=name).observe(total / n)
+
+    def reset(self) -> None:
+        """Drop everything recorded (reuse across benchmark repetitions)."""
+        with self._lock:
+            self._phases.clear()
+            self._rounds.clear()
+            self._counts.clear()

@@ -9,6 +9,7 @@ is deterministic given ``(graph, seed, protocol)``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -16,6 +17,7 @@ import numpy as np
 
 from ..graphs.graph import StaticGraph
 from ..obs.bridge import observe_run_metrics
+from ..obs.profile import current_profiler
 from .errors import MessageTooLarge, NotTerminated, RoundLimitExceeded
 from .message import Message, UNBOUNDED_SLOTS, slot_cost
 from .metrics import RunMetrics
@@ -108,6 +110,8 @@ class SyncNetwork:
         if max_rounds is None:
             max_rounds = 64 * (n + 16)
 
+        prof = current_profiler()  # hoisted: one contextvar read per run
+        run_started = time.perf_counter() if prof is not None else 0.0
         rngs = spawn_node_rngs(seed, n)
         contexts = [
             NodeContext(v, [int(w) for w in g.neighbors(v)], n, rngs[v])
@@ -132,6 +136,7 @@ class SyncNetwork:
                 if require_termination:
                     raise RoundLimitExceeded(max_rounds, unfinished)
                 break
+            round_started = time.perf_counter() if prof is not None else 0.0
             current, inboxes = inboxes, [[] for _ in range(n)]
             already_done = {
                 v for v in range(n) if contexts[v].terminated
@@ -147,11 +152,17 @@ class SyncNetwork:
             delivered = self._collect(contexts, inboxes, metrics, round_index, trace)
             self._trace_terminations(trace, contexts, already_done, round_index)
             metrics.record_round(round_index, *delivered, active_nodes=active)
+            if prof is not None:
+                prof.record_round(
+                    "network.round", time.perf_counter() - round_started
+                )
 
         outputs = np.empty(n, dtype=object)
         for v, ctx in enumerate(contexts):
             outputs[v] = ctx.output if ctx.terminated else None
         observe_run_metrics(metrics)
+        if prof is not None:
+            prof.add_phase("network.run", time.perf_counter() - run_started)
         return RunResult(outputs=outputs, metrics=metrics)
 
     # ------------------------------------------------------------------ #

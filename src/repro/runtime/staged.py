@@ -16,6 +16,7 @@ from __future__ import annotations
 from abc import abstractmethod
 from typing import Sequence
 
+from ..obs.profile import current_profiler
 from .message import Message
 from .node import NodeContext, NodeProcess
 
@@ -70,6 +71,9 @@ class StagedProcess(NodeProcess):
         self._lengths = lengths
         self._stage = 0
         self._stage_round = -1
+        prof = current_profiler()
+        if prof is not None:
+            prof.count("staged.stage0.enter")
         self.on_stage_start(ctx, 0)
         self._step(ctx, [])
 
@@ -88,5 +92,11 @@ class StagedProcess(NodeProcess):
                 raise RuntimeError(
                     "staged process ran past its final stage without terminating"
                 )
+            prof = current_profiler()
+            if prof is not None:
+                # Stage boundaries are globally aligned; counting node
+                # entries per stage gives the per-phase participation
+                # profile of a staged run without per-round hooks.
+                prof.count(f"staged.stage{self._stage}.enter")
             self.on_stage_start(ctx, self._stage)
         self.on_stage_round(ctx, self._stage, self._stage_round, inbox)

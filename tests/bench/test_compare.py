@@ -1,0 +1,134 @@
+"""Regression-gate semantics of bench artifact comparison."""
+
+from repro.bench.compare import compare_artifacts
+
+
+def _doc(metrics, sha="cafe12"):
+    return {"schema": "repro-bench/1", "git_sha": sha, "metrics": metrics}
+
+
+def _count(value, gate=True, tolerance=0.0):
+    return {
+        "value": value,
+        "unit": "rounds",
+        "kind": "count",
+        "higher_is_better": False,
+        "gate": gate,
+        "tolerance_pct": tolerance,
+    }
+
+
+def _timing(value, higher_is_better=True, tolerance=25.0):
+    return {
+        "value": value,
+        "unit": "trials/s",
+        "kind": "timing",
+        "higher_is_better": higher_is_better,
+        "gate": False,
+        "tolerance_pct": tolerance,
+    }
+
+
+class TestCountGating:
+    def test_identical_ok(self):
+        report = compare_artifacts(
+            _doc({"m": _count(7)}), _doc({"m": _count(7)})
+        )
+        assert report.ok
+        assert not report.rows[0].regressed
+
+    def test_any_deviation_gates(self):
+        report = compare_artifacts(
+            _doc({"m": _count(8)}), _doc({"m": _count(7)})
+        )
+        assert not report.ok
+        assert report.gating_failures[0].name == "m"
+
+    def test_deviation_in_either_direction_gates(self):
+        report = compare_artifacts(
+            _doc({"m": _count(6)}), _doc({"m": _count(7)})
+        )
+        assert not report.ok
+
+    def test_ungated_count_reports_only(self):
+        report = compare_artifacts(
+            _doc({"m": _count(8, gate=False)}), _doc({"m": _count(7, gate=False)})
+        )
+        assert report.ok
+        assert report.rows[0].regressed
+
+    def test_tolerance_override_allows_drift(self):
+        report = compare_artifacts(
+            _doc({"m": _count(102)}), _doc({"m": _count(100)}),
+            tolerance_pct=5.0,
+        )
+        assert report.ok
+
+
+class TestTimingGating:
+    def test_bad_direction_not_gated_by_default(self):
+        report = compare_artifacts(
+            _doc({"t": _timing(50.0)}), _doc({"t": _timing(100.0)})
+        )
+        assert report.ok  # -50% throughput, but timing is advisory
+        assert report.rows[0].regressed
+
+    def test_strict_timing_gates(self):
+        report = compare_artifacts(
+            _doc({"t": _timing(50.0)}),
+            _doc({"t": _timing(100.0)}),
+            strict_timing=True,
+        )
+        assert not report.ok
+
+    def test_good_direction_never_regresses(self):
+        report = compare_artifacts(
+            _doc({"t": _timing(200.0)}),
+            _doc({"t": _timing(100.0)}),
+            strict_timing=True,
+        )
+        assert report.ok
+        assert not report.rows[0].regressed
+
+    def test_lower_is_better_respected(self):
+        latency = _timing(20.0, higher_is_better=False)
+        base = _timing(10.0, higher_is_better=False)
+        report = compare_artifacts(
+            _doc({"lat": latency}), _doc({"lat": base}), strict_timing=True
+        )
+        assert not report.ok
+
+    def test_within_tolerance_ok(self):
+        report = compare_artifacts(
+            _doc({"t": _timing(90.0)}),
+            _doc({"t": _timing(100.0)}),
+            strict_timing=True,
+        )
+        assert report.ok  # -10% within the 25% timing tolerance
+
+
+class TestMissingMetrics:
+    def test_missing_sides_reported_not_gated(self):
+        report = compare_artifacts(
+            _doc({"new": _count(1)}), _doc({"old": _count(2)})
+        )
+        assert report.ok
+        notes = {r.name: r.note for r in report.rows}
+        assert notes["new"] == "missing in baseline"
+        assert notes["old"] == "missing in current"
+
+
+class TestFormat:
+    def test_report_lists_failures(self):
+        report = compare_artifacts(
+            _doc({"m": _count(8)}, sha="aaa111"),
+            _doc({"m": _count(7)}, sha="bbb222"),
+        )
+        text = report.format()
+        assert "bbb222" in text and "aaa111" in text
+        assert "REGRESSED" in text
+        assert "FAIL: 1 gated metric(s)" in text
+
+    def test_clean_report_says_ok(self):
+        report = compare_artifacts(_doc({"m": _count(7)}), _doc({"m": _count(7)}))
+        assert "no gated regressions" in report.format()

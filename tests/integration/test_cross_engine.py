@@ -110,6 +110,74 @@ class TestFairBipartAgreement:
         assert_distributions_close(slow, fast, sigma=4.5)
 
 
+class TestObservabilityParity:
+    """Both engines must report consistent round data into the obs layer.
+
+    The bridge feeds two histogram families from two different paths:
+    ``engine_rounds_per_run`` (observed by ``SyncNetwork.run``) and
+    ``trial_rounds`` (observed per trial from ``MISResult``).  For the
+    same seeded executions those must agree exactly — and the phase
+    profiler's per-round records must match the engines' own counts.
+    """
+
+    def test_faithful_bridge_paths_agree(self):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        g = random_tree(20, seed=9).graph
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            run_trials(LubyMIS(), g, 5, seed=3, n_jobs=1)
+        snap = reg.snapshot()["histograms"]
+        engine = snap["engine_rounds_per_run"][""]
+        trials = snap["trial_rounds"]['algorithm="luby"']
+        assert engine["count"] == trials["count"] == 5
+        assert engine["sum"] == trials["sum"]
+
+    def test_fast_engine_iterations_reach_bridge_unchanged(self):
+        import numpy as np
+
+        from repro.obs.metrics import MetricsRegistry, use_registry
+        from repro.obs.profile import use_profiler
+
+        g = random_tree(20, seed=9).graph
+        reg = MetricsRegistry()
+        with use_registry(reg), use_profiler() as prof:
+            result = FastLuby().run(g, np.random.default_rng(0))
+            from repro.obs.bridge import observe_trial
+
+            observe_trial(result_name := FastLuby().name, result)
+        series = reg.snapshot()["histograms"]["trial_rounds"][
+            f'algorithm="{result_name}"'
+        ]
+        iterations = result.info["iterations"]
+        assert series["sum"] == float(iterations)
+        # the profiler saw exactly as many sweep rounds as the engine reports
+        assert prof.report()["rounds"]["luby.sweep"]["rounds"] == iterations
+
+    def test_profiler_round_count_matches_run_metrics(self):
+        import numpy as np
+
+        from repro.obs.profile import use_profiler
+
+        g = random_tree(18, seed=2).graph
+        with use_profiler() as prof:
+            result = FairTree().run(g, np.random.default_rng(1))
+        rounds = prof.report()["rounds"]["network.round"]["rounds"]
+        assert rounds == result.metrics.rounds == result.rounds
+
+    def test_profiler_does_not_perturb_results(self):
+        import numpy as np
+
+        from repro.obs.profile import use_profiler
+
+        g = random_tree(25, seed=4).graph
+        bare = FastFairTree().run(g, np.random.default_rng(7))
+        with use_profiler():
+            profiled = FastFairTree().run(g, np.random.default_rng(7))
+        assert np.array_equal(bare.membership, profiled.membership)
+        assert bare.info == profiled.info
+
+
 @pytest.mark.slow
 class TestColeVishkinAgreement:
     def test_fast_cv_identical_to_faithful(self):

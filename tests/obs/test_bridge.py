@@ -85,3 +85,32 @@ class TestObserveTrial:
         with use_registry(reg):
             SyncNetwork(path_graph(5)).run(lambda v: LubyProcess(), seed=0)
         assert reg.snapshot()["counters"]["engine_runs_total"][""] == 1.0
+
+
+class TestCrossEngineParity:
+    """A faithful result (``rounds``) and a fast result (``iterations``)
+    with the same round count must produce identical ``trial_rounds``
+    series — downstream dashboards treat the families as one signal."""
+
+    def test_equal_round_counts_identical_series(self):
+        reg_slow = MetricsRegistry()
+        reg_fast = MetricsRegistry()
+        observe_trial("alg", _result(rounds=6), registry=reg_slow)
+        observe_trial(
+            "alg", _result(rounds=0, info={"iterations": 6}), registry=reg_fast
+        )
+        slow = reg_slow.snapshot()["histograms"]["trial_rounds"]
+        fast = reg_fast.snapshot()["histograms"]["trial_rounds"]
+        assert slow == fast
+
+    def test_faithful_run_metrics_consistent_with_result(self):
+        # MISResult.rounds is defined as the run's RunMetrics.rounds, so
+        # both bridge paths see the same number for one seeded run.
+        import numpy as np
+
+        from repro.algorithms.luby import LubyMIS
+        from repro.graphs.generators import path_graph
+
+        result = LubyMIS().run(path_graph(6), np.random.default_rng(3))
+        assert result.metrics is not None
+        assert result.rounds == result.metrics.rounds

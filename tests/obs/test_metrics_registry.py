@@ -189,3 +189,68 @@ class TestRegistryResolution:
                 assert get_registry() is mine2
             assert get_registry() is mine
         assert get_registry() is default_registry()
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_bucket(self):
+        h = Histogram(buckets=(10, 20))
+        for v in (1, 3, 5, 7, 9):  # all in (0, 10]
+            h.observe(v)
+        # target = q * 5 observations, all in the first bucket [0, 10]
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_spans_buckets(self):
+        h = Histogram(buckets=(1, 2, 4))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(3.0)
+        h.observe(3.5)
+        # q=0.5 → target 2 obs → cumulative hits 2 at bound 2.0
+        assert h.quantile(0.5) == pytest.approx(2.0)
+        # q=0.75 → target 3 → halfway through the (2, 4] bucket
+        assert h.quantile(0.75) == pytest.approx(3.0)
+
+    def test_inf_bucket_clamps(self):
+        h = Histogram(buckets=(1, 2))
+        h.observe(100.0)
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_empty_is_nan(self):
+        import math
+
+        assert math.isnan(Histogram(buckets=(1,)).quantile(0.5))
+
+    def test_out_of_range_rejected(self):
+        h = Histogram(buckets=(1,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+
+class TestRegistryQuantiles:
+    def test_summary_shape(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("lat", buckets=(1, 2, 4), labelnames=("algorithm",))
+        child = fam.labels(algorithm="luby")
+        for v in (0.5, 1.5, 3.0):
+            child.observe(v)
+        out = reg.quantiles("lat")
+        summary = out['algorithm="luby"']
+        assert summary["count"] == 3.0
+        assert summary["mean"] == pytest.approx(5.0 / 3.0)
+        assert set(summary) == {"count", "mean", "p50", "p95", "p99"}
+        assert 0.0 < summary["p50"] <= summary["p95"] <= summary["p99"] <= 4.0
+
+    def test_missing_or_wrong_kind_empty(self):
+        reg = MetricsRegistry()
+        assert reg.quantiles("nope") == {}
+        reg.counter("c").inc()
+        assert reg.quantiles("c") == {}
+
+    def test_family_quantile_unlabeled(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("h", buckets=(2, 4))
+        fam.observe(1.0)
+        assert 0.0 < fam.quantile(0.5) <= 2.0
