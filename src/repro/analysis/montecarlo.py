@@ -42,8 +42,16 @@ import numpy as np
 
 from ..core.result import MISAlgorithm
 from ..graphs.graph import StaticGraph
+from ..graphs.shm import (
+    GraphShmHandle,
+    ShmUnavailable,
+    attach_graph,
+    export_graph,
+    shm_enabled,
+)
 from ..obs.bridge import trial_rounds_histogram
 from ..obs.logging import get_logger
+from ..obs.metrics import get_registry
 from ..obs.spans import span
 from ..runtime.rng import SeedLike, spawn_trial_seeds
 from .fairness import JoinEstimate
@@ -53,6 +61,7 @@ __all__ = [
     "run_trials",
     "estimate_join_probabilities",
     "normalize_jobs",
+    "resolve_start_method",
     "TrialPool",
     "chunk_counts",
     "vector_chunk_counts",
@@ -138,9 +147,39 @@ def vector_chunk_counts(
     return runner(algorithm, graph, trials, seed)
 
 
+def resolve_start_method(context: str | None = None) -> str | None:
+    """Resolve the multiprocessing start method for trial pools.
+
+    Precedence: an explicit *context* argument, then the ``REPRO_MP_START``
+    environment variable (``fork``/``spawn``/``forkserver``), then ``fork``
+    where the platform offers it (cheapest: initargs are inherited, not
+    pickled).  ``None`` falls through to the platform default.
+    """
+    if context is not None:
+        return context
+    import multiprocessing as mp
+
+    available = mp.get_all_start_methods()
+    requested = os.environ.get("REPRO_MP_START", "").strip().lower()
+    if requested:
+        if requested not in available:
+            raise ValueError(
+                f"REPRO_MP_START={requested!r} is not available here "
+                f"(choices: {', '.join(available)})"
+            )
+        return requested
+    return "fork" if "fork" in available else None
+
+
 def _init_worker(algorithm: MISAlgorithm, graph: StaticGraph) -> None:
     _WORKER["algorithm"] = algorithm
     _WORKER["graph"] = graph
+
+
+def _init_worker_shm(algorithm: MISAlgorithm, handle: GraphShmHandle) -> None:
+    """Pool initializer for the shm transport: attach instead of unpickle."""
+    _WORKER["algorithm"] = algorithm
+    _WORKER["graph"] = attach_graph(handle)
 
 
 def _run_chunk(seeds: list[np.random.SeedSequence]) -> np.ndarray:
@@ -160,10 +199,14 @@ class TrialPool:
     ``workers`` follows the canonical :func:`normalize_jobs` semantics.
     With one effective worker the pool runs inline — no subprocesses, no
     IPC — which on few-core hosts is strictly faster than oversubscribing.
-    With more, a ``multiprocessing`` pool is created once; workers receive
-    the algorithm and graph through the initializer (pickled once per
-    process) and then serve an arbitrary number of chunk requests, which
-    is what amortizes spin-up across service requests.
+    With more, a ``multiprocessing`` pool is created once and the graph
+    travels over the zero-copy shm transport by default: its arrays are
+    exported once into shared memory (:mod:`repro.graphs.shm`) and each
+    worker's initializer receives only the O(1)-size handle, attaching
+    read-only views.  When shared memory is unavailable (or disabled via
+    ``shm=False`` / ``REPRO_SHM=0``) the pool falls back to pickling the
+    graph into each worker, which is what amortizes spin-up across
+    service requests either way.
     """
 
     def __init__(
@@ -172,21 +215,46 @@ class TrialPool:
         graph: StaticGraph,
         workers: int = 1,
         context: str | None = None,
+        shm: bool = True,
     ) -> None:
         self.algorithm = algorithm
         self.graph = graph
         self.workers = normalize_jobs(workers)
         self._pool = None
+        self._shared = None
+        self._transport = "inline"
         if self.workers > 1:
             import multiprocessing as mp
 
-            if context is None:
-                context = "fork" if hasattr(os, "fork") else None
-            ctx = mp.get_context(context)
+            ctx = mp.get_context(resolve_start_method(context))
+            initializer: Callable[..., None] = _init_worker
+            initargs: tuple[Any, ...] = (algorithm, graph)
+            self._transport = "pickle"
+            if shm and shm_enabled():
+                try:
+                    self._shared = export_graph(graph)
+                except ShmUnavailable as exc:
+                    _log.warning(
+                        "shm_export_failed",
+                        algorithm=algorithm.name,
+                        graph_n=graph.n,
+                        error=str(exc),
+                    )
+                else:
+                    initializer = _init_worker_shm
+                    initargs = (algorithm, self._shared.handle)
+                    self._transport = "shm"
+                    # Bytes each worker would have copied under the pickle
+                    # transport but now maps instead.
+                    get_registry().counter(
+                        "shm_bytes_avoided_total",
+                        "Graph bytes not re-copied per worker thanks to "
+                        "the shm transport",
+                    ).inc(graph.payload_nbytes * self.workers)
             self._pool = ctx.Pool(
                 processes=self.workers,
-                initializer=_init_worker,
-                initargs=(algorithm, graph),
+                initializer=initializer,
+                initargs=initargs,
             )
         _log.info(
             "pool_created",
@@ -194,7 +262,13 @@ class TrialPool:
             graph_n=graph.n,
             workers=self.workers,
             inline=self._pool is None,
+            transport=self._transport,
         )
+
+    @property
+    def transport(self) -> str:
+        """How the graph reaches workers: ``inline``, ``pickle``, ``shm``."""
+        return self._transport
 
     # ------------------------------------------------------------------ #
     # chunk execution
@@ -289,18 +363,25 @@ class TrialPool:
         return list(self._pool._pool)  # noqa: SLF001 - stdlib Pool internals
 
     def close(self, wait: bool = True) -> None:
-        """Shut the pool down; with ``wait`` join workers before returning."""
-        if self._pool is None:
-            return
-        if wait:
-            self._pool.close()
-        else:
-            self._pool.terminate()
-        self._pool.join()
-        self._pool = None
-        _log.info(
-            "pool_closed", algorithm=self.algorithm.name, graceful=wait
-        )
+        """Shut the pool down; with ``wait`` join workers before returning.
+
+        Deterministically reclaims the shared-memory segments: workers are
+        joined first (their mappings close with them), then the exporter
+        unlinks.  Idempotent under both fork and spawn start methods.
+        """
+        if self._pool is not None:
+            if wait:
+                self._pool.close()
+            else:
+                self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            _log.info(
+                "pool_closed", algorithm=self.algorithm.name, graceful=wait
+            )
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
 
     def terminate(self) -> None:
         """Stop workers immediately (abandons in-flight chunks)."""

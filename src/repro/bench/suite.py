@@ -155,14 +155,23 @@ def _engine_throughput(config: BenchConfig) -> dict[str, dict[str, Any]]:
 
 
 def _batched_throughput(config: BenchConfig) -> dict[str, dict[str, Any]]:
-    """Disjoint-union batched throughput (trials/sec)."""
-    from ..fast.batched import batched_fair_tree_trials, batched_luby_trials
+    """Disjoint-union batched throughput (trials/sec), all five engines."""
+    from ..fast.batched import (
+        batched_color_mis_trials,
+        batched_fair_bipart_trials,
+        batched_fair_rooted_trials,
+        batched_fair_tree_trials,
+        batched_luby_trials,
+    )
 
     graph = _bench_tree(config.tree_n)
     out: dict[str, dict[str, Any]] = {}
     for name, runner in (
         ("batched_luby", batched_luby_trials),
         ("batched_fair_tree", batched_fair_tree_trials),
+        ("batched_fair_rooted", batched_fair_rooted_trials),
+        ("batched_fair_bipart", batched_fair_bipart_trials),
+        ("batched_color_mis", batched_color_mis_trials),
     ):
         started = time.perf_counter()
         runner(graph, config.trials, seed=0)
@@ -172,6 +181,59 @@ def _batched_throughput(config: BenchConfig) -> dict[str, dict[str, Any]]:
             details={"trials": config.trials, "n": config.tree_n},
         )
     return out
+
+
+def _shm_transport(config: BenchConfig) -> dict[str, dict[str, Any]]:
+    """Zero-copy transport: bytes shipped per pool handle vs a pickled
+    graph, and the cold attach latency on the worker side.
+
+    Byte counts are reported as advisory (``timing``) entries: pickle
+    framing differs across interpreter versions, so gating them would
+    make the baseline interpreter-specific.
+    """
+    import pickle
+
+    from ..graphs.shm import (
+        ShmUnavailable,
+        detach_graph,
+        export_graph,
+        shm_enabled,
+    )
+    from ..graphs.shm import attach_graph as _attach
+
+    graph = _bench_tree(config.tree_n)
+    graph_bytes = len(pickle.dumps(graph))
+    if not shm_enabled():
+        return {}
+    try:
+        shared = export_graph(graph)
+    except ShmUnavailable:
+        return {}
+    try:
+        handle_bytes = len(pickle.dumps(shared.handle))
+        started = time.perf_counter()
+        _attach(shared.handle)
+        attach_ms = (time.perf_counter() - started) * 1e3
+        detach_graph(shared.handle.content_hash)
+    finally:
+        shared.close()
+    details = {
+        "n": config.tree_n,
+        "graph_pickle_bytes": graph_bytes,
+        "shared_bytes": shared.handle.nbytes_shared,
+    }
+    return {
+        "shm.handle_bytes": _timing(
+            handle_bytes, "bytes", higher_is_better=False, details=details,
+        ),
+        "shm.bytes_shipped_ratio": _timing(
+            graph_bytes / handle_bytes, "x", higher_is_better=True,
+            details=details,
+        ),
+        "shm.attach_ms": _timing(
+            attach_ms, "ms", higher_is_better=False, details=details,
+        ),
+    }
 
 
 def _service_latency(config: BenchConfig) -> dict[str, dict[str, Any]]:
@@ -302,6 +364,8 @@ def build_cases(config: BenchConfig) -> list[BenchCase]:
                   "exact per-trial fast-engine throughput"),
         BenchCase("batched_throughput", _batched_throughput,
                   "disjoint-union batched throughput"),
+        BenchCase("shm_transport", _shm_transport,
+                  "zero-copy graph transport bytes and attach latency"),
         BenchCase("service_latency", _service_latency,
                   "service submit→complete latency percentiles"),
         BenchCase("cache_speedup", _cache_speedup,

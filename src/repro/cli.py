@@ -189,6 +189,7 @@ def _service_loop(
     include_counts: bool,
     stats_every: int = 0,
     stats_stream: IO[str] | None = None,
+    shm: bool = True,
 ) -> int:
     """Run JSON-lines requests through one warm Estimator; returns #errors.
 
@@ -202,7 +203,7 @@ def _service_loop(
 
     errors = 0
     served = 0
-    with Estimator(n_jobs=jobs, cache_size=cache_size) as service:
+    with Estimator(n_jobs=jobs, cache_size=cache_size, shm=shm) as service:
         for lineno, line in enumerate(lines, start=1):
             line = line.strip()
             if not line or line.startswith("#"):
@@ -280,6 +281,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
                 include_counts=not args.no_counts,
                 stats_every=args.stats_every,
                 stats_stream=stats_stream,
+                shm=not args.no_shm,
             )
     except KeyboardInterrupt:
         # The Estimator context has already torn its workers down.
@@ -307,6 +309,7 @@ def _cmd_batch(args: argparse.Namespace) -> None:
                 include_counts=not args.no_counts,
                 stats_every=args.stats_every,
                 stats_stream=stats_stream,
+                shm=not args.no_shm,
             )
         else:
             with open(args.output, "w", encoding="utf-8") as out:
@@ -319,6 +322,7 @@ def _cmd_batch(args: argparse.Namespace) -> None:
                     include_counts=not args.no_counts,
                     stats_every=args.stats_every,
                     stats_stream=stats_stream,
+                    shm=not args.no_shm,
                 )
     if errors:
         raise SystemExit(1)
@@ -514,6 +518,12 @@ def build_parser() -> argparse.ArgumentParser:
             choices=("debug", "info", "warning", "error"),
             default=None,
             help="enable structured JSON-lines logging on stderr",
+        )
+        p.add_argument(
+            "--no-shm",
+            action="store_true",
+            help="ship graphs to workers by pickling instead of the "
+            "zero-copy shared-memory transport",
         )
 
     p = sub.add_parser(

@@ -15,37 +15,98 @@ Speedups are largest for small graphs and round-dominated algorithms
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+
 import numpy as np
 
 from ..analysis.fairness import JoinEstimate
 from ..graphs.graph import StaticGraph
+from ..algorithms.fair_bipart import default_block_gamma
 from ..algorithms.fair_tree import default_gamma
-from ..obs.profile import phase
+from ..obs.profile import current_profiler, phase
 from ..runtime.rng import SeedLike, generator_from
 from .fair_tree import fair_tree_run
 from .luby import luby_sweep
 
 __all__ = [
     "disjoint_power",
+    "disjoint_power_cache_info",
+    "disjoint_power_cache_clear",
     "batched_luby_trials",
     "batched_fair_tree_trials",
+    "batched_fair_rooted_trials",
+    "batched_fair_bipart_trials",
+    "batched_color_mis_trials",
     "vector_runner_for",
 ]
+
+
+# Memo for built unions, keyed by (base content_hash, copies).  The
+# service dispatches many same-sized chunks of the same graph, so without
+# this every chunk re-materializes an identical (copies*m, 2) edge array.
+# Unions are immutable, so sharing one object across chunks is safe; the
+# cache is tiny (a few entries) because only a couple of (graph, batch)
+# shapes are live at once.
+_UNION_CACHE: OrderedDict[tuple[str, int], StaticGraph] = OrderedDict()
+_UNION_CACHE_LOCK = threading.Lock()
+_UNION_CACHE_CAP = 4
+_union_cache_stats = {"hits": 0, "misses": 0}
 
 
 def disjoint_power(graph: StaticGraph, copies: int) -> StaticGraph:
     """The disjoint union of ``copies`` relabeled copies of *graph*.
 
-    Copy ``c`` occupies vertices ``[c*n, (c+1)*n)``.
+    Copy ``c`` occupies vertices ``[c*n, (c+1)*n)``.  Results are
+    memoized by ``(graph.content_hash(), copies)`` so repeated chunks of
+    the same batch size reuse one union (and its cached CSR).
     """
     if copies < 1:
         raise ValueError("copies must be >= 1")
-    n, e = graph.n, graph.edges
     if copies == 1:
         return graph
+    key = (graph.content_hash(), copies)
+    prof = current_profiler()
+    with _UNION_CACHE_LOCK:
+        union = _UNION_CACHE.get(key)
+        if union is not None:
+            _UNION_CACHE.move_to_end(key)
+            _union_cache_stats["hits"] += 1
+            if prof is not None:
+                prof.count("batched.union_cache_hit")
+            return union
+    n, e = graph.n, graph.edges
     offsets = (np.arange(copies, dtype=np.int64) * n)[:, None, None]
     tiled = (e[None, :, :] + offsets).reshape(-1, 2)
-    return StaticGraph(n=n * copies, edges=tiled)
+    union = StaticGraph(n=n * copies, edges=tiled)
+    with _UNION_CACHE_LOCK:
+        _union_cache_stats["misses"] += 1
+        _UNION_CACHE[key] = union
+        _UNION_CACHE.move_to_end(key)
+        while len(_UNION_CACHE) > _UNION_CACHE_CAP:
+            _UNION_CACHE.popitem(last=False)
+    if prof is not None:
+        prof.count("batched.union_cache_miss")
+    return union
+
+
+def disjoint_power_cache_info() -> dict[str, int]:
+    """Memo statistics: ``{"hits", "misses", "size", "cap"}``."""
+    with _UNION_CACHE_LOCK:
+        return {
+            "hits": _union_cache_stats["hits"],
+            "misses": _union_cache_stats["misses"],
+            "size": len(_UNION_CACHE),
+            "cap": _UNION_CACHE_CAP,
+        }
+
+
+def disjoint_power_cache_clear() -> None:
+    """Drop all memoized unions and reset statistics."""
+    with _UNION_CACHE_LOCK:
+        _UNION_CACHE.clear()
+        _union_cache_stats["hits"] = 0
+        _union_cache_stats["misses"] = 0
 
 
 def _fold_counts(member: np.ndarray, copies: int, n: int) -> np.ndarray:
@@ -115,6 +176,140 @@ def batched_fair_tree_trials(
     return JoinEstimate(counts=counts, trials=trials)
 
 
+def batched_fair_rooted_trials(
+    graph: StaticGraph,
+    trials: int,
+    seed: SeedLike = None,
+    batch: int = 64,
+    parent: np.ndarray | None = None,
+) -> JoinEstimate:
+    """FAIRROOTED join counts over *trials* runs (batched).
+
+    *parent* is the base graph's parent array (BFS rooting from vertex 0
+    when omitted, matching :class:`~repro.fast.fair_rooted.FastFairRooted`).
+    Copies get the same rooting shifted by their offset, and the
+    Cole–Vishkin stage is pinned to the base graph's size (initial id
+    palette and reduction count) so each copy runs exactly one trial.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    from ..graphs.graph import RootedTree
+    from .fair_rooted import fair_rooted_run
+
+    rng = generator_from(seed)
+    n = graph.n
+    if parent is None:
+        parent = RootedTree.from_graph(graph).parent
+    parent = np.asarray(parent, dtype=np.int64)
+    counts = np.zeros(n, dtype=np.int64)
+    done = 0
+    while done < trials:
+        copies = min(batch, trials - done)
+        with phase("batched.union"):
+            union = disjoint_power(graph, copies)
+            if copies == 1:
+                union_parent = parent
+            else:
+                offsets = (np.arange(copies, dtype=np.int64) * n)[:, None]
+                tiled = np.broadcast_to(parent, (copies, n))
+                union_parent = np.where(
+                    tiled >= 0, tiled + offsets, np.int64(-1)
+                ).reshape(-1)
+        with phase("batched.sweep"):
+            member, _ = fair_rooted_run(union, union_parent, rng, base_n=n)
+        with phase("batched.fold"):
+            counts += _fold_counts(member, copies, n)
+        done += copies
+    return JoinEstimate(counts=counts, trials=trials)
+
+
+def batched_fair_bipart_trials(
+    graph: StaticGraph,
+    trials: int,
+    seed: SeedLike = None,
+    batch: int = 64,
+    gamma_c: float = 2.0,
+    gamma: int | None = None,
+    p: float = 0.5,
+) -> JoinEstimate:
+    """FAIRBIPART join counts over *trials* runs (batched).
+
+    ``γ`` (the Linial–Saks radius scale) is pinned to the *base* graph's
+    size, exactly as :func:`batched_fair_tree_trials` pins FAIRTREE's γ.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    from .blocks import fair_bipart_run
+
+    rng = generator_from(seed)
+    n = graph.n
+    g_eff = gamma if gamma is not None else default_block_gamma(n, gamma_c)
+    counts = np.zeros(n, dtype=np.int64)
+    done = 0
+    while done < trials:
+        copies = min(batch, trials - done)
+        with phase("batched.union"):
+            union = disjoint_power(graph, copies)
+        with phase("batched.sweep"):
+            member, _ = fair_bipart_run(union, rng, g_eff, p=p)
+        with phase("batched.fold"):
+            counts += _fold_counts(member, copies, n)
+        done += copies
+    return JoinEstimate(counts=counts, trials=trials)
+
+
+def batched_color_mis_trials(
+    graph: StaticGraph,
+    trials: int,
+    seed: SeedLike = None,
+    batch: int = 64,
+    k: int | None = None,
+    coloring: str = "greedy",
+    gamma_c: float = 2.0,
+    gamma: int | None = None,
+    p: float = 0.5,
+) -> JoinEstimate:
+    """COLORMIS join counts over *trials* runs (batched).
+
+    Every size-derived parameter — γ, the palette size ``k``, the
+    coloring trial budget, and (for ``coloring="arboricity"``) the
+    H-partition cap — is resolved from the *base* graph and held fixed on
+    the union; the arboricity bound in particular would differ on the
+    union (its edge density changes), so pinning is load-bearing, not
+    cosmetic.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    from .blocks import FastColorMIS, color_mis_run
+
+    rng = generator_from(seed)
+    n = graph.n
+    params = FastColorMIS(
+        k=k, coloring=coloring, gamma_c=gamma_c, gamma=gamma, p=p
+    ).resolved_params(graph)
+    counts = np.zeros(n, dtype=np.int64)
+    done = 0
+    while done < trials:
+        copies = min(batch, trials - done)
+        with phase("batched.union"):
+            union = disjoint_power(graph, copies)
+        with phase("batched.sweep"):
+            member, _ = color_mis_run(
+                union,
+                rng,
+                gamma=params["gamma"],
+                k=params["k"],
+                iterations=params["iterations"],
+                coloring=coloring,
+                cap=params["cap"],
+                p=p,
+            )
+        with phase("batched.fold"):
+            counts += _fold_counts(member, copies, n)
+        done += copies
+    return JoinEstimate(counts=counts, trials=trials)
+
+
 # --------------------------------------------------------------------- #
 # vector-runner registry (consumed by the estimation service)
 # --------------------------------------------------------------------- #
@@ -132,15 +327,52 @@ def _fair_tree_vector_runner(algorithm, graph, trials, seed):
     ).counts
 
 
+def _fair_rooted_vector_runner(algorithm, graph, trials, seed):
+    return batched_fair_rooted_trials(
+        graph,
+        trials,
+        seed=seed,
+        parent=algorithm._parents(graph),  # noqa: SLF001 - same package
+    ).counts
+
+
+def _fair_bipart_vector_runner(algorithm, graph, trials, seed):
+    return batched_fair_bipart_trials(
+        graph,
+        trials,
+        seed=seed,
+        gamma_c=algorithm.gamma_c,
+        gamma=algorithm.gamma,
+        p=algorithm.p,
+    ).counts
+
+
+def _color_mis_vector_runner(algorithm, graph, trials, seed):
+    return batched_color_mis_trials(
+        graph,
+        trials,
+        seed=seed,
+        k=algorithm.k,
+        coloring=algorithm.coloring,
+        gamma_c=algorithm.gamma_c,
+        gamma=algorithm.gamma,
+        p=algorithm.p,
+    ).counts
+
+
 def vector_runner_for(algorithm):
     """Batched (disjoint-union) runner for *algorithm*, or ``None``.
 
     A runner maps ``(algorithm, graph, trials, seed)`` to an int64 join-
     count vector that is statistically equivalent to per-trial execution
     but uses a different random-stream layout.  Only algorithms whose
-    batched kernel is parameter-identical to the per-trial one qualify;
-    the service falls back to exact per-trial chunks otherwise.
+    batched kernel is parameter-identical to the per-trial one qualify —
+    all five paper algorithms do in their fast-engine form (size-derived
+    parameters pinned to the base graph); the service falls back to exact
+    per-trial chunks for anything else.
     """
+    from .blocks import FastColorMIS, FastFairBipart
+    from .fair_rooted import FastFairRooted
     from .fair_tree import FastFairTree
     from .luby import FastLuby
 
@@ -148,4 +380,10 @@ def vector_runner_for(algorithm):
         return _luby_vector_runner
     if isinstance(algorithm, FastFairTree):
         return _fair_tree_vector_runner
+    if isinstance(algorithm, FastFairRooted):
+        return _fair_rooted_vector_runner
+    if isinstance(algorithm, FastFairBipart):
+        return _fair_bipart_vector_runner
+    if isinstance(algorithm, FastColorMIS):
+        return _color_mis_vector_runner
     return None

@@ -25,6 +25,9 @@ from .luby import luby_sweep
 __all__ = [
     "draw_radii",
     "construct_block_fast",
+    "fair_bipart_run",
+    "color_mis_run",
+    "color_mis_iterations",
     "FastFairBipart",
     "FastColorMIS",
 ]
@@ -127,6 +130,33 @@ def _finalize_fast(
     return member, {"luby_nodes": luby_nodes}
 
 
+def fair_bipart_run(
+    graph: StaticGraph,
+    rng: np.random.Generator,
+    gamma: int,
+    p: float = 0.5,
+) -> tuple[np.ndarray, dict[str, Any]]:
+    """One FAIRBIPART execution with explicit γ; ``(membership, info)``.
+
+    The parameter-free entry point is :meth:`FastFairBipart.run`; the
+    batched runner calls this directly with γ resolved from the *base*
+    graph so every disjoint-union copy behaves like a lone trial.
+    """
+    bits = rng.integers(0, 2, size=graph.n, dtype=np.int64)
+    in_block, _, leader_val = construct_block_fast(
+        graph, rng, gamma, bits, mode="bit", value_base=2, p=p
+    )
+    candidate = in_block & (leader_val == 1)
+    member, tail_info = _finalize_fast(graph, rng, candidate)
+    info = {
+        "engine": "fast",
+        "gamma": gamma,
+        "block_fraction": float(in_block.mean()) if graph.n else 0.0,
+        **tail_info,
+    }
+    return member, info
+
+
 @register("fair_bipart_fast")
 class FastFairBipart:
     """Vectorized FAIRBIPART (§VI); parameters as the faithful version."""
@@ -147,24 +177,18 @@ class FastFairBipart:
     def name(self) -> str:
         return "fair_bipart_fast"
 
-    def run(self, graph: StaticGraph, rng: np.random.Generator) -> MISResult:
-        gamma = (
+    def resolved_gamma(self, graph: StaticGraph) -> int:
+        """γ this instance would use on *graph* (explicit or size-derived)."""
+        return (
             self.gamma
             if self.gamma is not None
             else default_block_gamma(graph.n, self.gamma_c)
         )
-        bits = rng.integers(0, 2, size=graph.n, dtype=np.int64)
-        in_block, _, leader_val = construct_block_fast(
-            graph, rng, gamma, bits, mode="bit", value_base=2, p=self.p
+
+    def run(self, graph: StaticGraph, rng: np.random.Generator) -> MISResult:
+        member, info = fair_bipart_run(
+            graph, rng, self.resolved_gamma(graph), p=self.p
         )
-        candidate = in_block & (leader_val == 1)
-        member, tail_info = _finalize_fast(graph, rng, candidate)
-        info = {
-            "engine": "fast",
-            "gamma": gamma,
-            "block_fraction": float(in_block.mean()) if graph.n else 0.0,
-            **tail_info,
-        }
         result = MISResult(membership=member, info=info)
         if self.validate:
             result.validate(graph)
@@ -243,6 +267,55 @@ def arboricity_coloring_fast(
     return colors
 
 
+def color_mis_iterations(n: int) -> int:
+    """Coloring trial budget used by COLORMIS for an ``n``-vertex graph."""
+    return 4 * (int(np.log2(max(n, 2))) + 4)
+
+
+def color_mis_run(
+    graph: StaticGraph,
+    rng: np.random.Generator,
+    gamma: int,
+    k: int,
+    iterations: int,
+    coloring: str = "greedy",
+    cap: int | None = None,
+    p: float = 0.5,
+) -> tuple[np.ndarray, dict[str, Any]]:
+    """One COLORMIS execution with every parameter explicit.
+
+    ``(membership, info)``.  ``cap`` is required for
+    ``coloring="arboricity"``.  The batched runner resolves γ, k,
+    iteration budget, and cap from the *base* graph (via
+    :meth:`FastColorMIS.resolved_params`) so disjoint-union copies run
+    with identical parameters to lone trials.
+    """
+    n = graph.n
+    if coloring == "greedy":
+        colors = greedy_coloring_fast(graph, rng, iterations)
+    elif coloring == "arboricity":
+        if cap is None:
+            raise ValueError("arboricity coloring requires an explicit cap")
+        colors = arboricity_coloring_fast(graph, rng, cap, iterations)
+    else:
+        raise ValueError(f"unknown coloring kind {coloring!r}")
+    k = max(1, k)
+    chosen = rng.integers(0, k, size=n, dtype=np.int64)
+    in_block, _, leader_val = construct_block_fast(
+        graph, rng, gamma, chosen, mode="color", value_base=k, p=p
+    )
+    candidate = in_block & (colors >= 0) & (leader_val == colors)
+    member, tail_info = _finalize_fast(graph, rng, candidate)
+    info = {
+        "engine": "fast",
+        "gamma": gamma,
+        "k": k,
+        "uncolored": int((colors < 0).sum()),
+        **tail_info,
+    }
+    return member, info
+
+
 @register("color_mis_fast")
 class FastColorMIS:
     """Vectorized COLORMIS (§VII).
@@ -279,37 +352,43 @@ class FastColorMIS:
             else "color_mis_arb_fast"
         )
 
-    def run(self, graph: StaticGraph, rng: np.random.Generator) -> MISResult:
-        n = graph.n
+    def resolved_params(self, graph: StaticGraph) -> dict[str, Any]:
+        """Size-derived parameters this instance would use on *graph*.
+
+        Returns ``{"gamma", "k", "iterations", "cap"}`` (``cap`` is
+        ``None`` for the greedy coloring).  All of γ, the palette size k,
+        the coloring trial budget, and the arboricity cap depend on the
+        input graph's size/structure, so the batched runner must resolve
+        them from the base graph rather than the disjoint union.
+        """
         gamma = (
             self.gamma
             if self.gamma is not None
-            else default_block_gamma(n, self.gamma_c)
+            else default_block_gamma(graph.n, self.gamma_c)
         )
-        iterations = 4 * (int(np.log2(max(n, 2))) + 4)
+        iterations = color_mis_iterations(graph.n)
         if self.coloring == "greedy":
+            cap = None
             k = self.k if self.k is not None else graph.max_degree + 1
-            colors = greedy_coloring_fast(graph, rng, iterations)
         else:
             from ..graphs.properties import arboricity_upper_bound
 
             cap = max(1, int(2.5 * arboricity_upper_bound(graph)))
             k = self.k if self.k is not None else cap + 1
-            colors = arboricity_coloring_fast(graph, rng, cap, iterations)
-        k = max(1, k)
-        chosen = rng.integers(0, k, size=n, dtype=np.int64)
-        in_block, _, leader_val = construct_block_fast(
-            graph, rng, gamma, chosen, mode="color", value_base=k, p=self.p
+        return {"gamma": gamma, "k": max(1, k), "iterations": iterations, "cap": cap}
+
+    def run(self, graph: StaticGraph, rng: np.random.Generator) -> MISResult:
+        params = self.resolved_params(graph)
+        member, info = color_mis_run(
+            graph,
+            rng,
+            gamma=params["gamma"],
+            k=params["k"],
+            iterations=params["iterations"],
+            coloring=self.coloring,
+            cap=params["cap"],
+            p=self.p,
         )
-        candidate = in_block & (colors >= 0) & (leader_val == colors)
-        member, tail_info = _finalize_fast(graph, rng, candidate)
-        info = {
-            "engine": "fast",
-            "gamma": gamma,
-            "k": k,
-            "uncolored": int((colors < 0).sum()),
-            **tail_info,
-        }
         result = MISResult(membership=member, info=info)
         if self.validate:
             result.validate(graph)

@@ -30,14 +30,26 @@ def cole_vishkin_colors(
     n: int,
     parent: np.ndarray,
     participating: np.ndarray,
+    init_colors: np.ndarray | None = None,
+    iterations: int | None = None,
 ) -> np.ndarray:
     """Vectorized CV color reduction to {0..5} over a rooted subforest.
 
     ``parent[v]`` must point to a participating parent or be ``-1``;
-    non-participants keep color ``-1``.
+    non-participants keep color ``-1``.  ``init_colors`` / ``iterations``
+    override the defaults (unique ids ``0..n-1``; the reduction count for
+    an ``n``-id palette) — the disjoint-union batched runner pins both to
+    the *base* graph so every copy reduces exactly as a lone trial would.
     """
-    colors = np.arange(n, dtype=np.int64)
-    iters = cv_reduction_iterations(max(n - 1, 1))
+    if init_colors is None:
+        colors = np.arange(n, dtype=np.int64)
+    else:
+        colors = np.asarray(init_colors, dtype=np.int64).copy()
+    iters = (
+        iterations
+        if iterations is not None
+        else cv_reduction_iterations(max(n - 1, 1))
+    )
     has_parent = participating & (parent >= 0)
     roots = participating & (parent < 0)
     safe_parent = np.where(has_parent, parent, 0)
@@ -60,10 +72,26 @@ def fair_rooted_run(
     graph: StaticGraph,
     parent: np.ndarray,
     rng: np.random.Generator,
+    base_n: int | None = None,
 ) -> tuple[np.ndarray, dict[str, Any]]:
-    """One FAIRROOTED execution; returns ``(membership, info)``."""
+    """One FAIRROOTED execution; returns ``(membership, info)``.
+
+    ``base_n`` pins the Cole–Vishkin size-derived parameters (initial id
+    palette and reduction iteration count) to a base graph of which this
+    graph is a disjoint union of copies — each copy then runs stage 2
+    exactly as an isolated trial on the base graph would.
+    """
     n = graph.n
     es, ed = graph.edge_src, graph.edge_dst
+    cv_init: np.ndarray | None = None
+    cv_iters: int | None = None
+    if base_n is not None:
+        if base_n <= 0 or n % base_n != 0:
+            raise ValueError(
+                f"base_n={base_n} does not evenly divide union size n={n}"
+            )
+        cv_init = np.tile(np.arange(base_n, dtype=np.int64), n // base_n)
+        cv_iters = cv_reduction_iterations(max(base_n - 1, 1))
 
     # -- Stage 1: random tags ------------------------------------------------ #
     tags = rng.integers(0, 2, size=n, dtype=np.int64)
@@ -79,7 +107,9 @@ def fair_rooted_run(
         parent,
         -1,
     )
-    colors = cole_vishkin_colors(n, resid_parent, resid)
+    colors = cole_vishkin_colors(
+        n, resid_parent, resid, init_colors=cv_init, iterations=cv_iters
+    )
     member = i1.copy()
     cv_covered = np.zeros(n, dtype=bool)
     emask = edge_both(resid, es, ed)

@@ -1,0 +1,332 @@
+"""Zero-copy shared-memory graph transport.
+
+Process pools previously shipped a pickled :class:`StaticGraph` to every
+worker.  This module replaces that payload with a tiny
+:class:`GraphShmHandle` — segment names, shapes, dtypes, and the graph's
+content hash — while the actual arrays (the canonical edge list plus the
+cached CSR ``indptr``/``indices``) live once in
+``multiprocessing.shared_memory`` segments.  Workers attach read-only
+numpy views over those segments, so the per-worker transport cost is
+O(1) in the graph size and all workers map the same physical pages.
+
+Lifecycle contract
+------------------
+* The **exporter** (:func:`export_graph`) owns the segments.  Calling
+  :meth:`SharedGraph.close` closes *and unlinks* them; it is idempotent
+  and also runs at interpreter exit for any exporter left open.
+* **Attachers** (:func:`attach_graph`) never unlink.  Each process keeps
+  an attach cache keyed by ``content_hash`` so repeated chunks on the
+  same graph re-use one mapping; attachments are unregistered from the
+  ``resource_tracker`` (the creator's registration is the one that backs
+  crash cleanup) and closed at process exit.
+* Unlinking while workers are still attached is safe on POSIX: the name
+  disappears but existing mappings stay valid until the attacher closes.
+
+``REPRO_SHM=0`` (or ``false``/``off``) disables the transport globally;
+pools then fall back to pickling the graph as before.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..obs.logging import get_logger
+from ..obs.metrics import get_registry
+from ..obs.profile import phase
+from .graph import StaticGraph
+
+__all__ = [
+    "ArraySpec",
+    "GraphShmHandle",
+    "SharedGraph",
+    "ShmUnavailable",
+    "export_graph",
+    "attach_graph",
+    "detach_graph",
+    "detach_all",
+    "shm_enabled",
+]
+
+_log = get_logger("repro.graphs.shm")
+
+
+class ShmUnavailable(RuntimeError):
+    """Shared-memory transport could not be used on this host."""
+
+
+def shm_enabled() -> bool:
+    """Whether the shm transport is enabled (``REPRO_SHM`` kill switch)."""
+    return os.environ.get("REPRO_SHM", "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+    )
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Locator for one numpy array inside a shared-memory segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class GraphShmHandle:
+    """Picklable O(1)-size descriptor of a shared :class:`StaticGraph`.
+
+    Ships instead of the graph itself: three segment locators plus the
+    vertex count and content hash.  ``content_hash`` doubles as the
+    attach-cache key, so two pools sharing one graph attach once.
+    """
+
+    n: int
+    content_hash: str
+    edges: ArraySpec
+    indptr: ArraySpec
+    indices: ArraySpec
+
+    @property
+    def nbytes_shared(self) -> int:
+        """Total bytes of graph data living behind this handle."""
+        return self.edges.nbytes + self.indptr.nbytes + self.indices.nbytes
+
+
+def _create_segment(array: np.ndarray) -> tuple[shared_memory.SharedMemory, ArraySpec]:
+    """Copy *array* into a fresh segment (min size 1 — shm rejects 0)."""
+    arr = np.ascontiguousarray(array)
+    try:
+        seg = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+    except OSError as exc:  # no /dev/shm, exhausted, permissions, ...
+        raise ShmUnavailable(f"cannot create shared memory: {exc}") from exc
+    if arr.nbytes:
+        np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)[...] = arr
+    return seg, ArraySpec(name=seg.name, shape=arr.shape, dtype=arr.dtype.str)
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting unlink duty.
+
+    Python < 3.13 registers every attachment with a resource tracker
+    (3.13+ has ``track=False`` for exactly this).  Whether that matters
+    depends on *which* tracker daemon the attacher talks to:
+
+    * **Pool workers** — fork and spawn alike — inherit the exporter's
+      tracker, so their registration collapses into the creator's (the
+      daemon keeps a set) and the creator's unlink-time unregister
+      retires it exactly once.  Unregistering here would steal the
+      creator's registration and turn its unlink into tracker noise.
+    * An **unrelated top-level process** spins up its own tracker, which
+      would unlink the segment out from under the exporter when this
+      process exits — there the registration must be dropped.
+
+    So: unregister only in top-level processes, and never for names this
+    process exported itself.
+    """
+    if sys.version_info >= (3, 13):  # pragma: no cover - newer interpreters
+        return shared_memory.SharedMemory(name=name, track=False)
+    seg = shared_memory.SharedMemory(name=name)
+    import multiprocessing as mp
+
+    if name not in _EXPORTED_NAMES and mp.parent_process() is None:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(seg._name, "shared_memory")  # noqa: SLF001
+        except Exception:  # pragma: no cover - tracker quirks are best-effort
+            pass
+    return seg
+
+
+class SharedGraph:
+    """Creator-side owner of one graph's shared-memory segments.
+
+    Materializes the CSR (if not already cached on the graph) so workers
+    never recompute it, copies the three arrays into segments, and hands
+    out the :attr:`handle` to ship.  :meth:`close` is the single cleanup
+    point — close + unlink, idempotent, also invoked at interpreter exit
+    as a crash backstop.
+    """
+
+    def __init__(self, graph: StaticGraph) -> None:
+        self.graph = graph
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._closed = False
+        indptr, indices = graph._csr  # noqa: SLF001 - same-package cache
+        specs: dict[str, ArraySpec] = {}
+        try:
+            for field_name, arr in (
+                ("edges", graph.edges),
+                ("indptr", indptr),
+                ("indices", indices),
+            ):
+                seg, spec = _create_segment(arr)
+                self._segments.append(seg)
+                _EXPORTED_NAMES.add(seg.name)
+                specs[field_name] = spec
+        except ShmUnavailable:
+            self.close()
+            raise
+        self.handle = GraphShmHandle(
+            n=graph.n, content_hash=graph.content_hash(), **specs
+        )
+        _EXPORTS.add(self)
+        registry = get_registry()
+        registry.counter(
+            "shm_graphs_exported_total",
+            "Graphs exported into shared-memory segments",
+        ).inc()
+        registry.counter(
+            "shm_bytes_shared_total",
+            "Bytes of graph data placed in shared memory",
+        ).inc(self.handle.nbytes_shared)
+        _log.debug(
+            "shm_graph_exported",
+            graph_n=graph.n,
+            bytes=self.handle.nbytes_shared,
+            segments=[seg.name for seg in self._segments],
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        _EXPORTS.discard(self)
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                pass
+            _EXPORTED_NAMES.discard(seg.name)
+        self._segments.clear()
+        get_registry().counter(
+            "shm_graphs_released_total",
+            "Shared graph exports closed and unlinked",
+        ).inc()
+        _log.debug("shm_graph_released", graph_n=self.graph.n)
+
+    def __enter__(self) -> "SharedGraph":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+#: Open exports, closed at interpreter exit if their pool never shut down.
+_EXPORTS: set[SharedGraph] = set()
+
+#: Segment names this process created (and its forked children inherit).
+_EXPORTED_NAMES: set[str] = set()
+
+#: Per-process attachments: content_hash -> (graph, segments).
+_ATTACHED: dict[str, tuple[StaticGraph, tuple[shared_memory.SharedMemory, ...]]] = {}
+
+
+def export_graph(graph: StaticGraph) -> SharedGraph:
+    """Place *graph*'s edge list + CSR into shared memory.
+
+    Raises :class:`ShmUnavailable` when segments cannot be created (the
+    caller should fall back to the pickle transport).
+    """
+    with phase("shm.export"):
+        return SharedGraph(graph)
+
+
+def attach_graph(handle: GraphShmHandle) -> StaticGraph:
+    """A :class:`StaticGraph` over *handle*'s segments (read-only views).
+
+    Cached per process by ``content_hash``: repeated attaches of the
+    same graph return the identical object without touching the OS.
+    """
+    cached = _ATTACHED.get(handle.content_hash)
+    if cached is not None:
+        get_registry().counter(
+            "shm_attach_cache_hits_total",
+            "Graph attaches served from the per-process cache",
+        ).inc()
+        return cached[0]
+    with phase("shm.attach"):
+        segments: list[shared_memory.SharedMemory] = []
+        arrays: dict[str, np.ndarray] = {}
+        try:
+            for field_name in ("edges", "indptr", "indices"):
+                spec: ArraySpec = getattr(handle, field_name)
+                seg = _attach_segment(spec.name)
+                segments.append(seg)
+                view = np.ndarray(
+                    spec.shape, dtype=np.dtype(spec.dtype), buffer=seg.buf
+                )
+                view.setflags(write=False)
+                arrays[field_name] = view
+        except BaseException:
+            for seg in segments:
+                seg.close()
+            raise
+        graph = StaticGraph._from_shared_parts(  # noqa: SLF001 - same package
+            handle.n,
+            arrays["edges"],
+            arrays["indptr"],
+            arrays["indices"],
+            handle.content_hash,
+        )
+    _ATTACHED[handle.content_hash] = (graph, tuple(segments))
+    registry = get_registry()
+    registry.counter(
+        "shm_attach_total", "Shared-memory graph attachments performed"
+    ).inc()
+    registry.counter(
+        "shm_attach_bytes_total",
+        "Bytes of graph data mapped (not copied) by attachments",
+    ).inc(handle.nbytes_shared)
+    _log.debug(
+        "shm_graph_attached", graph_n=handle.n, bytes=handle.nbytes_shared
+    )
+    return graph
+
+
+def detach_graph(content_hash: str) -> bool:
+    """Drop one cached attachment (close its mappings); True if present."""
+    entry = _ATTACHED.pop(content_hash, None)
+    if entry is None:
+        return False
+    for seg in entry[1]:
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - a view still outstanding
+            pass
+    return True
+
+
+def detach_all() -> None:
+    """Close every cached attachment (worker shutdown / test isolation)."""
+    for content_hash in list(_ATTACHED):
+        detach_graph(content_hash)
+
+
+def _cleanup_at_exit() -> None:  # pragma: no cover - interpreter teardown
+    detach_all()
+    for shared in list(_EXPORTS):
+        shared.close()
+
+
+atexit.register(_cleanup_at_exit)

@@ -88,6 +88,10 @@ class Estimator:
         merging, and cancellation.
     max_pools:
         Resident ``(graph, algorithm)`` worker pools kept warm (LRU).
+    shm:
+        Ship graphs to worker processes over the zero-copy shared-memory
+        transport (default).  ``False`` — or ``REPRO_SHM=0`` in the
+        environment — falls back to pickling the graph per worker.
     """
 
     def __init__(
@@ -99,6 +103,7 @@ class Estimator:
         clamp_to_host: bool = True,
         context: str | None = None,
         registry: MetricsRegistry | None = None,
+        shm: bool = True,
     ) -> None:
         workers = normalize_jobs(n_jobs)
         if clamp_to_host:
@@ -118,6 +123,7 @@ class Estimator:
             max_pools=max_pools,
             context=context,
             registry=self.registry,
+            shm=shm,
         )
         self._log = get_logger("repro.service.estimator")
         self._log.info(
@@ -126,6 +132,7 @@ class Estimator:
             cache_size=cache_size,
             chunk_trials=chunk_trials,
             max_pools=max_pools,
+            shm=shm,
         )
 
     # ------------------------------------------------------------------ #

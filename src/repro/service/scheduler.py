@@ -166,6 +166,7 @@ class BatchScheduler:
         max_records: int = 1024,
         context: str | None = None,
         registry: MetricsRegistry | None = None,
+        shm: bool = True,
     ) -> None:
         if chunk_trials <= 0:
             raise ValueError("chunk_trials must be positive")
@@ -212,10 +213,17 @@ class BatchScheduler:
         self._g_pools = self.registry.gauge(
             "service_pools_resident", "Worker pools currently kept warm"
         )
+        self._c_fallback = self.registry.counter(
+            "service_vectorized_fallback_total",
+            "Auto-mode requests that fell back to exact per-trial chunks "
+            "because the algorithm has no vectorized runner",
+            labelnames=("algorithm",),
+        )
         self.chunk_trials = chunk_trials
         self.max_pools = max_pools
         self.records: deque[RequestRecord] = deque(maxlen=max_records)
         self._context = context
+        self._shm = shm
         self._lock = threading.RLock()
         self._queue: queue.Queue[Any] = queue.Queue()
         self._inflight: dict[tuple, Ticket] = {}
@@ -333,11 +341,20 @@ class BatchScheduler:
                 self._graph_memo.popitem(last=False)
         return graph
 
-    @staticmethod
-    def _resolve_mode(mode: str, algorithm: MISAlgorithm) -> str:
+    def _resolve_mode(self, mode: str, algorithm: MISAlgorithm) -> str:
         runner = vector_runner_for(algorithm)
         if mode == "auto":
-            return "vectorized" if runner is not None else "exact"
+            if runner is not None:
+                return "vectorized"
+            # The fallback is a silent throughput cliff (per-trial python
+            # loop instead of the batched kernel) — make it observable.
+            self._c_fallback.labels(algorithm=algorithm.name).inc()
+            self._log.warning(
+                "vectorized_fallback",
+                algorithm=algorithm.name,
+                reason="no vectorized runner registered",
+            )
+            return "exact"
         if mode == "vectorized" and runner is None:
             raise ValueError(
                 f"algorithm {algorithm.name!r} has no vectorized runner; "
@@ -387,7 +404,11 @@ class BatchScheduler:
                 self._pools.move_to_end(ticket_pair)
                 return pool
         pool = TrialPool(
-            algorithm, graph, workers=self.workers, context=self._context
+            algorithm,
+            graph,
+            workers=self.workers,
+            context=self._context,
+            shm=self._shm,
         )
         self.counters.increment("pools_created")
         with self._lock:

@@ -5,13 +5,26 @@ import pytest
 
 from repro.analysis import run_trials
 from repro.fast.batched import (
+    batched_color_mis_trials,
+    batched_fair_bipart_trials,
+    batched_fair_rooted_trials,
     batched_fair_tree_trials,
     batched_luby_trials,
     disjoint_power,
+    disjoint_power_cache_clear,
+    disjoint_power_cache_info,
+    vector_runner_for,
 )
+from repro.fast.blocks import FastColorMIS, FastFairBipart
+from repro.fast.fair_rooted import FastFairRooted
 from repro.fast.fair_tree import FastFairTree
 from repro.fast.luby import FastLuby
-from repro.graphs.generators import path_graph, random_tree, star_graph
+from repro.graphs.generators import (
+    path_graph,
+    random_planar_like,
+    random_tree,
+    star_graph,
+)
 
 
 class TestDisjointPower:
@@ -117,3 +130,294 @@ class TestBatchedFairTree:
         for c in range(8):
             chunk = member[c * 15 : (c + 1) * 15]
             assert is_maximal_independent_set(g, chunk)
+
+
+class TestUnionMemo:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        disjoint_power_cache_clear()
+        yield
+        disjoint_power_cache_clear()
+
+    def test_repeat_returns_cached_object(self):
+        g = path_graph(5)
+        first = disjoint_power(g, 4)
+        assert disjoint_power(g, 4) is first
+        info = disjoint_power_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1 and info["size"] == 1
+
+    def test_distinct_keys_are_distinct_entries(self):
+        g = path_graph(5)
+        assert disjoint_power(g, 3) is not disjoint_power(g, 4)
+        assert disjoint_power_cache_info()["misses"] == 2
+
+    def test_distinct_graphs_do_not_collide(self):
+        a = disjoint_power(path_graph(5), 3)
+        b = disjoint_power(star_graph(5), 3)
+        assert not np.array_equal(a.edges, b.edges)
+
+    def test_lru_eviction_respects_cap(self):
+        g = path_graph(5)
+        cap = disjoint_power_cache_info()["cap"]
+        first = disjoint_power(g, 2)
+        for copies in range(3, cap + 3):
+            disjoint_power(g, copies)
+        assert disjoint_power_cache_info()["size"] == cap
+        # copies=2 was the least recently used entry, so it was evicted
+        assert disjoint_power(g, 2) is not first
+
+    def test_clear_resets_stats_and_entries(self):
+        disjoint_power(path_graph(4), 3)
+        disjoint_power_cache_clear()
+        info = disjoint_power_cache_info()
+        assert info["hits"] == 0 and info["misses"] == 0 and info["size"] == 0
+
+    def test_single_copy_bypasses_cache(self):
+        g = path_graph(4)
+        assert disjoint_power(g, 1) is g
+        assert disjoint_power_cache_info()["size"] == 0
+
+
+class TestBatchedFairRooted:
+    def test_counts_bounded(self):
+        g = random_tree(20, seed=1).graph
+        est = batched_fair_rooted_trials(g, trials=90, seed=0, batch=32)
+        assert est.trials == 90
+        assert est.counts.max() <= 90 and est.counts.min() >= 0
+
+    def test_agrees_with_serial_distribution(self):
+        g = random_tree(25, seed=2).graph
+        batched = batched_fair_rooted_trials(g, trials=3000, seed=1, batch=64)
+        serial = run_trials(FastFairRooted(), g, 3000, seed=2)
+        se = np.sqrt(2 * 0.25 / 3000)
+        assert np.all(
+            np.abs(batched.probabilities - serial.probabilities) < 5 * se + 0.02
+        )
+
+    def test_validity_of_union_runs(self):
+        from repro.analysis import is_maximal_independent_set
+        from repro.fast.fair_rooted import fair_rooted_run
+        from repro.graphs.graph import RootedTree
+
+        g = random_tree(15, seed=6).graph
+        parent = RootedTree.from_graph(g).parent
+        union = disjoint_power(g, 8)
+        offsets = (np.arange(8, dtype=np.int64) * 15)[:, None]
+        union_parent = np.where(
+            np.broadcast_to(parent, (8, 15)) >= 0,
+            np.broadcast_to(parent, (8, 15)) + offsets,
+            np.int64(-1),
+        ).reshape(-1)
+        member, _ = fair_rooted_run(
+            union, union_parent, np.random.default_rng(0), base_n=15
+        )
+        for c in range(8):
+            assert is_maximal_independent_set(g, member[c * 15 : (c + 1) * 15])
+
+    def test_base_n_must_divide_union(self):
+        from repro.fast.fair_rooted import fair_rooted_run
+        from repro.graphs.graph import RootedTree
+
+        g = random_tree(10, seed=1).graph
+        parent = RootedTree.from_graph(g).parent
+        with pytest.raises(ValueError, match="base_n"):
+            fair_rooted_run(g, parent, np.random.default_rng(0), base_n=3)
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            batched_fair_rooted_trials(path_graph(3), trials=0)
+
+
+class TestBatchedFairBipart:
+    def test_counts_bounded(self):
+        g = random_planar_like(24, seed=1)
+        est = batched_fair_bipart_trials(g, trials=90, seed=0, batch=32)
+        assert est.trials == 90
+        assert est.counts.max() <= 90 and est.counts.min() >= 0
+
+    def test_agrees_with_serial_distribution(self):
+        g = random_planar_like(24, seed=2)
+        batched = batched_fair_bipart_trials(g, trials=3000, seed=1, batch=64)
+        serial = run_trials(FastFairBipart(), g, 3000, seed=2)
+        se = np.sqrt(2 * 0.25 / 3000)
+        assert np.all(
+            np.abs(batched.probabilities - serial.probabilities) < 5 * se + 0.02
+        )
+
+    def test_validity_of_union_runs(self):
+        from repro.analysis import is_maximal_independent_set
+        from repro.algorithms.fair_bipart import default_block_gamma
+        from repro.fast.blocks import fair_bipart_run
+
+        g = random_planar_like(15, seed=6)
+        union = disjoint_power(g, 8)
+        member, _ = fair_bipart_run(
+            union, np.random.default_rng(0), gamma=default_block_gamma(15, 2.0)
+        )
+        for c in range(8):
+            assert is_maximal_independent_set(g, member[c * 15 : (c + 1) * 15])
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            batched_fair_bipart_trials(path_graph(3), trials=0)
+
+
+class TestBatchedColorMIS:
+    def test_counts_bounded(self):
+        g = random_planar_like(24, seed=1)
+        est = batched_color_mis_trials(g, trials=90, seed=0, batch=32)
+        assert est.trials == 90
+        assert est.counts.max() <= 90 and est.counts.min() >= 0
+
+    def test_agrees_with_serial_distribution(self):
+        g = random_planar_like(24, seed=2)
+        batched = batched_color_mis_trials(g, trials=3000, seed=1, batch=64)
+        serial = run_trials(FastColorMIS(), g, 3000, seed=2)
+        se = np.sqrt(2 * 0.25 / 3000)
+        assert np.all(
+            np.abs(batched.probabilities - serial.probabilities) < 5 * se + 0.02
+        )
+
+    def test_arboricity_agrees_with_serial_distribution(self):
+        g = random_planar_like(24, seed=3)
+        batched = batched_color_mis_trials(
+            g, trials=3000, seed=1, batch=64, coloring="arboricity"
+        )
+        serial = run_trials(FastColorMIS(coloring="arboricity"), g, 3000, seed=2)
+        se = np.sqrt(2 * 0.25 / 3000)
+        assert np.all(
+            np.abs(batched.probabilities - serial.probabilities) < 5 * se + 0.02
+        )
+
+    def test_validity_of_union_runs(self):
+        from repro.analysis import is_maximal_independent_set
+        from repro.fast.blocks import color_mis_run
+
+        g = random_planar_like(15, seed=6)
+        params = FastColorMIS().resolved_params(g)
+        union = disjoint_power(g, 8)
+        member, _ = color_mis_run(
+            union,
+            np.random.default_rng(0),
+            gamma=params["gamma"],
+            k=params["k"],
+            iterations=params["iterations"],
+            coloring="greedy",
+            cap=params["cap"],
+        )
+        for c in range(8):
+            assert is_maximal_independent_set(g, member[c * 15 : (c + 1) * 15])
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            batched_color_mis_trials(path_graph(3), trials=0)
+
+
+class TestParameterPinning:
+    """Size-derived parameters must come from the base graph, not the union."""
+
+    def test_cole_vishkin_pinned_to_base(self, monkeypatch):
+        import repro.fast.fair_rooted as fr
+        from repro.algorithms.cole_vishkin import cv_reduction_iterations
+
+        g = random_tree(20, seed=4).graph
+        seen = []
+        real = fr.cole_vishkin_colors
+
+        def spy(n, parent, participating, init_colors=None, iterations=None):
+            seen.append((n, init_colors, iterations))
+            return real(n, parent, participating, init_colors, iterations)
+
+        monkeypatch.setattr(fr, "cole_vishkin_colors", spy)
+        batched_fair_rooted_trials(g, trials=8, seed=0, batch=8)
+        assert len(seen) == 1
+        union_n, init_colors, iterations = seen[0]
+        assert union_n == 160
+        assert iterations == cv_reduction_iterations(19)
+        assert np.array_equal(init_colors, np.tile(np.arange(20), 8))
+
+    def test_fair_bipart_gamma_pinned_to_base(self, monkeypatch):
+        import repro.fast.blocks as blocks
+        from repro.algorithms.fair_bipart import default_block_gamma
+
+        g = random_planar_like(24, seed=2)
+        seen = []
+        real = blocks.construct_block_fast
+
+        def spy(graph, rng, gamma, values, mode, value_base, p=0.5):
+            seen.append((graph.n, gamma, mode, value_base))
+            return real(graph, rng, gamma, values, mode, value_base, p)
+
+        monkeypatch.setattr(blocks, "construct_block_fast", spy)
+        batched_fair_bipart_trials(g, trials=6, seed=0, batch=6)
+        assert seen == [(144, default_block_gamma(24, 2.0), "bit", 2)]
+
+    def test_color_mis_params_pinned_to_base(self, monkeypatch):
+        import repro.fast.blocks as blocks
+        from repro.fast.blocks import color_mis_iterations
+
+        g = random_planar_like(24, seed=3)
+        expected = FastColorMIS().resolved_params(g)
+        seen = {}
+        real_color = blocks.greedy_coloring_fast
+        real_block = blocks.construct_block_fast
+
+        def color_spy(graph, rng, iterations):
+            seen["iterations"] = iterations
+            return real_color(graph, rng, iterations)
+
+        def block_spy(graph, rng, gamma, values, mode, value_base, p=0.5):
+            seen["gamma"] = gamma
+            seen["k"] = value_base
+            return real_block(graph, rng, gamma, values, mode, value_base, p)
+
+        monkeypatch.setattr(blocks, "greedy_coloring_fast", color_spy)
+        monkeypatch.setattr(blocks, "construct_block_fast", block_spy)
+        batched_color_mis_trials(g, trials=5, seed=0, batch=5)
+        assert seen["iterations"] == expected["iterations"]
+        assert seen["iterations"] == color_mis_iterations(24)
+        assert seen["iterations"] != color_mis_iterations(24 * 5)
+        assert seen["gamma"] == expected["gamma"]
+        assert seen["k"] == expected["k"]
+
+    def test_arboricity_cap_pinned_to_base(self, monkeypatch):
+        import repro.fast.blocks as blocks
+
+        g = random_planar_like(24, seed=3)
+        expected = FastColorMIS(coloring="arboricity").resolved_params(g)
+        seen = {}
+        real = blocks.arboricity_coloring_fast
+
+        def spy(graph, rng, cap, iterations):
+            seen["cap"] = cap
+            seen["iterations"] = iterations
+            return real(graph, rng, cap, iterations)
+
+        monkeypatch.setattr(blocks, "arboricity_coloring_fast", spy)
+        batched_color_mis_trials(g, trials=5, seed=0, batch=5, coloring="arboricity")
+        assert seen["cap"] == expected["cap"]
+        assert seen["iterations"] == expected["iterations"]
+
+
+class TestVectorRunnerRegistry:
+    def test_all_five_paper_algorithms_covered(self):
+        algorithms = [
+            FastLuby(),
+            FastFairTree(),
+            FastFairRooted(),
+            FastFairBipart(),
+            FastColorMIS(),
+            FastColorMIS(coloring="arboricity"),
+        ]
+        for algorithm in algorithms:
+            assert vector_runner_for(algorithm) is not None, algorithm.name
+
+    def test_unbatchable_variant_returns_none(self):
+        assert vector_runner_for(FastLuby(variant="degree")) is None
+
+    def test_runner_output_matches_direct_batched_call(self):
+        g = random_tree(20, seed=7).graph
+        runner = vector_runner_for(FastFairRooted())
+        counts = runner(FastFairRooted(), g, 40, 9)
+        direct = batched_fair_rooted_trials(g, trials=40, seed=9).counts
+        assert np.array_equal(counts, direct)

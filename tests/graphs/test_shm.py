@@ -1,0 +1,175 @@
+"""Shared-memory graph transport: handles, attach cache, cleanup."""
+
+import pickle
+
+import numpy as np
+import pytest
+from multiprocessing import shared_memory
+
+from repro.graphs import (
+    GraphShmHandle,
+    attach_graph,
+    detach_all,
+    detach_graph,
+    export_graph,
+    random_tree,
+    shm_enabled,
+)
+from repro.graphs.shm import _ATTACHED
+
+
+@pytest.fixture(autouse=True)
+def _clean_attachments():
+    yield
+    detach_all()
+
+
+def _tree(n=40, seed=3):
+    return random_tree(n, seed).graph
+
+
+def _segment_gone(name: str) -> bool:
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    seg.close()
+    return False
+
+
+class TestExportAttach:
+    def test_round_trip_equality(self):
+        g = _tree()
+        shared = export_graph(g)
+        try:
+            g2 = attach_graph(shared.handle)
+            assert g2.n == g.n
+            assert np.array_equal(g2.edges, g.edges)
+            assert g2.content_hash() == g.content_hash()
+            # Behavior parity through the CSR path.
+            for v in (0, g.n // 2, g.n - 1):
+                assert np.array_equal(g2.neighbors(v), g.neighbors(v))
+        finally:
+            detach_all()
+            shared.close()
+
+    def test_attach_injects_csr_and_hash(self):
+        g = _tree()
+        shared = export_graph(g)
+        try:
+            g2 = attach_graph(shared.handle)
+            # Nothing should be recomputed on the worker side.
+            assert "_csr" in g2.__dict__
+            assert "_content_hash" in g2.__dict__
+        finally:
+            detach_all()
+            shared.close()
+
+    def test_attached_views_are_read_only(self):
+        g = _tree()
+        shared = export_graph(g)
+        try:
+            g2 = attach_graph(shared.handle)
+            with pytest.raises(ValueError):
+                g2.edges[0, 0] = 99
+        finally:
+            detach_all()
+            shared.close()
+
+    def test_attach_cache_returns_identical_object(self):
+        g = _tree()
+        shared = export_graph(g)
+        try:
+            first = attach_graph(shared.handle)
+            assert attach_graph(shared.handle) is first
+            assert detach_graph(shared.handle.content_hash)
+            assert not detach_graph(shared.handle.content_hash)
+            assert shared.handle.content_hash not in _ATTACHED
+        finally:
+            detach_all()
+            shared.close()
+
+    def test_empty_edge_graph(self):
+        from repro.graphs import empty_graph
+
+        g = empty_graph(5)
+        shared = export_graph(g)
+        try:
+            g2 = attach_graph(shared.handle)
+            assert g2.n == 5 and g2.m == 0
+        finally:
+            detach_all()
+            shared.close()
+
+
+class TestHandle:
+    def test_handle_pickles_small_and_size_independent(self):
+        small = export_graph(_tree(20))
+        big = export_graph(_tree(2000))
+        try:
+            p_small = len(pickle.dumps(small.handle))
+            p_big = len(pickle.dumps(big.handle))
+            # O(1) in graph size: a 100x bigger graph must not grow the
+            # handle (names vary by a couple of bytes).
+            assert abs(p_big - p_small) < 64
+            assert p_big < len(pickle.dumps(big.graph)) / 10
+        finally:
+            small.close()
+            big.close()
+
+    def test_handle_round_trips_through_pickle(self):
+        shared = export_graph(_tree())
+        try:
+            clone = pickle.loads(pickle.dumps(shared.handle))
+            assert isinstance(clone, GraphShmHandle)
+            assert clone == shared.handle
+            assert clone.nbytes_shared == shared.handle.nbytes_shared
+        finally:
+            shared.close()
+
+
+class TestCleanup:
+    def test_close_unlinks_all_segments(self):
+        shared = export_graph(_tree())
+        names = [
+            shared.handle.edges.name,
+            shared.handle.indptr.name,
+            shared.handle.indices.name,
+        ]
+        shared.close()
+        assert shared.closed
+        for name in names:
+            assert _segment_gone(name)
+
+    def test_close_is_idempotent(self):
+        shared = export_graph(_tree())
+        shared.close()
+        shared.close()
+
+    def test_context_manager_closes(self):
+        with export_graph(_tree()) as shared:
+            name = shared.handle.edges.name
+        assert _segment_gone(name)
+
+    def test_unlink_with_live_attachment_keeps_mapping_valid(self):
+        g = _tree()
+        shared = export_graph(g)
+        g2 = attach_graph(shared.handle)
+        shared.close()  # POSIX: name gone, mapping survives
+        assert np.array_equal(g2.edges, g.edges)
+        detach_all()
+
+
+class TestEnvGate:
+    def test_shm_enabled_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM", raising=False)
+        assert shm_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "OFF"])
+    def test_shm_disabled(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SHM", value)
+        assert not shm_enabled()
+
+    def test_shm_enabled_other_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "1")
+        assert shm_enabled()

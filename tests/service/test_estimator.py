@@ -84,6 +84,38 @@ class TestExactness:
             )
         assert res.mode == "exact"
 
+    def test_auto_resolves_vectorized_for_all_paper_fast_engines(self):
+        algorithms = [
+            "luby_fast",
+            "fair_tree_fast",
+            "fair_rooted_fast",
+            "fair_bipart_fast",
+            "color_mis_fast",
+        ]
+        with Estimator(n_jobs=1) as svc:
+            for algorithm in algorithms:
+                res = svc.estimate(
+                    graph_spec=TREE, algorithm=algorithm, trials=16, seed=0
+                )
+                assert res.mode == "vectorized", algorithm
+            fallback = svc.registry.counter(
+                "service_vectorized_fallback_total", labelnames=("algorithm",)
+            )
+            assert not fallback.children()
+
+    def test_fallback_counter_increments_per_algorithm(self, slow_algorithm):
+        with Estimator(n_jobs=1) as svc:
+            svc.estimate(
+                graph_spec="path:8", algorithm=slow_algorithm, trials=8, seed=0
+            )
+            svc.estimate(
+                graph_spec="path:8", algorithm=slow_algorithm, trials=8, seed=1
+            )
+            fallback = svc.registry.counter(
+                "service_vectorized_fallback_total", labelnames=("algorithm",)
+            )
+            assert fallback.labels(algorithm=slow_algorithm).value == 2
+
     def test_vectorized_mode_requires_runner(self, slow_algorithm):
         with Estimator(n_jobs=1) as svc:
             with pytest.raises(ValueError, match="no vectorized runner"):
