@@ -13,6 +13,7 @@ scaffolding a careful reproduction needs:
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,7 +23,20 @@ __all__ = [
     "estimate_from_counts",
     "inequality_factor",
     "wilson_interval",
+    "z_for_confidence",
 ]
+
+
+def z_for_confidence(confidence: float) -> float:
+    """Two-sided normal critical value for a confidence level.
+
+    ``z_for_confidence(0.95) == 1.959…`` — the multiplier the Wilson
+    intervals and the sequential stopping rules share, derived once here
+    instead of hard-coding 1.96 at every call site.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    return statistics.NormalDist().inv_cdf(0.5 + confidence / 2.0)
 
 
 def wilson_interval(
@@ -108,6 +122,33 @@ class JoinEstimate:
         upper = max_hi / min_lo if min_lo > 0 else float("inf")
         return max(1.0, lower), upper
 
+    def halfwidths(self, z: float = 1.96) -> np.ndarray:
+        """Per-node Wilson CI half-widths at critical value *z*.
+
+        The inputs (counts, trials) are already here, so callers — the
+        sequential stopping rules, the CLI summary, tests — read the
+        half-widths from the estimate instead of re-deriving them ad hoc
+        from :func:`wilson_interval`.
+        """
+        lo, hi = wilson_interval(self.counts, self.trials, z)
+        return (hi - lo) / 2.0
+
+    def max_halfwidth(self, z: float = 1.96) -> float:
+        """Widest per-node CI half-width — the precision bottleneck node."""
+        return float(self.halfwidths(z).max())
+
+    def inequality_halfwidth(self, z: float = 1.96) -> float:
+        """Half-width of the inequality-factor interval.
+
+        ``(upper - lower) / 2`` of :meth:`inequality_bounds`; ``inf``
+        while any node's interval still touches probability 0 (the ratio
+        is then unbounded above, exactly as Definition 1 prescribes).
+        """
+        lower, upper = self.inequality_bounds(z)
+        if not np.isfinite(upper):
+            return float("inf")
+        return (upper - lower) / 2.0
+
     @property
     def min_probability(self) -> float:
         """Smallest per-node join-probability estimate."""
@@ -129,5 +170,12 @@ class JoinEstimate:
 
 
 def estimate_from_counts(counts: np.ndarray, trials: int) -> JoinEstimate:
-    """Build a :class:`JoinEstimate` from raw join counts."""
+    """Build a :class:`JoinEstimate` from raw join counts.
+
+    The returned estimate exposes the CI half-widths its inputs already
+    determine — :meth:`JoinEstimate.halfwidths`,
+    :meth:`JoinEstimate.max_halfwidth`, and
+    :meth:`JoinEstimate.inequality_halfwidth` — so callers never need to
+    re-derive them from :func:`wilson_interval` by hand.
+    """
     return JoinEstimate(counts=np.asarray(counts), trials=trials)

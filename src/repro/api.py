@@ -4,14 +4,25 @@
 deprecation policy (a release of ``DeprecationWarning`` before removal),
 whereas internal module layout may shift between versions.  Typical use::
 
-    from repro.api import Estimator, EstimateRequest, GraphSpec, run_trials
+    from repro.api import Estimator, GraphSpec, Precision
 
     graph = GraphSpec.parse("tree:500:1").build()
     with Estimator(n_jobs=0) as service:
         result = service.estimate(
-            graph=graph, algorithm="fair_tree_fast", trials=2000, seed=0
+            graph=graph, algorithm="fair_tree_fast",
+            precision=Precision(node_ci=0.02), seed=0,
         )
-        print(result.estimate.inequality)
+        print(result.estimate.inequality, result.realized_trials)
+
+The v2 request shape (since the precision redesign) targets a confidence
+interval instead of a trial count: :class:`Precision` specifies the
+target CI half-width (per-node join frequency and/or inequality factor),
+a confidence level, and a hard trial cap; the scheduler runs trial
+rounds, seeds the interval from cached evidence, and stops as soon as
+the target closes.  ``EstimateResult.realized_trials`` reports the total
+evidence behind the returned estimate.  The v1 surface — ``trials=``
+without ``precision=`` — still works but raises ``DeprecationWarning``
+(one release notice before removal; migration table in ``docs/API.md``).
 
 Groups:
 
@@ -19,8 +30,9 @@ Groups:
   content hashing for cache keys;
 * estimation — the cold-path :func:`run_trials`, the canonical
   :func:`normalize_jobs` semantics, :class:`JoinEstimate`;
-* service — :class:`Estimator` and the request/result dataclasses shared
-  with the ``python -m repro serve``/``batch`` CLI;
+* service — :class:`Estimator`, the request/result dataclasses shared
+  with the ``python -m repro serve``/``batch`` CLI, and the v2
+  :class:`Precision`/:class:`StoppingRule` sequential-stopping contract;
 * observability — structured logging (:func:`get_logger`,
   :func:`configure_logging`), request tracing (:func:`span`), the
   :class:`MetricsRegistry` behind every estimator's counters and
@@ -64,14 +76,17 @@ from .obs import (
 )
 from .runtime.metrics import RequestRecord, ServiceCounters
 from .service import (
+    PROTOCOL_VERSIONS,
     BatchScheduler,
     Estimator,
     EstimateCancelled,
     EstimateRequest,
     EstimateResult,
     EstimateTimeout,
+    Precision,
     RequestHandle,
     ResultCache,
+    StoppingRule,
 )
 
 __all__ = [
@@ -95,6 +110,9 @@ __all__ = [
     "EstimateResult",
     "EstimateTimeout",
     "EstimateCancelled",
+    "Precision",
+    "StoppingRule",
+    "PROTOCOL_VERSIONS",
     "BatchScheduler",
     "ResultCache",
     "ServiceCounters",

@@ -295,6 +295,90 @@ def _cache_speedup(config: BenchConfig) -> dict[str, dict[str, Any]]:
     }
 
 
+def _sequential_stopping(config: BenchConfig) -> dict[str, dict[str, Any]]:
+    """Precision-request economics: evidence reuse and realized trials.
+
+    The acceptance workload is pinned (tree:500, ``fair_tree_fast``,
+    2000-trial fixed budget) independent of the scale knobs, so the gated
+    counts stay valid between ``--quick`` and full runs.  One fixed
+    request deposits evidence; the following default-precision request
+    must satisfy its CI from that evidence alone (``warm_new_trials``
+    gates at 0 — any regression in the evidence plane or the stopping
+    rule shows up as new trials executed).  A cold seeded sweep then
+    records the realized-trials distribution of default-precision
+    requests (p50/p95, gated with slack for stopping-boundary wobble).
+    """
+    import warnings as _warnings
+
+    import numpy as np
+
+    from ..service.estimator import Estimator
+    from ..service.precision import Precision
+
+    graph = _bench_tree(500, seed=_COUNT_SEED)
+    fixed_trials = 2000
+    with Estimator(n_jobs=1) as service:
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore", DeprecationWarning)
+            started = time.perf_counter()
+            service.estimate(
+                graph=graph, algorithm="fair_tree_fast",
+                trials=fixed_trials, seed=_COUNT_SEED, timeout=300.0,
+            )
+            cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = service.estimate(
+            graph=graph, algorithm="fair_tree_fast",
+            precision=Precision.default(), seed=_COUNT_SEED + 1,
+            timeout=300.0,
+        )
+        warm_s = time.perf_counter() - started
+        warm_new = warm.realized_trials - warm.prior_trials
+
+        sweep_graph = _bench_tree(150, seed=_COUNT_SEED)
+        sweep_realized: list[int] = []
+        for i in range(5):
+            service.cache.clear()  # each sweep request starts cold
+            result = service.estimate(
+                graph=sweep_graph, algorithm="fair_tree_fast",
+                precision=Precision.default(), seed=3000 + i,
+                timeout=300.0,
+            )
+            sweep_realized.append(result.realized_trials)
+    p50 = float(np.percentile(sweep_realized, 50))
+    p95 = float(np.percentile(sweep_realized, 95))
+    details = {
+        "n": 500, "fixed_trials": fixed_trials,
+        "prior_trials": warm.prior_trials,
+        "realized_trials": warm.realized_trials,
+        "stopped_early": warm.stopped_early,
+    }
+    sweep_details = {
+        "n": 150, "requests": len(sweep_realized),
+        "realized": sweep_realized,
+        "precision": Precision.default().to_json(),
+    }
+    return {
+        "sequential.warm_new_trials": _count(
+            warm_new, "trials", details=details,
+        ),
+        "sequential.warm_speedup": _timing(
+            cold_s / warm_s if warm_s > 0 else float("inf"), "x",
+            higher_is_better=True,
+            details={"cold_ms": cold_s * 1e3, "warm_ms": warm_s * 1e3,
+                     **details},
+        ),
+        "sequential.realized_trials.p50": _entry(
+            p50, "trials", "count", higher_is_better=False,
+            gate=True, tolerance_pct=10.0, details=sweep_details,
+        ),
+        "sequential.realized_trials.p95": _entry(
+            p95, "trials", "count", higher_is_better=False,
+            gate=True, tolerance_pct=10.0, details=sweep_details,
+        ),
+    }
+
+
 def _profiled_run(config: BenchConfig) -> dict[str, dict[str, Any]]:
     """One profiled FastFairTree run; per-phase breakdown in details."""
     from ..fast.fair_tree import FastFairTree
@@ -370,6 +454,8 @@ def build_cases(config: BenchConfig) -> list[BenchCase]:
                   "service submit→complete latency percentiles"),
         BenchCase("cache_speedup", _cache_speedup,
                   "result-cache warm vs cold speedup"),
+        BenchCase("sequential_stopping", _sequential_stopping,
+                  "precision-request evidence reuse and realized trials"),
         BenchCase("profiled_run", _profiled_run,
                   "per-phase profile of one FAIRTREE run"),
         BenchCase("faithful_counts", _faithful_counts,

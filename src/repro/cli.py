@@ -89,14 +89,43 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
 def _cmd_estimate(args: argparse.Namespace) -> None:
     from .analysis.ascii import render_histogram
-    from .analysis.montecarlo import run_trials
 
     graph = _graph_from_spec(args.graph)
-    alg = make(args.algorithm)
-    est = run_trials(alg, graph, args.trials, seed=args.seed, n_jobs=args.jobs)
+    if args.ci is not None or args.ineq_ci is not None:
+        # v2 precision mode: target a CI, let the scheduler stop early.
+        from .service import Estimator, Precision
+
+        spec: dict[str, object] = {
+            "node_ci": args.ci,
+            "inequality_ci": args.ineq_ci,
+            "confidence": args.confidence,
+        }
+        if args.max_trials is not None:
+            spec["max_trials"] = args.max_trials
+        with Estimator(n_jobs=args.jobs) as service:
+            result = service.estimate(
+                graph=graph,
+                algorithm=args.algorithm,
+                precision=Precision(**spec),  # type: ignore[arg-type]
+                seed=args.seed,
+            )
+        est = result.estimate
+        stop = "stopped early" if result.stopped_early else "hit trial cap"
+        budget = (
+            f"trials: {est.trials} ({stop}; "
+            f"{result.prior_trials} from cached evidence)"
+        )
+    else:
+        from .analysis.montecarlo import run_trials
+
+        alg = make(args.algorithm)
+        est = run_trials(
+            alg, graph, args.trials, seed=args.seed, n_jobs=args.jobs
+        )
+        budget = f"trials: {args.trials}"
     lower, upper = est.inequality_bounds()
     print(f"graph        : {args.graph} (n={graph.n})")
-    print(f"algorithm    : {alg.name}   trials: {args.trials}")
+    print(f"algorithm    : {args.algorithm}   {budget}")
     print(f"inequality   : {est.inequality:.3f}   (95% CI [{lower:.2f}, {upper:.2f}])")
     print(f"min/max join : {est.min_probability:.3f} / {est.max_probability:.3f}")
     print("join-frequency histogram:")
@@ -203,6 +232,7 @@ def _service_loop(
 
     errors = 0
     served = 0
+    v1_noted = False
     with Estimator(n_jobs=jobs, cache_size=cache_size, shm=shm) as service:
         for lineno, line in enumerate(lines, start=1):
             line = line.strip()
@@ -210,6 +240,20 @@ def _service_loop(
                 continue
             try:
                 obj = json.loads(line)
+                if (
+                    isinstance(obj, dict)
+                    and int(obj.get("v", 1)) < 2
+                    and not v1_noted
+                ):
+                    # Once per connection, not per line: v1 traffic is
+                    # legal but deprecated (docs/API.md migration table).
+                    v1_noted = True
+                    print(
+                        "note: v1 fixed-trial requests are deprecated; "
+                        'send {"v": 2, ...} with a "precision" block '
+                        "(see docs/API.md)",
+                        file=sys.stderr,
+                    )
                 if mode != "auto" and "mode" not in obj:
                     obj["mode"] = mode
                 request = EstimateRequest.from_json(obj)
@@ -458,6 +502,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--graph", required=True)
     p.add_argument("--algorithm", default="fair_tree_fast")
     common(p)
+    p.add_argument(
+        "--ci",
+        type=float,
+        default=None,
+        metavar="HW",
+        help="v2 precision mode: target per-node join-frequency CI "
+        "half-width (runs trial rounds until it closes; --trials ignored)",
+    )
+    p.add_argument(
+        "--ineq-ci",
+        type=float,
+        default=None,
+        metavar="HW",
+        help="v2 precision mode: target inequality-factor CI half-width",
+    )
+    p.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level for --ci/--ineq-ci targets (default 0.95)",
+    )
+    p.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hard trial cap for precision mode (default 20000)",
+    )
     p.set_defaults(fn=_cmd_estimate)
 
     for name, fn, help_text in (

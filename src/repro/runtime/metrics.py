@@ -80,7 +80,11 @@ class RequestRecord:
 
     ``trials_run`` is the number of *new* trials executed for this request
     (0 when served from cache; less than ``trials`` when coalesced chunks
-    were shared with concurrent requests).
+    were shared with concurrent requests, or when a precision-targeted
+    request stopped early).  ``trials`` is the request's budget — the
+    fixed count for v1 requests, the hard cap for precision requests —
+    and ``realized_trials`` the total evidence behind the returned
+    estimate (new trials plus cached prior).
     """
 
     request_id: str
@@ -92,6 +96,8 @@ class RequestRecord:
     cached: bool
     coalesced: bool
     latency_s: float
+    realized_trials: int = 0
+    stopped_early: bool = False
 
     @property
     def throughput(self) -> float:
@@ -125,6 +131,12 @@ class ServiceCounters:
         "trials_executed",
         "pools_created",
         "pools_evicted",
+        "precision_requests",
+        "early_stops",
+        "evidence_hits",
+        "evidence_misses",
+        "evidence_deposits",
+        "evidence_trials_reused",
     )
 
     def __init__(self, registry: MetricsRegistry | None = None) -> None:

@@ -7,17 +7,23 @@ The production-facing serving layer over the Monte-Carlo engines:
 * :class:`EstimateRequest` / :class:`EstimateResult` — the request
   surface shared by the library, the scheduler, and the
   ``python -m repro serve``/``batch`` CLI;
-* :class:`ResultCache` — content-addressed LRU result cache keyed by
-  ``(graph hash, algorithm, seed, trials, mode)``;
+* :class:`Precision` / :class:`StoppingRule` — the v2 precision-targeted
+  contract: requests specify a CI target and the scheduler runs trial
+  rounds until it closes (sequential stopping with a hard cap);
+* :class:`ResultCache` — content-addressed cache: exact-key results for
+  fixed-budget requests plus an accumulating evidence store keyed by
+  ``(graph hash, algorithm)`` that seeds precision requests' CIs;
 * :class:`BatchScheduler` — request coalescing and chunked dispatch onto
   persistent :class:`~repro.analysis.montecarlo.TrialPool` workers.
 
-See ``docs/SERVICE.md`` for the architecture and request JSON schema.
+See ``docs/SERVICE.md`` for the architecture and request JSON schema,
+``docs/API.md`` for the v2 request lifecycle and migration guide.
 """
 
-from .cache import ResultCache, cache_key
+from .cache import ResultCache, cache_key, evidence_key
 from .estimator import Estimator, RequestHandle
-from .requests import MODES, EstimateRequest, EstimateResult
+from .precision import Precision, StopDecision, StoppingRule
+from .requests import MODES, PROTOCOL_VERSIONS, EstimateRequest, EstimateResult
 from .scheduler import BatchScheduler, EstimateCancelled, EstimateTimeout
 
 __all__ = [
@@ -25,9 +31,14 @@ __all__ = [
     "RequestHandle",
     "EstimateRequest",
     "EstimateResult",
+    "Precision",
+    "StoppingRule",
+    "StopDecision",
     "MODES",
+    "PROTOCOL_VERSIONS",
     "ResultCache",
     "cache_key",
+    "evidence_key",
     "BatchScheduler",
     "EstimateTimeout",
     "EstimateCancelled",

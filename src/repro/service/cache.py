@@ -1,9 +1,22 @@
-"""Content-addressed LRU cache for join estimates.
+"""Content-addressed cache: exact-key results plus accumulating evidence.
 
-Keys are ``(graph content hash, algorithm+params, seed, trials, mode)``:
-everything that determines the count vector bit-for-bit.  Requests with
-``seed=None`` (fresh entropy) are inherently unrepeatable and never touch
-the cache.  Hit/miss/eviction totals are reported through the shared
+Two planes share one LRU budget discipline:
+
+* **Exact plane** (legacy, fixed-budget requests) — keys are ``(graph
+  content hash, algorithm+params, seed, trials, mode)``: everything that
+  determines the count vector bit-for-bit.  A repeated identical request
+  is served verbatim.  Requests with ``seed=None`` never touch this
+  plane.
+* **Evidence plane** (v2, precision-targeted requests) — keyed by
+  ``(graph content hash, algorithm+params)`` only.  Every executed trial
+  chunk *deposits* its counts; a precision request *reads* the pooled
+  evidence as a prior, so its confidence interval starts partially (or
+  fully) closed and warm requests finish in a fraction of a cold
+  budget.  Deposits carry an optional dedup ``tag`` (the exact-plane
+  cache key, or a seeded-run fingerprint) so re-running a deterministic
+  seeded request can never double-count its correlated samples.
+
+Hit/miss/eviction/deposit totals are reported through the shared
 :class:`repro.runtime.metrics.ServiceCounters` instance.
 """
 
@@ -12,13 +25,16 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..analysis.fairness import JoinEstimate
 from ..obs.logging import get_logger
 from ..obs.metrics import AGE_BUCKETS, MetricsRegistry
 from ..runtime.metrics import ServiceCounters
 
-__all__ = ["ResultCache", "cache_key"]
+__all__ = ["ResultCache", "cache_key", "evidence_key"]
 
 _log = get_logger("repro.service.cache")
 
@@ -30,17 +46,40 @@ def cache_key(
     trials: int,
     mode: str,
 ) -> tuple | None:
-    """The cache key for a resolved request, or ``None`` if uncacheable."""
+    """The exact-plane key for a resolved request, or ``None`` if
+    uncacheable."""
     if seed is None:
         return None
     return (graph_hash, algorithm_key, int(seed), int(trials), mode)
 
 
-class ResultCache:
-    """Thread-safe LRU mapping of cache keys to :class:`JoinEstimate`.
+def evidence_key(graph_hash: str, algorithm_key: str) -> tuple:
+    """The evidence-plane key: graph content and algorithm identity only."""
+    return (graph_hash, algorithm_key)
 
-    ``capacity=0`` disables caching entirely (every lookup is a miss and
-    nothing is stored), which the benchmarks use to time pure execution.
+
+@dataclass
+class _Evidence:
+    """Accumulated join counts for one ``(graph, algorithm)`` pair."""
+
+    counts: np.ndarray
+    trials: int = 0
+    inserted_at: float = 0.0
+    tags: set = field(default_factory=set)
+
+    def estimate(self) -> JoinEstimate:
+        return JoinEstimate(counts=self.counts.copy(), trials=self.trials)
+
+
+class ResultCache:
+    """Thread-safe LRU over both cache planes.
+
+    ``capacity`` bounds each plane independently (an exact entry and an
+    evidence entry are different granularities; sharing one budget would
+    let high-cardinality exact keys evict the far more valuable pooled
+    evidence).  ``capacity=0`` disables caching entirely (every lookup
+    is a miss and nothing is stored), which the benchmarks use to time
+    pure execution.
     """
 
     def __init__(
@@ -60,14 +99,22 @@ class ResultCache:
             "Age of the cached entry at the moment it served a hit",
             buckets=AGE_BUCKETS,
         )
+        self._g_evidence_trials = registry.gauge(
+            "service_evidence_trials_resident",
+            "Total pooled trials currently held in the evidence store",
+        )
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, tuple[JoinEstimate, float]] = (
             OrderedDict()
         )
+        self._evidence: OrderedDict[tuple, _Evidence] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    # ------------------------------------------------------------------ #
+    # exact plane (legacy fixed-budget requests)
+    # ------------------------------------------------------------------ #
     def get(self, key: tuple | None) -> JoinEstimate | None:
         """Look *key* up, recording a hit or miss; ``None`` keys miss.
 
@@ -106,7 +153,89 @@ class ResultCache:
             self.counters.increment("cache_evictions", evictions)
             _log.debug("cache_evicted", evictions=evictions)
 
+    # ------------------------------------------------------------------ #
+    # evidence plane (v2 precision-targeted requests)
+    # ------------------------------------------------------------------ #
+    def evidence(
+        self, graph_hash: str, algorithm_key: str
+    ) -> JoinEstimate | None:
+        """Pooled evidence for a pair, or ``None``; counts hits/misses."""
+        key = evidence_key(graph_hash, algorithm_key)
+        with self._lock:
+            entry = self._evidence.get(key)
+            if entry is not None and entry.trials > 0:
+                self._evidence.move_to_end(key)
+                est = entry.estimate()
+                age = time.monotonic() - entry.inserted_at
+            else:
+                est = None
+        if est is None:
+            self.counters.increment("evidence_misses")
+            return None
+        self._h_age.observe(age)
+        self.counters.increment("evidence_hits")
+        self.counters.increment("evidence_trials_reused", est.trials)
+        _log.debug(
+            "evidence_hit", trials=est.trials, algorithm=algorithm_key
+        )
+        return est
+
+    def add_evidence(
+        self,
+        graph_hash: str,
+        algorithm_key: str,
+        estimate: JoinEstimate,
+        tag: object | None = None,
+    ) -> None:
+        """Merge *estimate*'s counts into the pair's pooled evidence.
+
+        A non-``None`` *tag* identifies a deterministic contribution
+        (e.g. a seeded fixed-budget run): depositing the same tag twice
+        is a no-op, so repeat seeded traffic cannot inflate the pooled
+        trial count with correlated samples.
+        """
+        if self.capacity == 0 or estimate.trials <= 0:
+            return
+        key = evidence_key(graph_hash, algorithm_key)
+        evictions = 0
+        with self._lock:
+            entry = self._evidence.get(key)
+            if entry is None:
+                entry = _Evidence(
+                    counts=np.zeros_like(np.asarray(estimate.counts)),
+                    inserted_at=time.monotonic(),
+                )
+                self._evidence[key] = entry
+            if tag is not None:
+                if tag in entry.tags:
+                    return
+                entry.tags.add(tag)
+            if entry.counts.shape != estimate.counts.shape:
+                # A different graph collapsed onto this hash is impossible
+                # (content-addressed); shape drift means caller error.
+                raise ValueError("evidence counts cover a different node set")
+            entry.counts += estimate.counts
+            entry.trials += estimate.trials
+            self._evidence.move_to_end(key)
+            while len(self._evidence) > self.capacity:
+                self._evidence.popitem(last=False)
+                evictions += 1
+            resident = sum(e.trials for e in self._evidence.values())
+        self._g_evidence_trials.set(resident)
+        self.counters.increment("evidence_deposits")
+        if evictions:
+            self.counters.increment("cache_evictions", evictions)
+            _log.debug("evidence_evicted", evictions=evictions)
+
+    def evidence_trials(self, graph_hash: str, algorithm_key: str) -> int:
+        """Pooled trial count for a pair (0 when absent); no counters."""
+        with self._lock:
+            entry = self._evidence.get(evidence_key(graph_hash, algorithm_key))
+            return entry.trials if entry is not None else 0
+
     def clear(self) -> None:
-        """Drop every entry (counters are preserved)."""
+        """Drop every entry in both planes (counters are preserved)."""
         with self._lock:
             self._entries.clear()
+            self._evidence.clear()
+        self._g_evidence_trials.set(0)

@@ -7,10 +7,13 @@ scheduler, and the result cache.  Contrast with the cold path::
     # cold: pays pool spin-up + graph pickling on every call
     est = run_trials(FastLuby(), graph, 2000, seed=0, n_jobs=4)
 
-    # warm: spin-up paid once, results cached, requests coalesced
+    # warm: spin-up paid once, evidence cached, requests coalesced.
+    # v2 requests target a precision, not a trial count — the scheduler
+    # stops as soon as the requested CI closes:
     with Estimator(n_jobs=4) as service:
         est = service.estimate(graph=graph, algorithm="luby_fast",
-                               trials=2000, seed=0).estimate
+                               precision=Precision(node_ci=0.02),
+                               seed=0).estimate
 
 Submission is asynchronous (`submit` returns a handle with
 ``done``/``poll``/``result(timeout)``); :meth:`estimate` is the blocking
@@ -22,6 +25,7 @@ cancels them and terminates workers immediately.
 from __future__ import annotations
 
 import os
+import warnings
 from collections import deque
 from typing import Any, Mapping
 
@@ -32,6 +36,7 @@ from ..obs.metrics import MetricsRegistry, use_registry
 from ..obs.spans import span
 from ..runtime.metrics import RequestRecord, ServiceCounters
 from .cache import ResultCache
+from .precision import Precision
 from .requests import EstimateRequest, EstimateResult
 from .scheduler import BatchScheduler, Ticket
 
@@ -155,7 +160,8 @@ class Estimator:
         graph: StaticGraph | None = None,
         graph_spec: str | None = None,
         algorithm: str = "fair_tree_fast",
-        trials: int = 2000,
+        trials: int | None = None,
+        precision: Precision | None = None,
         seed: int | None = 0,
         params: Mapping[str, Any] | None = None,
         mode: str = "auto",
@@ -164,9 +170,26 @@ class Estimator:
         """Submit a request (non-blocking); returns a :class:`RequestHandle`.
 
         Pass either a prebuilt :class:`EstimateRequest` or the keyword
-        fields of one.
+        fields of one.  ``precision=`` is the v2 surface — the scheduler
+        runs trial rounds until the target CI closes (seeding from
+        cached evidence) instead of burning a fixed budget.  ``trials=``
+        alone is the deprecated fixed-budget mode (a
+        ``DeprecationWarning`` is raised); passed alongside
+        ``precision=`` it overrides the target's hard cap.  With neither
+        given, :meth:`Precision.default` applies.
         """
         if request is None:
+            if trials is not None and precision is None:
+                warnings.warn(
+                    "fixed trial budgets (trials= without precision=) are "
+                    "deprecated; pass precision=Precision(...) to target a "
+                    "confidence interval, optionally keeping trials= as the "
+                    "hard cap (see docs/API.md)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            if trials is None and precision is None:
+                precision = Precision.default()
             request = EstimateRequest(
                 algorithm=algorithm,
                 trials=trials,
@@ -175,6 +198,7 @@ class Estimator:
                 seed=seed,
                 params=dict(params or {}),
                 mode=mode,
+                precision=precision,
                 id=request_id,
             )
         with use_registry(self.registry), span(

@@ -1,0 +1,225 @@
+"""Precision targets and sequential stopping rules (the v2 request core).
+
+The paper's quantities of interest — per-node join frequencies and the
+inequality factor ``F_A(G)`` — are Monte-Carlo estimates, so the natural
+request contract is *statistical*: "give me the answer to ±0.02 at 95%
+confidence", not "run exactly 2000 trials".  :class:`Precision` is that
+contract; :class:`StoppingRule` is its executable form, evaluated by the
+scheduler between trial rounds so requests stop as soon as their
+confidence interval closes (with :attr:`Precision.max_trials` as the
+hard cap against targets the graph cannot meet).
+
+Concentration analyses of randomized MIS dynamics (read-k inequalities
+for Luby-type processes, arXiv:1605.06486; Fischer–Noever's randomized
+greedy bounds, arXiv:1707.05124) are why this wins: per-node join
+statistics concentrate fast, so typical requests close their CI in a
+small fraction of a fixed worst-case budget.
+
+Targets
+-------
+``node_ci``
+    Stop when every node's Wilson CI half-width is at most this value.
+``inequality_ci``
+    Stop when the inequality-factor interval half-width
+    (:meth:`repro.analysis.fairness.JoinEstimate.inequality_halfwidth`)
+    is at most this value.  Note the factor is unbounded above while any
+    node's interval touches probability 0, so pair this target with a
+    realistic ``max_trials``.
+
+Either or both may be set; both must hold to stop early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..analysis.fairness import JoinEstimate, z_for_confidence
+
+__all__ = ["Precision", "StoppingRule", "StopDecision", "DEFAULT_NODE_CI"]
+
+#: Default per-node CI half-width target (95% confidence).  Chosen so a
+#: cold request on a typical paper graph closes in well under the classic
+#: fixed budget of 2000 trials (worst case ~1540 at p = 0.5), and any
+#: cached evidence from one such fixed request satisfies it outright.
+DEFAULT_NODE_CI = 0.025
+
+#: Default hard cap on total trials backing a precision request.
+DEFAULT_MAX_TRIALS = 20_000
+
+#: Default minimum trials before the stopping rule may fire — guards
+#: against closing a degenerate CI on a handful of lucky samples.
+DEFAULT_MIN_TRIALS = 32
+
+
+@dataclass(frozen=True)
+class Precision:
+    """A precision target: what the estimate must achieve, not how.
+
+    At least one of ``node_ci`` / ``inequality_ci`` must be set; use
+    :meth:`default` for the service-wide default target.  ``confidence``
+    sets the two-sided level for every interval involved.
+    """
+
+    node_ci: float | None = None
+    inequality_ci: float | None = None
+    confidence: float = 0.95
+    max_trials: int = DEFAULT_MAX_TRIALS
+    min_trials: int = DEFAULT_MIN_TRIALS
+
+    def __post_init__(self) -> None:
+        if self.node_ci is None and self.inequality_ci is None:
+            raise ValueError(
+                "precision needs at least one target: node_ci and/or "
+                "inequality_ci (or use Precision.default())"
+            )
+        for name in ("node_ci", "inequality_ci"):
+            value = getattr(self, name)
+            if value is not None and not 0.0 < float(value):
+                raise ValueError(f"{name} must be positive, got {value!r}")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        if self.max_trials <= 0:
+            raise ValueError("max_trials must be positive")
+        if not 0 < self.min_trials <= self.max_trials:
+            raise ValueError("need 0 < min_trials <= max_trials")
+
+    @classmethod
+    def default(cls) -> "Precision":
+        """The service-wide default target (node CI ±0.025 at 95%)."""
+        return cls(node_ci=DEFAULT_NODE_CI)
+
+    def with_cap(self, max_trials: int) -> "Precision":
+        """This target with a different hard trial cap."""
+        return replace(
+            self,
+            max_trials=max_trials,
+            min_trials=min(self.min_trials, max_trials),
+        )
+
+    def rule(self) -> "StoppingRule":
+        """Compile the target into an executable :class:`StoppingRule`."""
+        return StoppingRule(
+            node_ci=self.node_ci,
+            inequality_ci=self.inequality_ci,
+            z=z_for_confidence(self.confidence),
+            max_trials=self.max_trials,
+            min_trials=self.min_trials,
+        )
+
+    @classmethod
+    def from_json(cls, obj: Mapping[str, Any]) -> "Precision":
+        """Build from a decoded JSON ``precision`` block."""
+        known = {
+            "node_ci", "inequality_ci", "confidence", "max_trials",
+            "min_trials",
+        }
+        unknown = set(obj) - known
+        if unknown:
+            raise ValueError(f"unknown precision fields: {sorted(unknown)}")
+        kwargs: dict[str, Any] = {}
+        for name in ("node_ci", "inequality_ci"):
+            if obj.get(name) is not None:
+                kwargs[name] = float(obj[name])
+        if "confidence" in obj:
+            kwargs["confidence"] = float(obj["confidence"])
+        if "max_trials" in obj:
+            kwargs["max_trials"] = int(obj["max_trials"])
+        if "min_trials" in obj:
+            kwargs["min_trials"] = int(obj["min_trials"])
+        if "node_ci" not in kwargs and "inequality_ci" not in kwargs:
+            kwargs["node_ci"] = DEFAULT_NODE_CI
+        return cls(**kwargs)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serializable form (the v2 request ``precision`` block)."""
+        out: dict[str, Any] = {
+            "confidence": self.confidence,
+            "max_trials": self.max_trials,
+            "min_trials": self.min_trials,
+        }
+        if self.node_ci is not None:
+            out["node_ci"] = self.node_ci
+        if self.inequality_ci is not None:
+            out["inequality_ci"] = self.inequality_ci
+        return out
+
+
+@dataclass(frozen=True)
+class StopDecision:
+    """One between-rounds evaluation of a :class:`StoppingRule`.
+
+    ``satisfied`` — every requested target holds (and ``min_trials`` is
+    reached); ``capped`` — the hard trial cap is exhausted.  The request
+    stops on either (:attr:`should_stop`), but only ``satisfied`` counts
+    as an early stop in the metrics.
+    """
+
+    satisfied: bool
+    capped: bool
+    trials: int
+    node_halfwidth: float
+    inequality_halfwidth: float | None
+
+    @property
+    def should_stop(self) -> bool:
+        return self.satisfied or self.capped
+
+    def achieved(self) -> dict[str, float]:
+        """The achieved half-widths, for result metadata / JSON."""
+        out = {"node_ci": self.node_halfwidth}
+        if self.inequality_halfwidth is not None:
+            out["inequality_ci"] = self.inequality_halfwidth
+        return out
+
+
+@dataclass(frozen=True)
+class StoppingRule:
+    """Executable form of a :class:`Precision` target.
+
+    Pure and stateless: :meth:`check` maps accumulated evidence
+    ``(counts, trials)`` to a :class:`StopDecision`.  The scheduler calls
+    it between trial rounds; anything else (tests, offline analysis) may
+    call it on arbitrary evidence.
+    """
+
+    node_ci: float | None
+    inequality_ci: float | None
+    z: float
+    max_trials: int
+    min_trials: int
+
+    def check(self, counts: np.ndarray | None, trials: int) -> StopDecision:
+        """Evaluate the rule on pooled evidence of *trials* runs."""
+        if counts is None or trials <= 0:
+            return StopDecision(
+                satisfied=False,
+                capped=False,
+                trials=0,
+                node_halfwidth=float("inf"),
+                inequality_halfwidth=(
+                    float("inf") if self.inequality_ci is not None else None
+                ),
+            )
+        estimate = JoinEstimate(counts=np.asarray(counts), trials=trials)
+        node_hw = estimate.max_halfwidth(self.z)
+        ineq_hw = (
+            estimate.inequality_halfwidth(self.z)
+            if self.inequality_ci is not None
+            else None
+        )
+        satisfied = trials >= self.min_trials
+        if self.node_ci is not None:
+            satisfied = satisfied and node_hw <= self.node_ci
+        if self.inequality_ci is not None:
+            assert ineq_hw is not None
+            satisfied = satisfied and ineq_hw <= self.inequality_ci
+        return StopDecision(
+            satisfied=satisfied,
+            capped=trials >= self.max_trials,
+            trials=trials,
+            node_halfwidth=node_hw,
+            inequality_halfwidth=ineq_hw,
+        )

@@ -4,15 +4,29 @@ One daemon dispatcher thread drains a FIFO of submitted requests and
 turns each into a sequence of trial *chunks* executed on a persistent
 :class:`~repro.analysis.montecarlo.TrialPool`.  Chunk results are merged
 incrementally into per-request accumulators, so partial progress is never
-lost and concurrent requests can share work two ways:
+lost and concurrent requests can share work three ways:
 
-* **identical-request coalescing** — a seeded request that matches an
-  in-flight request's cache key bit-for-bit subscribes to that request's
-  completion instead of re-running anything;
-* **shared seedless streams** — concurrent ``seed=None`` requests for the
-  same ``(graph, algorithm, mode)`` pair consume one shared chunk stream:
-  every finished chunk is merged into every unfinished subscriber, so N
-  overlapping requests cost roughly one request's trials, not N.
+* **identical-request coalescing** — a seeded fixed-budget request that
+  matches an in-flight request's cache key bit-for-bit subscribes to
+  that request's completion instead of re-running anything;
+* **shared seedless streams** — concurrent ``seed=None`` fixed-budget
+  requests for the same ``(graph, algorithm, mode)`` pair consume one
+  shared chunk stream: every finished chunk is merged into every
+  unfinished subscriber, so N overlapping requests cost roughly one
+  request's trials, not N;
+* **evidence reuse (v2)** — every executed chunk also deposits its
+  counts into the cache's accumulating evidence store, and
+  precision-targeted requests seed their confidence interval from that
+  pooled prior, so warm precision traffic typically executes few or zero
+  new trials.
+
+Precision-targeted requests (``request.precision`` set) are dispatched
+in *rounds*: the scheduler submits one round of chunks, and when the
+round completes it evaluates the request's
+:class:`~repro.service.precision.StoppingRule` on prior + accumulated
+counts — stopping early the moment the requested CI closes, or at the
+hard trial cap.  Rounds re-enter the dispatcher queue rather than
+blocking it, so sequential stopping never stalls concurrent traffic.
 
 Pools are kept resident per ``(graph, algorithm)`` pair (LRU-capped), so
 repeated traffic for the same pair never pays spin-up or graph pickling
@@ -47,6 +61,7 @@ from ..obs.spans import bind_trace, current_span_id, current_trace_id, new_trace
 from ..runtime.metrics import RequestRecord, ServiceCounters
 from ..runtime.rng import as_seed_sequence, spawn_trial_seeds
 from .cache import ResultCache, cache_key
+from .precision import StoppingRule
 from .requests import EstimateRequest, EstimateResult
 
 __all__ = ["BatchScheduler", "EstimateTimeout", "EstimateCancelled", "Ticket"]
@@ -72,6 +87,8 @@ class Ticket:
         algorithm: MISAlgorithm,
         mode: str,
         key: tuple | None,
+        stopping: StoppingRule | None = None,
+        prior: JoinEstimate | None = None,
     ) -> None:
         self.request = request
         self.graph = graph
@@ -84,7 +101,22 @@ class Ticket:
         # scheduler/pool/chunk event for this request shares one trace_id.
         self.trace_id = current_trace_id() or new_trace_id()
         self.parent_span_id = current_span_id()
-        self.target = request.trials
+        # Sequential-stopping state: the rule, the cached prior seeding the
+        # CI, and the target = fixed budget (v1) or hard cap minus prior
+        # (v2, prior trials already count toward the cap).
+        self.stopping = stopping
+        self.prior = prior
+        prior_trials = prior.trials if prior is not None else 0
+        if stopping is None:
+            assert request.trials is not None
+            self.target = request.trials
+        else:
+            self.target = max(0, stopping.max_trials - prior_trials)
+        self.seed_root = as_seed_sequence(request.seed)
+        self.rounds = 0
+        self.inflight_chunks = 0
+        self.stopped_early = False
+        self.achieved: dict[str, float] | None = None
         self.counts = np.zeros(graph.n, dtype=np.int64)
         self.trials_done = 0
         self.trials_run = 0
@@ -95,6 +127,19 @@ class Ticket:
         self._result: EstimateResult | None = None
         self._error: BaseException | None = None
         self._cancelled = False
+
+    @property
+    def prior_trials(self) -> int:
+        return self.prior.trials if self.prior is not None else 0
+
+    def combined(self) -> tuple[np.ndarray, int]:
+        """Prior + accumulated counts — the evidence the rule sees."""
+        if self.prior is None:
+            return self.counts, self.trials_done
+        return (
+            self.prior.counts + self.counts,
+            self.prior.trials + self.trials_done,
+        )
 
     # ---- caller-facing ------------------------------------------------ #
     def done(self) -> bool:
@@ -219,6 +264,25 @@ class BatchScheduler:
             "because the algorithm has no vectorized runner",
             labelnames=("algorithm",),
         )
+        self._h_realized = self.registry.histogram(
+            "service_realized_trials",
+            "New trials executed per completed request (0 = served "
+            "entirely from cache or pooled evidence)",
+            buckets=COUNT_BUCKETS,
+            labelnames=("algorithm",),
+        )
+        self._c_early = self.registry.counter(
+            "service_precision_early_stops_total",
+            "Precision requests whose stopping rule fired before the "
+            "hard trial cap",
+            labelnames=("algorithm",),
+        )
+        self._c_capped = self.registry.counter(
+            "service_precision_capped_total",
+            "Precision requests that exhausted their hard trial cap "
+            "before the requested CI closed",
+            labelnames=("algorithm",),
+        )
         self.chunk_trials = chunk_trials
         self.max_pools = max_pools
         self.records: deque[RequestRecord] = deque(maxlen=max_records)
@@ -228,6 +292,7 @@ class BatchScheduler:
         self._queue: queue.Queue[Any] = queue.Queue()
         self._inflight: dict[tuple, Ticket] = {}
         self._streams: dict[tuple, _Stream] = {}
+        self._dynamic: set[Ticket] = set()
         self._pools: OrderedDict[tuple, TrialPool] = OrderedDict()
         self._pool_busy: dict[tuple, int] = {}
         self._graph_memo: OrderedDict[str, StaticGraph] = OrderedDict()
@@ -245,9 +310,11 @@ class BatchScheduler:
     def submit(self, request: EstimateRequest) -> Ticket:
         """Register *request*; returns a :class:`Ticket` immediately.
 
-        Cache hits complete before this returns; identical in-flight
-        requests and same-pair seedless requests are coalesced rather
-        than re-executed.
+        Cache/evidence hits complete before this returns; identical
+        in-flight requests and same-pair seedless requests are coalesced
+        rather than re-executed.  Precision-targeted requests enter the
+        round-based sequential-stopping path, seeded with any pooled
+        evidence for their ``(graph, algorithm)`` pair.
         """
         if self._closed:
             raise RuntimeError("scheduler is shut down")
@@ -256,6 +323,12 @@ class BatchScheduler:
         algorithm = make(request.algorithm, **dict(request.params))
         mode = self._resolve_mode(request.mode, algorithm)
         graph_hash = graph.content_hash()
+        precision = request.resolved_precision()
+        if precision is not None:
+            return self._submit_precision(
+                request, graph, graph_hash, algorithm, mode, precision
+            )
+        assert request.trials is not None
         key = cache_key(
             graph_hash, request.algorithm_key(), request.seed, request.trials, mode
         )
@@ -321,6 +394,59 @@ class BatchScheduler:
         self._queue.put(stream)
         return ticket
 
+    def _submit_precision(
+        self,
+        request: EstimateRequest,
+        graph: StaticGraph,
+        graph_hash: str,
+        algorithm: MISAlgorithm,
+        mode: str,
+        precision,
+    ) -> Ticket:
+        """Register a precision-targeted request (sequential stopping).
+
+        The cached evidence pool for ``(graph, algorithm)`` seeds the
+        CI; if the prior alone already satisfies the stopping rule the
+        request completes here with zero new trials.
+        """
+        self.counters.increment("precision_requests")
+        rule = precision.rule()
+        prior = self.cache.evidence(graph_hash, request.algorithm_key())
+        ticket = Ticket(
+            request, graph, graph_hash, algorithm, mode, key=None,
+            stopping=rule, prior=prior,
+        )
+        depth = self._queue.qsize()
+        self._h_queue.observe(depth)
+        self._g_queue.set(depth)
+        self._log.info(
+            "request_submitted",
+            trace_id=ticket.trace_id,
+            request_id=request.id,
+            algorithm=request.algorithm,
+            mode=mode,
+            seeded=request.seed is not None,
+            precision=precision.to_json(),
+            prior_trials=ticket.prior_trials,
+            queue_depth=depth,
+        )
+        if prior is not None:
+            decision = rule.check(prior.counts, prior.trials)
+            if decision.should_stop:
+                ticket.stopped_early = decision.satisfied
+                ticket.achieved = decision.achieved()
+                if decision.satisfied:
+                    self.counters.increment("early_stops")
+                    self._c_early.labels(algorithm=request.algorithm).inc()
+                else:
+                    self._c_capped.labels(algorithm=request.algorithm).inc()
+                self._finish(ticket, prior, cached=True)
+                return ticket
+        with self._lock:
+            self._dynamic.add(ticket)
+        self._queue.put(ticket)
+        return ticket
+
     # ------------------------------------------------------------------ #
     # resolution helpers
     # ------------------------------------------------------------------ #
@@ -374,6 +500,8 @@ class BatchScheduler:
             try:
                 if isinstance(item, _Stream):
                     self._dispatch_stream(item)
+                elif item.stopping is not None:
+                    self._dispatch_precision_round(item)
                 else:
                     self._dispatch_ticket(item)
             except BaseException as exc:  # noqa: BLE001 - fail the request
@@ -509,6 +637,15 @@ class BatchScheduler:
                 counts=ticket.counts.copy(), trials=ticket.trials_done
             )
             self.cache.put(ticket.key, est)
+            # Fixed-budget executions feed the evidence pool too, tagged
+            # by their exact cache key so deterministic repeats (after an
+            # exact-plane eviction) can never double-deposit.
+            self.cache.add_evidence(
+                ticket.graph_hash,
+                ticket.request.algorithm_key(),
+                est,
+                tag=ticket.key,
+            )
             with self._lock:
                 if self._inflight.get(ticket.key) is ticket:
                     self._inflight.pop(ticket.key, None)
@@ -527,6 +664,152 @@ class BatchScheduler:
             self._sem.release()
         except ValueError:  # pragma: no cover - defensive
             pass
+
+    # ---- precision rounds (sequential stopping) ----------------------- #
+    def _round_budget(self, ticket: Ticket) -> int:
+        """Trials to execute in the next round of a precision request.
+
+        The first round is one scheduling quantum (enough chunks to keep
+        every worker busy); later rounds jump to the trial count the
+        normal approximation predicts the bottleneck node still needs,
+        so a cold request typically converges in two or three rounds
+        instead of dozens of tiny ones.  Always clamped to the remaining
+        cap budget.
+        """
+        assert ticket.stopping is not None
+        remaining = ticket.target - ticket.trials_done
+        base = self.chunk_trials * max(1, self.workers)
+        counts, trials = ticket.combined()
+        budget = base
+        if trials > 0 and ticket.stopping.node_ci is not None:
+            est = JoinEstimate(counts=counts.copy(), trials=trials)
+            hw = est.halfwidths(ticket.stopping.z)
+            p = est.probabilities[int(np.argmax(hw))]
+            z, ci = ticket.stopping.z, ticket.stopping.node_ci
+            needed = z * z * max(p * (1.0 - p), 1e-4) / (ci * ci) - trials
+            budget = max(base, int(needed * 1.05))
+        return max(0, min(remaining, budget))
+
+    def _dispatch_precision_round(self, ticket: Ticket) -> None:
+        """Submit one round of chunks for a precision-targeted request."""
+        if ticket.dead:
+            self._abort(ticket, EstimateCancelled("request cancelled"))
+            return
+        with bind_trace(ticket.trace_id, ticket.parent_span_id), use_registry(
+            self.registry
+        ), span(
+            "scheduler.dispatch_round",
+            algorithm=ticket.request.algorithm,
+            round=ticket.rounds,
+            mode=ticket.mode,
+        ):
+            budget = self._round_budget(ticket)
+            if budget <= 0:
+                # Cap already consumed (e.g. prior nearly at cap): settle.
+                self._settle_precision(ticket)
+                return
+            pair = (ticket.graph_hash, ticket.request.algorithm_key())
+            pool = self._pool_for(pair, ticket.algorithm, ticket.graph)
+            vectorized = ticket.mode == "vectorized"
+            sizes = [
+                min(self.chunk_trials, budget - i * self.chunk_trials)
+                for i in range(math.ceil(budget / self.chunk_trials))
+            ]
+            with self._lock:
+                ticket.rounds += 1
+                ticket.inflight_chunks = len(sizes)
+            for n_trials in sizes:
+                if not self._acquire_slot():
+                    self._abort(ticket, EstimateCancelled("scheduler stopped"))
+                    return
+                chunk_seed = ticket.seed_root.spawn(1)[0]
+                payload = (
+                    (chunk_seed, n_trials)
+                    if vectorized
+                    else chunk_seed.spawn(n_trials)
+                )
+                with self._lock:
+                    self._pool_busy[pair] = self._pool_busy.get(pair, 0) + 1
+                pool.submit_chunk(
+                    payload,
+                    vectorized,
+                    callback=lambda counts, t=ticket, p=pair, n=n_trials: (
+                        self._on_precision_chunk(t, p, n, counts)
+                    ),
+                    error_callback=lambda exc, t=ticket, p=pair: (
+                        self._on_chunk_error(t, p, exc)
+                    ),
+                )
+
+    def _on_precision_chunk(
+        self, ticket: Ticket, pair: tuple, n_trials: int, counts: np.ndarray
+    ) -> None:
+        self._release_slot(pair)
+        self.counters.increment("chunks_executed")
+        self.counters.increment("trials_executed", n_trials)
+        self._h_chunk.observe(n_trials)
+        with self._lock:
+            ticket.counts += counts
+            ticket.trials_done += n_trials
+            ticket.trials_run += n_trials
+            ticket.inflight_chunks -= 1
+            round_done = ticket.inflight_chunks <= 0
+        if not round_done:
+            return
+        if ticket.dead:
+            if not ticket.done():
+                self._abort(ticket, EstimateCancelled("request cancelled"))
+            return
+        assert ticket.stopping is not None
+        combined_counts, combined_trials = ticket.combined()
+        decision = ticket.stopping.check(combined_counts, combined_trials)
+        self._log.debug(
+            "round_completed",
+            trace_id=ticket.trace_id,
+            round=ticket.rounds,
+            trials=combined_trials,
+            node_halfwidth=round(decision.node_halfwidth, 6),
+            satisfied=decision.satisfied,
+        )
+        if decision.should_stop or ticket.trials_done >= ticket.target:
+            ticket.stopped_early = decision.satisfied
+            ticket.achieved = decision.achieved()
+            if decision.satisfied:
+                self.counters.increment("early_stops")
+                self._c_early.labels(algorithm=ticket.request.algorithm).inc()
+            else:
+                self._c_capped.labels(algorithm=ticket.request.algorithm).inc()
+            self._settle_precision(ticket)
+        else:
+            self._queue.put(ticket)
+
+    def _settle_precision(self, ticket: Ticket) -> None:
+        """Finish a precision ticket: deposit its new evidence, report."""
+        if ticket.trials_done > 0:
+            # Seeded runs carry a dedup tag so an identical re-run (after
+            # evidence eviction) cannot double-count correlated samples.
+            tag = None
+            if ticket.request.seed is not None:
+                tag = (
+                    "precision", ticket.request.seed, ticket.mode,
+                    ticket.trials_done,
+                )
+            self.cache.add_evidence(
+                ticket.graph_hash,
+                ticket.request.algorithm_key(),
+                JoinEstimate(
+                    counts=ticket.counts.copy(), trials=ticket.trials_done
+                ),
+                tag=tag,
+            )
+        combined_counts, combined_trials = ticket.combined()
+        if combined_trials <= 0:  # pragma: no cover - defensive
+            self._abort(
+                ticket, RuntimeError("precision request produced no trials")
+            )
+            return
+        est = JoinEstimate(counts=combined_counts.copy(), trials=combined_trials)
+        self._finish(ticket, est, cached=False)
 
     # ---- seedless streams --------------------------------------------- #
     def _stream_need(self, stream: _Stream) -> int:
@@ -614,6 +897,13 @@ class BatchScheduler:
         self.counters.increment("chunks_executed")
         self.counters.increment("trials_executed", n_trials)
         self._h_chunk.observe(n_trials)
+        # Every stream chunk is fresh entropy executed exactly once, so it
+        # deposits unconditionally (no dedup tag needed).
+        self.cache.add_evidence(
+            stream.pair[0],
+            stream.pair[1],
+            JoinEstimate(counts=counts.copy(), trials=n_trials),
+        )
         subs_now = list(stream.subscribers)
         self._log.debug(
             "chunk_completed",
@@ -668,9 +958,15 @@ class BatchScheduler:
         self, ticket: Ticket, estimate: JoinEstimate, cached: bool
     ) -> None:
         latency = time.perf_counter() - ticket.submitted_at
+        trials_run = 0 if cached else ticket.trials_run
         self._h_latency.labels(algorithm=ticket.request.algorithm).observe(
             latency
         )
+        self._h_realized.labels(algorithm=ticket.request.algorithm).observe(
+            trials_run
+        )
+        with self._lock:
+            self._dynamic.discard(ticket)
         self._log.info(
             "request_completed",
             trace_id=ticket.trace_id,
@@ -678,7 +974,9 @@ class BatchScheduler:
             algorithm=ticket.request.algorithm,
             cached=cached,
             coalesced=ticket.coalesced,
-            trials_run=0 if cached else ticket.trials_run,
+            trials_run=trials_run,
+            realized_trials=estimate.trials,
+            stopped_early=ticket.stopped_early,
             latency_s=round(latency, 6),
         )
         result = EstimateResult(
@@ -688,8 +986,11 @@ class BatchScheduler:
             mode=ticket.mode,
             cached=cached,
             coalesced=ticket.coalesced,
-            trials_run=0 if cached else ticket.trials_run,
+            trials_run=trials_run,
             latency_s=latency,
+            stopped_early=ticket.stopped_early,
+            prior_trials=ticket.prior_trials,
+            precision_achieved=ticket.achieved,
         )
         ticket._complete(result)
         self._record(ticket, result)
@@ -731,12 +1032,18 @@ class BatchScheduler:
                 request_id=ticket.request.id or "",
                 algorithm=ticket.request.algorithm,
                 graph_hash=ticket.graph_hash,
-                trials=ticket.request.trials,
+                trials=(
+                    ticket.request.trials
+                    if ticket.request.trials is not None
+                    else ticket.target
+                ),
                 trials_run=result.trials_run,
                 mode=result.mode,
                 cached=result.cached,
                 coalesced=result.coalesced,
                 latency_s=result.latency_s,
+                realized_trials=result.realized_trials,
+                stopped_early=result.stopped_early,
             )
         )
 
@@ -751,6 +1058,7 @@ class BatchScheduler:
         with self._lock:
             if ticket.key is not None and self._inflight.get(ticket.key) is ticket:
                 self._inflight.pop(ticket.key, None)
+            self._dynamic.discard(ticket)
             subs = list(ticket.subscribers)
         if not ticket.done():
             ticket._fail(exc)
@@ -791,11 +1099,31 @@ class BatchScheduler:
             with self._lock:
                 pending = list(self._inflight.values())
                 streams = list(self._streams.values())
+                dynamic = list(self._dynamic)
             for ticket in pending:
                 ticket.cancel()
             for stream in streams:
                 for sub in stream.subscribers:
                     sub.cancel()
+            for ticket in dynamic:
+                ticket.cancel()
+        else:
+            # Precision tickets requeue themselves between rounds, so the
+            # dispatcher must keep draining until they settle; only then
+            # may the stop sentinel go in.
+            deadline = (
+                time.monotonic() + timeout if timeout is not None else None
+            )
+            while True:
+                with self._lock:
+                    open_dynamic = [
+                        t for t in self._dynamic if not t.done()
+                    ]
+                if not open_dynamic or not self._thread.is_alive():
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                open_dynamic[0]._event.wait(0.05)
         self._queue.put(None)
         self._thread.join(timeout)
         with self._lock:
@@ -810,6 +1138,8 @@ class BatchScheduler:
                 self._inflight.clear()
                 streams = list(self._streams.values())
                 self._streams.clear()
+                dynamic = list(self._dynamic)
+                self._dynamic.clear()
             exc = EstimateCancelled("service shut down")
             for ticket in pending:
                 if not ticket.done():
@@ -818,3 +1148,6 @@ class BatchScheduler:
                 for sub in stream.subscribers:
                     if not sub.done():
                         sub._fail(exc)
+            for ticket in dynamic:
+                if not ticket.done():
+                    ticket._fail(exc)

@@ -8,6 +8,7 @@ from repro.analysis.fairness import (
     estimate_from_counts,
     inequality_factor,
     wilson_interval,
+    z_for_confidence,
 )
 
 
@@ -101,3 +102,42 @@ class TestJoinEstimate:
     def test_estimate_from_counts(self):
         est = estimate_from_counts([1, 2, 3], trials=4)
         assert est.trials == 4
+
+
+class TestConfidenceHelpers:
+    def test_z_for_standard_levels(self):
+        assert z_for_confidence(0.95) == pytest.approx(1.959964, abs=1e-5)
+        assert z_for_confidence(0.99) == pytest.approx(2.575829, abs=1e-5)
+
+    def test_z_rejects_out_of_range(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                z_for_confidence(bad)
+
+    def test_halfwidths_match_wilson(self):
+        est = JoinEstimate(counts=np.array([30, 70]), trials=100)
+        lo, hi = wilson_interval(est.counts, est.trials)
+        assert est.halfwidths().tolist() == ((hi - lo) / 2.0).tolist()
+        assert est.max_halfwidth() == pytest.approx(
+            float(np.max((hi - lo) / 2.0))
+        )
+
+    def test_halfwidths_shrink_with_confidence(self):
+        est = JoinEstimate(counts=np.array([50]), trials=100)
+        narrow = est.max_halfwidth(z=z_for_confidence(0.80))
+        wide = est.max_halfwidth(z=z_for_confidence(0.99))
+        assert narrow < wide
+
+    def test_inequality_halfwidth_bracket(self):
+        est = JoinEstimate(counts=np.array([300, 600]), trials=1000)
+        lower, upper = est.inequality_bounds()
+        assert est.inequality_halfwidth() == pytest.approx(
+            (upper - lower) / 2.0
+        )
+
+    def test_inequality_halfwidth_unbounded(self):
+        # A node whose interval touches 0 makes the factor unbounded.
+        est = JoinEstimate(counts=np.array([0, 100]), trials=100)
+        lower, upper = est.inequality_bounds()
+        if np.isinf(upper):
+            assert np.isinf(est.inequality_halfwidth())
