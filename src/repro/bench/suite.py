@@ -57,6 +57,7 @@ class BenchConfig:
     trials: int = field(default=0)
     tree_n: int = field(default=0)
     service_requests: int = field(default=0)
+    graph_side: int = field(default=0)
     only: str | None = None
 
     def __post_init__(self) -> None:
@@ -66,6 +67,13 @@ class BenchConfig:
             self.tree_n = 120 if self.quick else _env_int("REPRO_BENCH_CITY_N", 400)
         if self.service_requests <= 0:
             self.service_requests = 6 if self.quick else 16
+        if self.graph_side <= 0:
+            # side of the construction/IO benchmark grid (n = side**2);
+            # REPRO_BENCH_GRAPH_SIDE=1000 reproduces the million-node
+            # acceptance measurement.
+            self.graph_side = (
+                60 if self.quick else _env_int("REPRO_BENCH_GRAPH_SIDE", 250)
+            )
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -73,6 +81,7 @@ class BenchConfig:
             "trials": self.trials,
             "tree_n": self.tree_n,
             "service_requests": self.service_requests,
+            "graph_side": self.graph_side,
             "count_n": _COUNT_N,
             "count_seed": _COUNT_SEED,
         }
@@ -399,6 +408,196 @@ def _profiled_run(config: BenchConfig) -> dict[str, dict[str, Any]]:
     }
 
 
+def _grid_edge_tuples(rows: int, cols: int) -> list[tuple[int, int]]:
+    """Nested-loop grid edges — the pre-array construction reference."""
+    edges: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return edges
+
+
+def _graph_build(config: BenchConfig) -> dict[str, dict[str, Any]]:
+    """Array-native construction vs the tuple-of-tuples reference path.
+
+    The gated metric is a *hash-mismatch count*: every generator family
+    in the pinned sweep must produce bit-identical ``content_hash`` to an
+    independently-written tuple-path reference (nested loops feeding
+    ``from_edges`` with a Python list), and a shuffled/reversed tuple
+    round-trip of a random tree must re-canonicalize to the same hash.
+    Any nonzero value means the vectorized canonicalization changed graph
+    content.  The speedup itself is wall-clock and therefore advisory.
+    """
+    import numpy as np
+
+    from ..graphs.generators import (
+        complete_graph,
+        cycle_graph,
+        grid_graph,
+        path_graph,
+        random_tree,
+        star_graph,
+        triangulated_grid,
+    )
+    from ..graphs.graph import StaticGraph
+
+    mismatches = 0
+    checked: list[str] = []
+
+    def check(name: str, graph: StaticGraph, reference: StaticGraph) -> None:
+        nonlocal mismatches
+        checked.append(name)
+        if graph.content_hash() != reference.content_hash():
+            mismatches += 1
+
+    n = _COUNT_N
+    check("path", path_graph(n),
+          StaticGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)]))
+    check("cycle", cycle_graph(n),
+          StaticGraph.from_edges(
+              n, [(i, (i + 1) % n) for i in range(n)]))
+    check("star", star_graph(n),
+          StaticGraph.from_edges(n, [(0, i) for i in range(1, n)]))
+    check("complete", complete_graph(12),
+          StaticGraph.from_edges(
+              12, [(i, j) for i in range(12) for j in range(i + 1, 12)]))
+    check("grid", grid_graph(12, 9),
+          StaticGraph.from_edges(12 * 9, _grid_edge_tuples(12, 9)))
+    tri_ref = _grid_edge_tuples(7, 5) + [
+        (r * 5 + c, (r + 1) * 5 + c + 1)
+        for r in range(6) for c in range(4)
+    ]
+    check("triangulated_grid", triangulated_grid(7, 5),
+          StaticGraph.from_edges(7 * 5, tri_ref))
+    # Canonicalization equivalence: feed the canonical edges back as a
+    # shuffled, endpoint-swapped Python tuple list; the slow path must
+    # reproduce the same canonical form.
+    tree = random_tree(n, seed=_COUNT_SEED).graph
+    scrambled = [(int(v), int(u)) for u, v in tree.edges.tolist()]
+    np.random.default_rng(_COUNT_SEED).shuffle(scrambled)  # type: ignore[arg-type]
+    check("random_tree_scrambled", tree,
+          StaticGraph.from_edges(n, scrambled))
+
+    side = config.graph_side
+    started = time.perf_counter()
+    fast = grid_graph(side, side)
+    array_s = time.perf_counter() - started
+    started = time.perf_counter()
+    slow = StaticGraph.from_edges(side * side, _grid_edge_tuples(side, side))
+    tuple_s = time.perf_counter() - started
+    if fast.content_hash() != slow.content_hash():
+        mismatches += 1
+        checked.append("grid_timing_pair")
+
+    started = time.perf_counter()
+    random_tree(side * side, seed=_COUNT_SEED)
+    tree_s = time.perf_counter() - started
+
+    details = {"side": side, "n": side * side, "m": fast.m,
+               "array_ms": array_s * 1e3, "tuple_ms": tuple_s * 1e3}
+    return {
+        "graph.build.hash_mismatches": _count(
+            mismatches, "graphs", details={"checked": checked},
+        ),
+        "graph.build.grid_speedup": _timing(
+            tuple_s / array_s if array_s > 0 else float("inf"), "x",
+            higher_is_better=True, details=details,
+        ),
+        "graph.build.grid_ms": _timing(
+            array_s * 1e3, "ms", higher_is_better=False, details=details,
+        ),
+        "graph.build.random_tree_ms": _timing(
+            tree_s * 1e3, "ms", higher_is_better=False,
+            details={"n": side * side, "seed": _COUNT_SEED},
+        ),
+    }
+
+
+def _graph_load(config: BenchConfig) -> dict[str, dict[str, Any]]:
+    """On-disk formats: memmap open latency vs the ``.npz`` decompress path.
+
+    The gated metric counts round-trip hash mismatches across all three
+    loaders (``.reprograph`` with verification, ``.npz``, and a SNAP
+    edge-list rendering that includes duplicate reversed rows and a
+    self-loop) plus a check that a memmapped load arrives with its CSR
+    pre-materialized.  Timings are advisory: memmap open cost is a
+    header read, so it is reported at whatever scale ``graph_side``
+    pins.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..graphs.diskgraph import load_reprograph, save_reprograph
+    from ..graphs.generators import grid_graph, random_tree
+    from ..graphs.io import load_graph, save_graph
+    from ..graphs.snap import load_snap_edgelist
+
+    side = config.graph_side
+    graph = grid_graph(side, side)
+    mismatches = 0
+    checked: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        root = Path(tmp)
+        disk = root / "g.reprograph"
+        file_bytes = save_reprograph(disk, graph)
+        started = time.perf_counter()
+        loaded = load_reprograph(disk)
+        memmap_s = time.perf_counter() - started
+        checked.append("reprograph")
+        if load_reprograph(disk, verify=True).content_hash() != graph.content_hash():
+            mismatches += 1
+        checked.append("reprograph_csr_premat")
+        if "_csr" not in loaded.__dict__:
+            mismatches += 1
+
+        npz = root / "g.npz"
+        save_graph(npz, graph)
+        started = time.perf_counter()
+        npz_graph = load_graph(npz)
+        npz_s = time.perf_counter() - started
+        checked.append("npz")
+        if npz_graph.content_hash() != graph.content_hash():
+            mismatches += 1
+
+        # SNAP text round-trip on a pinned small graph: both directions
+        # of every edge, a comment, and a self-loop to exercise parsing.
+        small = random_tree(_COUNT_N, seed=_COUNT_SEED).graph
+        lines = ["# bench snap roundtrip"]
+        for u, v in small.edges.tolist():
+            lines.append(f"{u}\t{v}")
+            lines.append(f"{v} {u}")
+        lines.append("3 3")
+        text = root / "g.txt"
+        text.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        snap = load_snap_edgelist(text)
+        checked.append("snap")
+        if (
+            snap.graph.content_hash() != small.content_hash()
+            or snap.self_loops_dropped != 1
+        ):
+            mismatches += 1
+
+    details = {"side": side, "n": graph.n, "m": graph.m,
+               "file_mb": file_bytes / 1e6,
+               "memmap_ms": memmap_s * 1e3, "npz_ms": npz_s * 1e3}
+    return {
+        "graph.load.roundtrip_mismatches": _count(
+            mismatches, "graphs", details={"checked": checked},
+        ),
+        "graph.load.reprograph_ms": _timing(
+            memmap_s * 1e3, "ms", higher_is_better=False, details=details,
+        ),
+        "graph.load.npz_vs_reprograph": _timing(
+            npz_s / memmap_s if memmap_s > 0 else float("inf"), "x",
+            higher_is_better=True, details=details,
+        ),
+    }
+
+
 # --------------------------------------------------------------------- #
 # count cases (deterministic; gate on any deviation)
 # --------------------------------------------------------------------- #
@@ -458,6 +657,10 @@ def build_cases(config: BenchConfig) -> list[BenchCase]:
                   "precision-request evidence reuse and realized trials"),
         BenchCase("profiled_run", _profiled_run,
                   "per-phase profile of one FAIRTREE run"),
+        BenchCase("graph_build", _graph_build,
+                  "array-native construction speedup + hash equivalence"),
+        BenchCase("graph_load", _graph_load,
+                  "memmap open latency + on-disk round-trip equivalence"),
         BenchCase("faithful_counts", _faithful_counts,
                   "faithful-engine rounds/messages (deterministic)"),
         BenchCase("fast_counts", _fast_counts,

@@ -9,6 +9,7 @@ Commands
 ``batch``     estimation service over a JSON-lines request file
 ``stats``     probe the service and print its metrics exposition
 ``bench``     continuous benchmark suite → ``BENCH_<sha>.json`` artifact
+``graph``     convert/inspect on-disk graphs (``.npz``/``.reprograph``/SNAP)
 ``table1``    regenerate Table I
 ``figure4``   regenerate Figure 4 (ASCII CDF panels)
 ``star``      the §I star demonstration
@@ -470,6 +471,90 @@ def _cmd_bench(args: argparse.Namespace) -> None:
             raise SystemExit(1)
 
 
+def _load_graph_input(args: argparse.Namespace) -> StaticGraph:
+    """Resolve the ``graph convert`` INPUT argument to a graph.
+
+    Existing files are dispatched by suffix (``.reprograph`` memmap,
+    ``.npz`` archive, anything else parsed as a SNAP-style edge list);
+    non-files are treated as generator specs (``grid:1000x1000``, ...).
+    """
+    from pathlib import Path
+
+    source = Path(args.input)
+    if not source.exists():
+        if ":" in args.input or args.input.isalpha():
+            return _graph_from_spec(args.input)
+        raise SystemExit(f"error: no such file: {args.input}")
+    if source.suffix == ".reprograph":
+        from .graphs.diskgraph import load_reprograph
+
+        return load_reprograph(source, verify=args.verify)
+    if source.suffix == ".npz":
+        from .graphs.io import load_graph
+
+        return load_graph(source)
+    from .graphs.snap import load_snap_edgelist
+
+    result = load_snap_edgelist(source, compact_ids=not args.no_compact_ids)
+    if result.self_loops_dropped:
+        print(
+            f"note: dropped {result.self_loops_dropped} self-loop(s)",
+            file=sys.stderr,
+        )
+    return result.graph
+
+
+def _cmd_graph_convert(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    graph = _load_graph_input(args)
+    out = Path(args.output)
+    if out.suffix == ".reprograph":
+        from .graphs.diskgraph import save_reprograph
+
+        nbytes = save_reprograph(out, graph, compact=args.compact)
+    elif out.suffix == ".npz":
+        if args.compact:
+            raise SystemExit("error: --compact only applies to .reprograph output")
+        from .graphs.io import save_graph
+
+        save_graph(out, graph)
+        nbytes = out.stat().st_size
+    else:
+        raise SystemExit(
+            f"error: unsupported output suffix {out.suffix!r} "
+            "(use .reprograph or .npz)"
+        )
+    print(
+        f"wrote {out} (n={graph.n}, m={graph.m}, "
+        f"{nbytes / 1e6:.1f} MB, hash {graph.content_hash()[:12]}…)"
+    )
+
+
+def _cmd_graph_inspect(args: argparse.Namespace) -> None:
+    from .graphs.diskgraph import inspect_reprograph
+    from .graphs.graph import GraphValidationError
+
+    try:
+        head = inspect_reprograph(args.path)
+    except (OSError, GraphValidationError) as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.json:
+        print(json.dumps(head, indent=2))
+        return
+    layout = "int32 (compact)" if head["compact"] else "int64 (zero-copy)"
+    print(f"path        : {args.path}")
+    print(f"version     : {head['version']}")
+    print(f"n, m        : {head['n']}, {head['m']}")
+    print(f"layout      : {layout}")
+    print(f"content hash: {head['content_hash']}")
+    print(f"file bytes  : {head['file_bytes']}")
+    print(
+        "offsets     : edges={edges_offset} indptr={indptr_offset} "
+        "indices={indices_offset}".format(**head)
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -670,6 +755,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list bench cases and exit"
     )
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "graph", help="convert/inspect on-disk graphs (.npz/.reprograph/SNAP)"
+    )
+    gsub = p.add_subparsers(dest="graph_command", required=True)
+
+    g = gsub.add_parser(
+        "convert",
+        help="build or load a graph and write it as .reprograph or .npz",
+    )
+    g.add_argument(
+        "input",
+        help="source: a .reprograph/.npz file, a SNAP-style edge list "
+        "(.txt/.gz/...), or a generator spec like grid:1000x1000",
+    )
+    g.add_argument("output", help="destination (.reprograph or .npz)")
+    g.add_argument(
+        "--compact",
+        action="store_true",
+        help="store .reprograph buffers as int32 (halves the file; "
+        "loads widen with one copy instead of mapping zero-copy)",
+    )
+    g.add_argument(
+        "--no-compact-ids",
+        action="store_true",
+        help="SNAP input: use node ids as-is instead of remapping to 0..n-1",
+    )
+    g.add_argument(
+        "--verify",
+        action="store_true",
+        help=".reprograph input: re-hash the edge buffer against the header",
+    )
+    g.set_defaults(fn=_cmd_graph_convert)
+
+    g = gsub.add_parser(
+        "inspect", help="print .reprograph header metadata (no data mapped)"
+    )
+    g.add_argument("path")
+    g.add_argument("--json", action="store_true", help="machine-readable output")
+    g.set_defaults(fn=_cmd_graph_inspect)
     return parser
 
 

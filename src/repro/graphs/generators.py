@@ -13,6 +13,14 @@ Every topology the paper evaluates or reasons about is constructed here:
 All generators return :class:`~repro.graphs.graph.StaticGraph` (or
 :class:`~repro.graphs.graph.RootedTree` where a rooting is natural) and are
 deterministic given their arguments (random families take a seed).
+
+Construction is **array-native**: every generator emits endpoint arrays
+via vectorized index arithmetic and hands them to
+:meth:`StaticGraph.from_arrays`, so building a million-node graph never
+materializes per-edge Python tuples.  The emitted edge sets (and hence
+every ``content_hash``) are bit-identical to the historical per-node
+loop implementations — the property suite pins this against slow
+reference builders.
 """
 
 from __future__ import annotations
@@ -45,6 +53,17 @@ __all__ = [
 ]
 
 
+def _ids(start: int, stop: int) -> np.ndarray:
+    """``arange`` pinned to int64 (edge endpoints are always int64)."""
+    return np.arange(start, stop, dtype=np.int64)
+
+
+def _rooted(n: int, src: np.ndarray, dst: np.ndarray, parent: np.ndarray) -> RootedTree:
+    """Assemble a rooted tree from endpoint + parent arrays."""
+    graph = StaticGraph.from_arrays(n, src, dst)
+    return RootedTree(graph=graph, parent=parent)
+
+
 # --------------------------------------------------------------------- #
 # trivial families
 # --------------------------------------------------------------------- #
@@ -60,15 +79,16 @@ def singleton() -> StaticGraph:
 
 def path_graph(n: int) -> StaticGraph:
     """The path ``P_n``."""
-    return StaticGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+    left = _ids(0, max(n - 1, 0))
+    return StaticGraph.from_arrays(n, left, left + 1)
 
 
 def cycle_graph(n: int) -> StaticGraph:
     """The cycle ``C_n`` (requires ``n >= 3``)."""
     if n < 3:
         raise GraphValidationError("a cycle needs at least 3 vertices")
-    edges = [(i, (i + 1) % n) for i in range(n)]
-    return StaticGraph.from_edges(n, edges)
+    src = _ids(0, n)
+    return StaticGraph.from_arrays(n, src, (src + 1) % n)
 
 
 def star_graph(n: int) -> StaticGraph:
@@ -76,14 +96,14 @@ def star_graph(n: int) -> StaticGraph:
     where Luby's inequality factor is ``Theta(n)``."""
     if n < 1:
         raise GraphValidationError("a star needs at least 1 vertex")
-    return StaticGraph.from_edges(n, [(0, i) for i in range(1, n)])
+    leaves = _ids(1, n)
+    return StaticGraph.from_arrays(n, np.zeros(n - 1, dtype=np.int64), leaves)
 
 
 def complete_graph(n: int) -> StaticGraph:
     """The clique ``K_n``."""
-    return StaticGraph.from_edges(
-        n, [(i, j) for i in range(n) for j in range(i + 1, n)]
-    )
+    src, dst = np.triu_indices(n, k=1)
+    return StaticGraph.from_arrays(n, src, dst)
 
 
 # --------------------------------------------------------------------- #
@@ -93,25 +113,19 @@ def complete_tree(branching: int, depth: int) -> RootedTree:
     """Complete ``branching``-ary tree with the given depth (root depth 0).
 
     ``complete_tree(2, 10)`` is the paper's binary tree (n=2047);
-    ``complete_tree(5, 5)`` its 5-ary tree (n=3906).
+    ``complete_tree(5, 5)`` its 5-ary tree (n=3906).  Vertices carry BFS
+    numbering, so ``parent(i) = (i - 1) // branching``.
     """
     if branching < 1 or depth < 0:
         raise GraphValidationError("branching >= 1 and depth >= 0 required")
-    edges: list[tuple[int, int]] = []
-    parent = [-1]
-    frontier = [0]
-    next_id = 1
-    for _ in range(depth):
-        new_frontier: list[int] = []
-        for u in frontier:
-            for _ in range(branching):
-                edges.append((u, next_id))
-                parent.append(u)
-                new_frontier.append(next_id)
-                next_id += 1
-        frontier = new_frontier
-    graph = StaticGraph.from_edges(next_id, edges)
-    return RootedTree(graph=graph, parent=np.asarray(parent, dtype=np.int64))
+    if branching == 1:
+        n = depth + 1
+    else:
+        n = (branching ** (depth + 1) - 1) // (branching - 1)
+    child = _ids(1, n)
+    parent_of = (child - 1) // branching
+    parent = np.concatenate([np.array([-1], dtype=np.int64), parent_of])
+    return _rooted(n, parent_of, child, parent)
 
 
 def alternating_tree(branching: int, depth: int) -> RootedTree:
@@ -124,22 +138,18 @@ def alternating_tree(branching: int, depth: int) -> RootedTree:
     """
     if branching < 2 or depth < 0:
         raise GraphValidationError("branching >= 2 and depth >= 0 required")
-    edges: list[tuple[int, int]] = []
-    parent = [-1]
-    frontier = [0]
+    parents: list[np.ndarray] = [np.array([-1], dtype=np.int64)]
+    start, size = 0, 1
     next_id = 1
     for level in range(depth):
         fanout = branching if level % 2 == 0 else 1
-        new_frontier: list[int] = []
-        for u in frontier:
-            for _ in range(fanout):
-                edges.append((u, next_id))
-                parent.append(u)
-                new_frontier.append(next_id)
-                next_id += 1
-        frontier = new_frontier
-    graph = StaticGraph.from_edges(next_id, edges)
-    return RootedTree(graph=graph, parent=np.asarray(parent, dtype=np.int64))
+        frontier = _ids(start, start + size)
+        parents.append(np.repeat(frontier, fanout))
+        start, size = next_id, size * fanout
+        next_id += size
+    parent = np.concatenate(parents)
+    child = _ids(1, next_id)
+    return _rooted(next_id, parent[1:], child, parent)
 
 
 def caterpillar(spine: int, legs_per_node: int) -> RootedTree:
@@ -147,19 +157,14 @@ def caterpillar(spine: int, legs_per_node: int) -> RootedTree:
     leaves — a classic high-inequality shape for Luby."""
     if spine < 1 or legs_per_node < 0:
         raise GraphValidationError("spine >= 1 and legs >= 0 required")
-    edges: list[tuple[int, int]] = []
-    parent = [-1]
-    for i in range(1, spine):
-        edges.append((i - 1, i))
-        parent.append(i - 1)
-    next_id = spine
-    for i in range(spine):
-        for _ in range(legs_per_node):
-            edges.append((i, next_id))
-            parent.append(i)
-            next_id += 1
-    graph = StaticGraph.from_edges(next_id, edges)
-    return RootedTree(graph=graph, parent=np.asarray(parent, dtype=np.int64))
+    n = spine + spine * legs_per_node
+    spine_child = _ids(1, spine)
+    leg_child = _ids(spine, n)
+    leg_parent = np.repeat(_ids(0, spine), legs_per_node)
+    src = np.concatenate([spine_child - 1, leg_parent])
+    dst = np.concatenate([spine_child, leg_child])
+    parent = np.concatenate([np.array([-1], dtype=np.int64), spine_child - 1, leg_parent])
+    return _rooted(n, src, dst, parent)
 
 
 def broom(handle: int, bristles: int) -> RootedTree:
@@ -167,46 +172,43 @@ def broom(handle: int, bristles: int) -> RootedTree:
     leaves (star tail)."""
     if handle < 1 or bristles < 0:
         raise GraphValidationError("handle >= 1 and bristles >= 0 required")
-    edges = [(i - 1, i) for i in range(1, handle)]
-    parent = [-1] + list(range(handle - 1))
-    next_id = handle
-    for _ in range(bristles):
-        edges.append((handle - 1, next_id))
-        parent.append(handle - 1)
-        next_id += 1
-    graph = StaticGraph.from_edges(next_id, edges)
-    return RootedTree(graph=graph, parent=np.asarray(parent, dtype=np.int64))
+    n = handle + bristles
+    handle_child = _ids(1, handle)
+    tail_parent = np.full(bristles, handle - 1, dtype=np.int64)
+    src = np.concatenate([handle_child - 1, tail_parent])
+    dst = np.concatenate([handle_child, _ids(handle, n)])
+    parent = np.concatenate([np.array([-1], dtype=np.int64), handle_child - 1, tail_parent])
+    return _rooted(n, src, dst, parent)
 
 
 def double_broom(handle: int, bristles: int) -> StaticGraph:
     """A path with ``bristles`` leaves attached at *both* ends."""
     if handle < 2:
         raise GraphValidationError("handle >= 2 required")
-    edges = [(i - 1, i) for i in range(1, handle)]
-    next_id = handle
-    for end in (0, handle - 1):
-        for _ in range(bristles):
-            edges.append((end, next_id))
-            next_id += 1
-    return StaticGraph.from_edges(next_id, edges)
+    n = handle + 2 * bristles
+    path_child = _ids(1, handle)
+    src = np.concatenate(
+        [
+            path_child - 1,
+            np.zeros(bristles, dtype=np.int64),
+            np.full(bristles, handle - 1, dtype=np.int64),
+        ]
+    )
+    dst = np.concatenate([path_child, _ids(handle, n)])
+    return StaticGraph.from_arrays(n, src, dst)
 
 
 def spider(legs: int, leg_length: int) -> RootedTree:
     """``legs`` disjoint paths of ``leg_length`` vertices joined at a hub."""
     if legs < 1 or leg_length < 1:
         raise GraphValidationError("legs >= 1 and leg_length >= 1 required")
-    edges: list[tuple[int, int]] = []
-    parent = [-1]
-    next_id = 1
-    for _ in range(legs):
-        prev = 0
-        for _ in range(leg_length):
-            edges.append((prev, next_id))
-            parent.append(prev)
-            prev = next_id
-            next_id += 1
-    graph = StaticGraph.from_edges(next_id, edges)
-    return RootedTree(graph=graph, parent=np.asarray(parent, dtype=np.int64))
+    n = 1 + legs * leg_length
+    child = _ids(1, n)
+    parent_of = child - 1
+    # the first vertex of each leg hangs off the hub
+    parent_of[(child - 1) % leg_length == 0] = 0
+    parent = np.concatenate([np.array([-1], dtype=np.int64), parent_of])
+    return _rooted(n, parent_of, child, parent)
 
 
 def random_tree(n: int, seed: SeedLike = None) -> RootedTree:
@@ -223,23 +225,55 @@ def random_tree(n: int, seed: SeedLike = None) -> RootedTree:
     rng = generator_from(seed)
     prufer = rng.integers(0, n, size=n - 2)
     degree = np.bincount(prufer, minlength=n) + 1
-    edges: list[tuple[int, int]] = []
-    # classic O(n log n) Prüfer decoding with a sorted leaf pool
-    import heapq
-
-    leaves = [v for v in range(n) if degree[v] == 1]
-    heapq.heapify(leaves)
+    # O(n) pointer-based decode.  Equivalent to repeatedly popping the
+    # *smallest* current leaf (the classic sorted-pool decode): every
+    # leaf below ``ptr`` is consumed the moment it appears, so the next
+    # leaf is either a just-created index < ptr or the next degree-1
+    # index found by the forward scan.
+    deg = degree.tolist()
+    src_list: list[int] = []
+    append = src_list.append
+    index = deg.index  # C-speed forward scan for the next degree-1 vertex
+    ptr = index(1)
+    leaf = ptr
     for code in prufer.tolist():
-        leaf = heapq.heappop(leaves)
-        edges.append((leaf, code))
-        degree[code] -= 1
-        if degree[code] == 1:
-            heapq.heappush(leaves, code)
-    u = heapq.heappop(leaves)
-    v = heapq.heappop(leaves)
-    edges.append((u, v))
-    graph = StaticGraph.from_edges(n, edges)
-    return RootedTree.from_graph(graph, root=0)
+        append(leaf)
+        d = deg[code] - 1
+        deg[code] = d
+        if d == 1 and code < ptr:
+            leaf = code
+        else:
+            ptr = index(1, ptr + 1)
+            leaf = ptr
+    # two leaves remain: ``leaf`` and the next unused degree-1 vertex
+    try:
+        other = index(1, ptr + 1)
+    except ValueError:  # pragma: no cover - unreachable for valid codes
+        other = n
+    append(leaf)
+    src = np.array(src_list, dtype=np.int64)
+    dst = np.empty(n - 1, dtype=np.int64)
+    dst[: n - 2] = prufer
+    dst[n - 2] = other
+    graph = StaticGraph.from_arrays(n, src, dst)
+    # The decode already orients every edge: each removed leaf's
+    # neighbor survives it, so ``parent[leaf] = code`` roots the tree at
+    # the last survivor.  Re-rooting at 0 reverses the 0 -> survivor
+    # chain; parent pointers toward a fixed root are unique, so this is
+    # identical to (but much cheaper than) a full BFS rooting.
+    parent = np.empty(n, dtype=np.int64)
+    parent[src] = dst
+    parent[other] = -1
+    if other != 0:
+        chain = [0]
+        v = int(parent[0])
+        while v != -1:
+            chain.append(v)
+            v = int(parent[v])
+        arr = np.array(chain, dtype=np.int64)
+        parent[arr[1:]] = arr[:-1]
+        parent[0] = -1
+    return RootedTree(graph=graph, parent=parent)
 
 
 # --------------------------------------------------------------------- #
@@ -249,9 +283,9 @@ def complete_bipartite(a: int, b: int) -> StaticGraph:
     """``K_{a,b}`` with left part ``0..a-1``."""
     if a < 0 or b < 0:
         raise GraphValidationError("part sizes must be non-negative")
-    return StaticGraph.from_edges(
-        a + b, [(i, a + j) for i in range(a) for j in range(b)]
-    )
+    src = np.repeat(_ids(0, a), b)
+    dst = np.tile(_ids(a, a + b), a)
+    return StaticGraph.from_arrays(a + b, src, dst)
 
 
 def random_bipartite(a: int, b: int, p: float, seed: SeedLike = None) -> StaticGraph:
@@ -261,37 +295,51 @@ def random_bipartite(a: int, b: int, p: float, seed: SeedLike = None) -> StaticG
     rng = generator_from(seed)
     mask = rng.random((a, b)) < p
     lefts, rights = np.nonzero(mask)
-    edges = list(zip(lefts.tolist(), (rights + a).tolist()))
-    return StaticGraph.from_edges(a + b, edges)
+    return StaticGraph.from_arrays(a + b, lefts, rights + a)
+
+
+def _grid_arrays(
+    rows: int, cols: int, diagonal: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Grid edges as endpoint arrays, emitted in *canonical* order.
+
+    Cells are walked row-major and each cell emits its right, down (and
+    optionally down-right) edges in that order — which is exactly the
+    lexicographic ``(lo, hi)`` order, so construction skips the sort.
+    """
+    n = rows * cols
+    ids = np.arange(n, dtype=np.int64)
+    k = 3 if diagonal else 2
+    dst = np.empty((n, k), dtype=np.int64)
+    mask = np.empty((n, k), dtype=bool)
+    right = (ids % cols) < cols - 1
+    down = ids < n - cols
+    dst[:, 0] = ids + 1
+    dst[:, 1] = ids + cols
+    mask[:, 0] = right
+    mask[:, 1] = down
+    if diagonal:
+        dst[:, 2] = ids + cols + 1
+        mask[:, 2] = right & down
+    src = np.repeat(ids, k).reshape(n, k)
+    return src[mask], dst[mask]
 
 
 def grid_graph(rows: int, cols: int) -> StaticGraph:
     """The ``rows x cols`` grid — planar and bipartite."""
     if rows < 1 or cols < 1:
         raise GraphValidationError("rows, cols >= 1 required")
-
-    def vid(r: int, c: int) -> int:
-        return r * cols + c
-
-    edges = []
-    for r in range(rows):
-        for c in range(cols):
-            if c + 1 < cols:
-                edges.append((vid(r, c), vid(r, c + 1)))
-            if r + 1 < rows:
-                edges.append((vid(r, c), vid(r + 1, c)))
-    return StaticGraph.from_edges(rows * cols, edges)
+    src, dst = _grid_arrays(rows, cols)
+    return StaticGraph.from_arrays(rows * cols, src, dst)
 
 
 def triangulated_grid(rows: int, cols: int) -> StaticGraph:
     """Grid plus one diagonal per cell — planar, *not* bipartite,
     arboricity <= 3; exercises COLORMIS on Corollary 18's family."""
-    base = grid_graph(rows, cols)
-    edges = list(map(tuple, base.edges.tolist()))
-    for r in range(rows - 1):
-        for c in range(cols - 1):
-            edges.append((r * cols + c, (r + 1) * cols + c + 1))
-    return StaticGraph.from_edges(rows * cols, edges)
+    if rows < 1 or cols < 1:
+        raise GraphValidationError("rows, cols >= 1 required")
+    src, dst = _grid_arrays(rows, cols, diagonal=True)
+    return StaticGraph.from_arrays(rows * cols, src, dst)
 
 
 def apex_grid(rows: int, cols: int) -> StaticGraph:
@@ -302,14 +350,23 @@ def apex_grid(rows: int, cols: int) -> StaticGraph:
     arboricity-based coloring (k = O(1)) beats greedy (k = Δ+1), i.e.
     Corollary 18's sweet spot.  The apex is the last vertex.
     """
-    base = grid_graph(rows, cols)
+    if rows < 1 or cols < 1:
+        raise GraphValidationError("rows, cols >= 1 required")
     apex = rows * cols
-    edges = list(map(tuple, base.edges.tolist()))
-    for r in range(rows):
-        for c in range(cols):
-            if r in (0, rows - 1) or c in (0, cols - 1):
-                edges.append((r * cols + c, apex))
-    return StaticGraph.from_edges(rows * cols + 1, edges)
+    ids = np.arange(apex, dtype=np.int64)
+    col = ids % cols
+    # per-cell canonical order again: right, down, then the apex ray
+    # (the apex has the largest id, so it sorts last within each cell)
+    dst = np.empty((apex, 3), dtype=np.int64)
+    mask = np.empty((apex, 3), dtype=bool)
+    dst[:, 0] = ids + 1
+    dst[:, 1] = ids + cols
+    dst[:, 2] = apex
+    mask[:, 0] = col < cols - 1
+    mask[:, 1] = ids < apex - cols
+    mask[:, 2] = (ids < cols) | (ids >= apex - cols) | (col == 0) | (col == cols - 1)
+    src = np.repeat(ids, 3).reshape(apex, 3)
+    return StaticGraph.from_arrays(apex + 1, src[mask], dst[mask])
 
 
 def random_planar_like(n: int, seed: SeedLike = None) -> StaticGraph:
@@ -324,12 +381,10 @@ def random_planar_like(n: int, seed: SeedLike = None) -> StaticGraph:
 
     points = rng.random((n, 2))
     tri = Delaunay(points)
-    edges: set[tuple[int, int]] = set()
-    for simplex in tri.simplices:
-        a, b, c = map(int, simplex)
-        for u, v in ((a, b), (b, c), (a, c)):
-            edges.add((min(u, v), max(u, v)))
-    return StaticGraph.from_edges(n, sorted(edges))
+    s = tri.simplices.astype(np.int64)
+    src = np.concatenate([s[:, 0], s[:, 1], s[:, 0]])
+    dst = np.concatenate([s[:, 1], s[:, 2], s[:, 2]])
+    return StaticGraph.from_arrays(n, src, dst, dedup=True)
 
 
 # --------------------------------------------------------------------- #
@@ -342,6 +397,7 @@ def cone_graph(k: int) -> StaticGraph:
     if k < 1:
         raise GraphValidationError("k >= 1 required")
     n = 2 * k + 1
-    edges = [(i, j) for i in range(1, n) for j in range(i + 1, n)]
-    edges += [(0, i) for i in range(1, k + 1)]
-    return StaticGraph.from_edges(n, edges)
+    src, dst = np.triu_indices(2 * k, k=1)
+    src = np.concatenate([src + 1, np.zeros(k, dtype=np.int64)])
+    dst = np.concatenate([dst + 1, _ids(1, k + 1)])
+    return StaticGraph.from_arrays(n, src, dst)

@@ -164,7 +164,7 @@ def threshold_graph(cloud: PointCloud, max_distance: float) -> StaticGraph:
 
     tree = cKDTree(cloud.points)
     pairs = tree.query_pairs(r=max_distance, output_type="ndarray")
-    return StaticGraph.from_edges(cloud.n, map(tuple, pairs.tolist()))
+    return StaticGraph.from_arrays(cloud.n, pairs[:, 0], pairs[:, 1])
 
 
 def euclidean_mst(cloud: PointCloud, graph: StaticGraph) -> StaticGraph:
@@ -215,7 +215,7 @@ def euclidean_mst(cloud: PointCloud, graph: StaticGraph) -> StaticGraph:
         n_eff = graph.n
     mst = minimum_spanning_tree(adj)
     rows, cols = mst.nonzero()
-    return StaticGraph.from_edges(n_eff, zip(rows.tolist(), cols.tolist()))
+    return StaticGraph.from_arrays(n_eff, rows, cols)
 
 
 def wap_tree(

@@ -4,7 +4,9 @@ Downstream users of an evaluation want to pin the exact topologies and
 counts a result was produced from.  Formats:
 
 * graphs — compressed ``.npz`` (n + canonical edge array), stable across
-  numpy versions;
+  numpy versions; paths ending in ``.reprograph`` dispatch to the
+  memmap-backed columnar format (:mod:`repro.graphs.diskgraph`) instead,
+  which is the right choice for million-node graphs;
 * point clouds — ``.npz`` with coordinates and label;
 * join estimates — ``.npz`` with counts + trials (merge-friendly, see
   :meth:`repro.analysis.fairness.JoinEstimate.merge`).
@@ -34,20 +36,29 @@ __all__ = [
 
 
 def save_graph(path: str | Path, graph: StaticGraph) -> None:
-    """Write *graph* to ``path`` (``.npz``)."""
+    """Write *graph* to ``path`` (``.npz``, or ``.reprograph`` by suffix)."""
+    path = Path(path)
+    if path.suffix == ".reprograph":
+        from .diskgraph import save_reprograph
+
+        save_reprograph(path, graph)
+        return
     np.savez_compressed(
-        Path(path), kind="static_graph", n=np.int64(graph.n), edges=graph.edges
+        path, kind="static_graph", n=np.int64(graph.n), edges=graph.edges
     )
 
 
 def load_graph(path: str | Path) -> StaticGraph:
-    """Read a graph written by :func:`save_graph`."""
-    with np.load(Path(path), allow_pickle=False) as data:
+    """Read a graph written by :func:`save_graph` (either format)."""
+    path = Path(path)
+    if path.suffix == ".reprograph":
+        from .diskgraph import load_reprograph
+
+        return load_reprograph(path)
+    with np.load(path, allow_pickle=False) as data:
         if str(data["kind"]) != "static_graph":
             raise ValueError(f"{path}: not a saved StaticGraph")
-        return StaticGraph.from_edges(
-            int(data["n"]), map(tuple, data["edges"].tolist())
-        )
+        return StaticGraph.from_edges(int(data["n"]), data["edges"])
 
 
 def save_point_cloud(path: str | Path, cloud: PointCloud) -> None:

@@ -246,3 +246,144 @@ class TestContentHash:
     def test_hex_digest_shape(self):
         h = path_graph(3).content_hash()
         assert len(h) == 64 and int(h, 16) >= 0
+
+
+class TestFromArrays:
+    def test_matches_from_edges(self):
+        src = np.array([3, 0, 1], dtype=np.int64)
+        dst = np.array([1, 2, 2], dtype=np.int64)
+        a = StaticGraph.from_arrays(4, src, dst)
+        b = StaticGraph.from_edges(4, [(3, 1), (0, 2), (1, 2)])
+        assert a == b
+        assert a.content_hash() == b.content_hash()
+
+    def test_canonicalizes_direction_and_order(self):
+        g = StaticGraph.from_arrays(
+            4, np.array([3, 2, 1]), np.array([0, 0, 0])
+        )
+        assert g.edges.tolist() == [[0, 1], [0, 2], [0, 3]]
+
+    def test_dedup_drops_parallel_and_reversed(self):
+        g = StaticGraph.from_arrays(
+            3, np.array([0, 1, 0, 0]), np.array([1, 0, 1, 2]), dedup=True
+        )
+        assert g.edges.tolist() == [[0, 1], [0, 2]]
+
+    def test_duplicates_rejected_without_dedup(self):
+        with pytest.raises(GraphValidationError):
+            StaticGraph.from_arrays(3, np.array([0, 1]), np.array([1, 0]))
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(GraphValidationError):
+            StaticGraph.from_arrays(3, np.array([1]), np.array([1]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphValidationError):
+            StaticGraph.from_arrays(3, np.array([0]), np.array([3]))
+        with pytest.raises(GraphValidationError):
+            StaticGraph.from_arrays(3, np.array([-1]), np.array([0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(GraphValidationError):
+            StaticGraph.from_arrays(3, np.array([0, 1]), np.array([1]))
+        with pytest.raises(GraphValidationError):
+            StaticGraph.from_arrays(
+                3, np.array([[0, 1]]), np.array([[1, 2]])
+            )
+
+    def test_empty_arrays(self):
+        g = StaticGraph.from_arrays(
+            3, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert g.n == 3 and g.m == 0
+
+    def test_accepts_narrow_dtypes(self):
+        g = StaticGraph.from_arrays(
+            300, np.array([0, 1], dtype=np.int16), np.array([2, 299], np.int16)
+        )
+        assert g.edges.dtype == np.int64
+        assert g.edges.tolist() == [[0, 2], [1, 299]]
+
+    def test_huge_n_lexsort_fallback(self):
+        # n beyond int32 forces the lexsort branch (fused key would
+        # overflow); content must match the fused-key result modulo n.
+        n = np.iinfo(np.int32).max + 10
+        g = StaticGraph.from_arrays(
+            n, np.array([n - 1, 5, 5]), np.array([0, 9, 7])
+        )
+        assert g.edges.tolist() == [[0, n - 1], [5, 7], [5, 9]]
+
+
+class TestZeroCopyNormalization:
+    def test_canonical_array_returned_as_is(self):
+        arr = np.array([[0, 1], [0, 2], [1, 3]], dtype=np.int64)
+        g = StaticGraph.from_edges(4, arr)
+        assert np.shares_memory(g.edges, arr)
+
+    def test_non_canonical_array_copied(self):
+        arr = np.array([[2, 0], [1, 3]], dtype=np.int64)
+        g = StaticGraph.from_edges(4, arr)
+        assert not np.shares_memory(g.edges, arr)
+        assert g.edges.tolist() == [[0, 2], [1, 3]]
+
+    def test_ndarray_list_round_trip(self):
+        # regression: ndarray input must not round-trip through
+        # list(...) — and must parse element rows correctly.
+        arr = np.array([[3, 1], [0, 2]], dtype=np.int32)
+        g = StaticGraph.from_edges(4, arr)
+        assert g.edges.tolist() == [[0, 2], [1, 3]]
+        assert g == StaticGraph.from_edges(4, [(3, 1), (0, 2)])
+
+    def test_non_integral_array_rejected(self):
+        with pytest.raises(GraphValidationError):
+            StaticGraph.from_edges(3, np.array([[0.5, 1.0]]))
+
+    def test_malformed_shape_rejected(self):
+        with pytest.raises(GraphValidationError):
+            StaticGraph.from_edges(3, np.array([0, 1, 2]))
+
+
+class TestCSRConstruction:
+    @staticmethod
+    def _naive_csr(g):
+        """Stable argsort of the symmetrized edge list — the reference
+        order the merge-trick construction must reproduce exactly."""
+        src = np.concatenate([g.edges[:, 0], g.edges[:, 1]])
+        dst = np.concatenate([g.edges[:, 1], g.edges[:, 0]])
+        order = np.argsort(src, kind="stable")
+        indptr = np.zeros(g.n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=g.n), out=indptr[1:])
+        return indptr, dst[order]
+
+    @pytest.mark.parametrize(
+        "g",
+        [
+            path_graph(17),
+            cycle_graph(12),
+            star_graph(9),
+            complete_graph(8),
+            grid_graph(5, 7),
+            StaticGraph.from_edges(6, [(0, 5), (0, 3), (2, 4)]),
+            StaticGraph.from_edges(4, []),
+        ],
+        ids=["path", "cycle", "star", "complete", "grid", "sparse", "empty"],
+    )
+    def test_matches_naive_stable_argsort(self, g):
+        indptr, indices = g._csr
+        ref_ptr, ref_idx = self._naive_csr(g)
+        assert np.array_equal(indptr, ref_ptr)
+        assert np.array_equal(indices, ref_idx)
+
+    def test_random_graphs_match(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            n = int(rng.integers(2, 40))
+            k = int(rng.integers(0, 3 * n))
+            src = rng.integers(0, n, size=k)
+            dst = rng.integers(0, n, size=k)
+            keep = src != dst
+            g = StaticGraph.from_arrays(n, src[keep], dst[keep], dedup=True)
+            indptr, indices = g._csr
+            ref_ptr, ref_idx = self._naive_csr(g)
+            assert np.array_equal(indptr, ref_ptr)
+            assert np.array_equal(indices, ref_idx)

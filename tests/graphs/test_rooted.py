@@ -28,6 +28,24 @@ class TestConstruction:
         with pytest.raises(GraphValidationError):
             RootedTree(graph=cycle_graph(4), parent=np.array([-1, 0, 1, 2]))
 
+    def test_consistently_oriented_cycle_rejected(self):
+        # Every edge is oriented by the parent array and every parent is
+        # adjacent, yet there is no root: only the acyclicity check
+        # (pointer doubling) can catch this one.
+        from repro.graphs.generators import cycle_graph
+
+        with pytest.raises(GraphValidationError, match="acyclic"):
+            RootedTree(graph=cycle_graph(3), parent=np.array([1, 2, 0]))
+
+    def test_two_cycles_rejected(self):
+        g = StaticGraph.from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        with pytest.raises(GraphValidationError, match="acyclic"):
+            RootedTree(graph=g, parent=np.array([1, 2, 0, 4, 5, 3]))
+
+    def test_parent_out_of_range_rejected(self):
+        with pytest.raises(GraphValidationError):
+            RootedTree(graph=path_graph(3), parent=np.array([-1, 0, 5]))
+
     def test_parent_must_be_adjacent(self):
         with pytest.raises(GraphValidationError):
             RootedTree(graph=path_graph(3), parent=np.array([-1, 0, 0]))

@@ -1,0 +1,138 @@
+"""Streaming SNAP-style edge-list loader: parsing, compaction, errors."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.graphs import GraphValidationError, load_snap_edgelist
+from repro.graphs.generators import random_tree
+
+
+def _write(tmp_path, text, name="edges.txt"):
+    p = tmp_path / name
+    p.write_text(text, encoding="utf-8")
+    return p
+
+
+class TestParsing:
+    def test_basic(self, tmp_path):
+        p = _write(tmp_path, "0 1\n1 2\n2 3\n")
+        result = load_snap_edgelist(p)
+        assert result.n == 4 and result.m == 3
+        assert result.graph.edges.tolist() == [[0, 1], [1, 2], [2, 3]]
+
+    def test_comments_skipped(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "# SNAP header\n# Nodes: 3 Edges: 2\n0 1\n  # indented comment\n1 2\n",
+        )
+        result = load_snap_edgelist(p)
+        assert result.m == 2
+
+    def test_tabs_and_mixed_whitespace(self, tmp_path):
+        p = _write(tmp_path, "0\t1\n1   2\n\n2\t 3\n")
+        assert load_snap_edgelist(p).m == 3
+
+    def test_no_trailing_newline(self, tmp_path):
+        p = _write(tmp_path, "0 1\n1 2")
+        assert load_snap_edgelist(p).m == 2
+
+    def test_chunk_boundaries(self, tmp_path):
+        # tiny chunks force carries mid-line and mid-token
+        text = "# c\n" + "\n".join(f"{i} {i + 1}" for i in range(50)) + "\n"
+        p = _write(tmp_path, text)
+        whole = load_snap_edgelist(p)
+        for chunk_bytes in (1, 2, 3, 7, 16):
+            part = load_snap_edgelist(p, chunk_bytes=chunk_bytes)
+            assert part.graph == whole.graph
+
+    def test_gzip(self, tmp_path):
+        p = tmp_path / "edges.txt.gz"
+        with gzip.open(p, "wb") as fh:
+            fh.write(b"# z\n0 1\n1 2\n")
+        assert load_snap_edgelist(p).m == 2
+
+    def test_empty_file(self, tmp_path):
+        p = _write(tmp_path, "")
+        result = load_snap_edgelist(p)
+        assert result.n == 0 and result.m == 0
+
+    def test_comments_only(self, tmp_path):
+        p = _write(tmp_path, "# nothing\n# here\n")
+        assert load_snap_edgelist(p).n == 0
+
+
+class TestCleanup:
+    def test_both_directions_deduplicated(self, tmp_path):
+        p = _write(tmp_path, "0 1\n1 0\n1 2\n2 1\n")
+        result = load_snap_edgelist(p)
+        assert result.m == 2
+
+    def test_repeated_rows_deduplicated(self, tmp_path):
+        p = _write(tmp_path, "0 1\n0 1\n0 1\n")
+        assert load_snap_edgelist(p).m == 1
+
+    def test_self_loops_dropped_and_counted(self, tmp_path):
+        p = _write(tmp_path, "0 0\n0 1\n1 1\n")
+        result = load_snap_edgelist(p)
+        assert result.m == 1
+        assert result.self_loops_dropped == 2
+
+    def test_round_trip_matches_generator(self, tmp_path):
+        g = random_tree(40, seed=9).graph
+        lines = []
+        for u, v in g.edges.tolist():
+            lines.append(f"{u} {v}")
+            lines.append(f"{v} {u}")  # SNAP files list both directions
+        p = _write(tmp_path, "\n".join(lines) + "\n")
+        result = load_snap_edgelist(p)
+        assert result.graph.content_hash() == g.content_hash()
+
+
+class TestCompaction:
+    def test_sparse_ids_remapped(self, tmp_path):
+        p = _write(tmp_path, "10 40\n40 20\n20 30\n")
+        result = load_snap_edgelist(p)
+        assert result.n == 4
+        assert result.node_ids is not None
+        assert result.node_ids.tolist() == [10, 20, 30, 40]
+        # edge {10,40} maps to {0,3} under the sorted-id remapping
+        assert result.graph.edges.tolist() == [[0, 3], [1, 2], [1, 3]]
+
+    def test_compaction_disabled(self, tmp_path):
+        p = _write(tmp_path, "0 5\n5 3\n")
+        result = load_snap_edgelist(p, compact_ids=False)
+        assert result.n == 6
+        assert result.node_ids is None
+
+    def test_negative_ids_require_compaction(self, tmp_path):
+        p = _write(tmp_path, "-3 1\n")
+        assert load_snap_edgelist(p).n == 2
+        with pytest.raises(GraphValidationError, match="negative"):
+            load_snap_edgelist(p, compact_ids=False)
+
+
+class TestErrors:
+    def test_odd_token_count(self, tmp_path):
+        p = _write(tmp_path, "0 1\n2\n")
+        with pytest.raises(GraphValidationError, match="odd token"):
+            load_snap_edgelist(p)
+
+    def test_non_integer_token(self, tmp_path):
+        p = _write(tmp_path, "0 1\na b\n")
+        with pytest.raises(GraphValidationError, match="non-integer"):
+            load_snap_edgelist(p)
+
+    def test_bad_chunk_bytes(self, tmp_path):
+        p = _write(tmp_path, "0 1\n")
+        with pytest.raises(GraphValidationError):
+            load_snap_edgelist(p, chunk_bytes=0)
+
+
+class TestResultAccessors:
+    def test_n_m_properties(self, tmp_path):
+        p = _write(tmp_path, "0 1\n1 2\n")
+        result = load_snap_edgelist(p)
+        assert result.n == result.graph.n == 3
+        assert result.m == result.graph.m == 2

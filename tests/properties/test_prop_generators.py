@@ -1,0 +1,199 @@
+"""Generator rewrites vs slow tuple-path references.
+
+The hot generators emit endpoint arrays straight into
+``StaticGraph.from_arrays``; these sweeps pin their ``content_hash``
+against independently-written pure-Python reference builders (nested
+loops feeding ``from_edges`` with a list of tuples — the pre-array
+construction idiom).  A mismatch anywhere in the parameter grid means
+the vectorized emission changed graph *content*, not just speed.
+
+Seeded families (random_tree, random_bipartite, random_planar_like)
+cannot be re-derived without replaying RNG consumption order, so they
+are checked structurally instead, plus a scrambled tuple round-trip:
+feeding each graph's own edges back through the slow path — shuffled
+and endpoint-swapped — must re-canonicalize to the identical hash.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import StaticGraph
+from repro.graphs.generators import (
+    apex_grid,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_bipartite,
+    random_planar_like,
+    random_tree,
+    star_graph,
+    triangulated_grid,
+)
+
+
+def _ref_path(n):
+    return StaticGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def _ref_cycle(n):
+    return StaticGraph.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def _ref_star(n):
+    return StaticGraph.from_edges(n, [(0, i) for i in range(1, n)])
+
+
+def _ref_complete(n):
+    return StaticGraph.from_edges(
+        n, [(i, j) for i in range(n) for j in range(i + 1, n)]
+    )
+
+
+def _ref_complete_bipartite(a, b):
+    return StaticGraph.from_edges(
+        a + b, [(i, a + j) for i in range(a) for j in range(b)]
+    )
+
+
+def _grid_tuples(rows, cols, diagonal=False):
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+            if diagonal and c + 1 < cols and r + 1 < rows:
+                edges.append((v, v + cols + 1))
+    return edges
+
+
+def _ref_grid(rows, cols):
+    return StaticGraph.from_edges(rows * cols, _grid_tuples(rows, cols))
+
+
+def _ref_triangulated(rows, cols):
+    return StaticGraph.from_edges(
+        rows * cols, _grid_tuples(rows, cols, diagonal=True)
+    )
+
+
+def _ref_apex_grid(rows, cols):
+    apex = rows * cols
+    edges = _grid_tuples(rows, cols)
+    for r in range(rows):
+        for c in range(cols):
+            if r in (0, rows - 1) or c in (0, cols - 1):
+                edges.append((r * cols + c, apex))
+    return StaticGraph.from_edges(apex + 1, edges)
+
+
+class TestDeterministicFamilies:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 40, 201])
+    def test_path(self, n):
+        assert path_graph(n).content_hash() == _ref_path(n).content_hash()
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 17, 100])
+    def test_cycle(self, n):
+        assert cycle_graph(n).content_hash() == _ref_cycle(n).content_hash()
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 9, 64])
+    def test_star(self, n):
+        assert star_graph(n).content_hash() == _ref_star(n).content_hash()
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 25])
+    def test_complete(self, n):
+        assert (
+            complete_graph(n).content_hash() == _ref_complete(n).content_hash()
+        )
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 1), (3, 5), (7, 2), (10, 10)])
+    def test_complete_bipartite(self, a, b):
+        assert (
+            complete_bipartite(a, b).content_hash()
+            == _ref_complete_bipartite(a, b).content_hash()
+        )
+
+    @pytest.mark.parametrize(
+        "rows,cols", [(1, 1), (1, 9), (9, 1), (2, 2), (5, 8), (13, 7)]
+    )
+    def test_grid(self, rows, cols):
+        assert (
+            grid_graph(rows, cols).content_hash()
+            == _ref_grid(rows, cols).content_hash()
+        )
+
+    @pytest.mark.parametrize(
+        "rows,cols", [(1, 1), (1, 6), (6, 1), (2, 2), (4, 9), (11, 5)]
+    )
+    def test_triangulated_grid(self, rows, cols):
+        assert (
+            triangulated_grid(rows, cols).content_hash()
+            == _ref_triangulated(rows, cols).content_hash()
+        )
+
+    @pytest.mark.parametrize(
+        "rows,cols", [(1, 1), (1, 5), (5, 1), (2, 2), (3, 3), (6, 9)]
+    )
+    def test_apex_grid(self, rows, cols):
+        assert (
+            apex_grid(rows, cols).content_hash()
+            == _ref_apex_grid(rows, cols).content_hash()
+        )
+
+
+def _scramble_round_trip(graph, seed):
+    """Shuffle + endpoint-swap the canonical edges, rebuild via the slow
+    tuple path; canonicalization must restore the identical content."""
+    scrambled = [(int(v), int(u)) for u, v in graph.edges.tolist()]
+    np.random.default_rng(seed).shuffle(scrambled)
+    rebuilt = StaticGraph.from_edges(graph.n, scrambled)
+    assert rebuilt.content_hash() == graph.content_hash()
+
+
+class TestSeededFamilies:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 77])
+    @pytest.mark.parametrize("seed", [0, 1, 12345])
+    def test_random_tree_structure(self, n, seed):
+        t = random_tree(n, seed=seed)
+        assert t.graph.is_tree()
+        assert int((t.parent < 0).sum()) == 1
+        # every non-root's parent link is a graph edge
+        for v in range(n):
+            p = int(t.parent[v])
+            if p >= 0:
+                assert t.graph.has_edge(v, p)
+        _scramble_round_trip(t.graph, seed)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_random_tree_deterministic(self, seed):
+        a = random_tree(50, seed=seed)
+        b = random_tree(50, seed=seed)
+        assert a.graph.content_hash() == b.graph.content_hash()
+        assert np.array_equal(a.parent, b.parent)
+
+    @pytest.mark.parametrize("a,b,p", [(4, 6, 0.0), (5, 5, 0.4), (8, 3, 1.0)])
+    def test_random_bipartite_structure(self, a, b, p):
+        g = random_bipartite(a, b, p, seed=3)
+        assert g.n == a + b
+        assert g.is_bipartite()
+        # all edges cross the parts
+        if g.m:
+            lo = g.edges[:, 0]
+            hi = g.edges[:, 1]
+            assert bool(np.all(lo < a)) and bool(np.all(hi >= a))
+        if p == 1.0:
+            assert g.m == a * b
+        if p == 0.0:
+            assert g.m == 0
+        _scramble_round_trip(g, 3)
+
+    @pytest.mark.parametrize("n", [3, 10, 40])
+    def test_random_planar_like_structure(self, n):
+        g = random_planar_like(n, seed=5)
+        assert g.n == n
+        assert g.m <= 3 * n - 6 or n < 3  # planar edge bound
+        _scramble_round_trip(g, 5)
