@@ -168,6 +168,86 @@ def test_observability_overhead_under_five_percent():
     )
 
 
+def test_telemetry_plane_overhead_under_five_percent():
+    """The full cross-process plane stays within 5% of a bare chunk.
+
+    ``run_chunk_with_telemetry`` is everything a worker pays per chunk:
+    trace re-entry, a fresh delta registry, span capture, the phase
+    profiler, the chunk-summary histograms, and the final snapshot.
+    The per-chunk part is fixed (~0.1 ms); the per-trial part is the
+    profiler's sweep hooks, so the gate runs at representative graph
+    scale (n=1000 — the paper's evaluation trees) where a trial does
+    enough kernel work to amortize them.
+
+    Methodology differs from the wall-clock bound above because the
+    effect being certified is smaller than shared-runner wall-clock
+    noise: samples use **CPU time** (immune to scheduler preemption),
+    the cyclic collector is paused so its pauses don't land on one
+    side, each window alternates the two sides sample-by-sample and
+    compares their medians, and the gate takes the **minimum ratio
+    over five windows** — throttling inflates individual windows, but
+    a real regression in the plane shifts every window including the
+    cleanest.
+    """
+    import gc
+    import statistics
+    import time
+
+    from repro.analysis.montecarlo import chunk_counts
+    from repro.obs.remote import (
+        TraceContext,
+        new_chunk_id,
+        run_chunk_with_telemetry,
+    )
+    from repro.runtime.rng import spawn_trial_seeds
+
+    graph = random_tree(1000, seed=3).graph
+    alg = FastLuby()
+    seeds = spawn_trial_seeds(0, 60)
+    ctx = TraceContext()
+
+    def bare() -> None:
+        chunk_counts(alg, graph, seeds)
+
+    def instrumented() -> None:
+        run_chunk_with_telemetry(
+            lambda: chunk_counts(alg, graph, seeds),
+            ctx,
+            new_chunk_id(),
+            algorithm=alg.name,
+            trials=len(seeds),
+        )
+
+    def window(samples: int = 10) -> float:
+        on: list[float] = []
+        off: list[float] = []
+        for _ in range(samples):
+            t0 = time.process_time()
+            bare()
+            off.append(time.process_time() - t0)
+            t0 = time.process_time()
+            instrumented()
+            on.append(time.process_time() - t0)
+        return statistics.median(on) / statistics.median(off)
+
+    instrumented()  # warm caches/allocators on both paths
+    gc.collect()
+    gc.disable()
+    try:
+        windows = [window() for _ in range(5)]
+    finally:
+        gc.enable()
+    ratio = min(windows)
+    print(
+        f"\ntelemetry plane overhead (best window): {(ratio - 1) * 100:+.1f}% "
+        f"(windows: {[round(w, 3) for w in windows]})"
+    )
+    assert ratio <= 1.05, (
+        f"telemetry plane overhead {(ratio - 1) * 100:.1f}% exceeds 5% "
+        f"in every window ({[round(w, 3) for w in windows]})"
+    )
+
+
 def test_estimator_cache_serves_repeat_requests():
     """A repeated identical request runs 0 new trials and counts a hit."""
     from repro.service import Estimator

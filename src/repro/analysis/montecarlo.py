@@ -52,6 +52,14 @@ from ..graphs.shm import (
 from ..obs.bridge import trial_rounds_histogram
 from ..obs.logging import get_logger
 from ..obs.metrics import get_registry
+from ..obs.remote import (
+    RemoteTelemetry,
+    TraceContext,
+    current_trace_context,
+    new_chunk_id,
+    run_chunk_with_telemetry,
+    telemetry_enabled,
+)
 from ..obs.spans import span
 from ..runtime.rng import SeedLike, spawn_trial_seeds
 from .fairness import JoinEstimate
@@ -193,6 +201,38 @@ def _run_vector_chunk(spec: tuple[np.random.SeedSequence, int]) -> np.ndarray:
     )
 
 
+# Telemetry-carrying variants: the payload travels as a *packet*
+# ``(TraceContext, chunk_id, payload)`` and the result comes back as a
+# ChunkResult with the worker's metric delta + span records piggybacked
+# (see repro.obs.remote).  Separate top-level functions — not a flag —
+# so the non-telemetry wire format stays bit-compatible.
+def _run_chunk_t(packet: tuple) -> Any:
+    ctx, chunk_id, seeds = packet
+    algorithm = _WORKER["algorithm"]
+    return run_chunk_with_telemetry(
+        lambda: chunk_counts(algorithm, _WORKER["graph"], seeds),
+        ctx,
+        chunk_id,
+        algorithm=algorithm.name,
+        trials=len(seeds),
+        vectorized=False,
+    )
+
+
+def _run_vector_chunk_t(packet: tuple) -> Any:
+    ctx, chunk_id, spec = packet
+    seed, trials = spec
+    algorithm = _WORKER["algorithm"]
+    return run_chunk_with_telemetry(
+        lambda: vector_chunk_counts(algorithm, _WORKER["graph"], seed, trials),
+        ctx,
+        chunk_id,
+        algorithm=algorithm.name,
+        trials=trials,
+        vectorized=True,
+    )
+
+
 class TrialPool:
     """A persistent worker pool bound to one ``(algorithm, graph)`` pair.
 
@@ -216,10 +256,12 @@ class TrialPool:
         workers: int = 1,
         context: str | None = None,
         shm: bool = True,
+        telemetry: RemoteTelemetry | None = None,
     ) -> None:
         self.algorithm = algorithm
         self.graph = graph
         self.workers = normalize_jobs(workers)
+        self.telemetry = telemetry
         self._pool = None
         self._shared = None
         self._transport = "inline"
@@ -270,11 +312,54 @@ class TrialPool:
         """How the graph reaches workers: ``inline``, ``pickle``, ``shm``."""
         return self._transport
 
+    def _telemetry_active(self) -> bool:
+        return self.telemetry is not None and telemetry_enabled()
+
+    def _packet(self, payload: Any) -> tuple[TraceContext, str, Any]:
+        """Wrap *payload* with the ambient trace position + a chunk ID."""
+        return (current_trace_context(), new_chunk_id(), payload)
+
+    # Inline (pool-less) telemetry variants: the module-level ``_t``
+    # functions read the initializer-installed ``_WORKER`` state, which
+    # only exists inside pool worker processes — inline execution binds
+    # the pool's own algorithm/graph instead.
+    def _inline_chunk_t(self, packet: tuple) -> Any:
+        ctx, chunk_id, seeds = packet
+        return run_chunk_with_telemetry(
+            lambda: chunk_counts(self.algorithm, self.graph, seeds),
+            ctx,
+            chunk_id,
+            algorithm=self.algorithm.name,
+            trials=len(seeds),
+            vectorized=False,
+        )
+
+    def _inline_vector_chunk_t(self, packet: tuple) -> Any:
+        ctx, chunk_id, spec = packet
+        seed, trials = spec
+        return run_chunk_with_telemetry(
+            lambda: vector_chunk_counts(
+                self.algorithm, self.graph, seed, trials
+            ),
+            ctx,
+            chunk_id,
+            algorithm=self.algorithm.name,
+            trials=trials,
+            vectorized=True,
+        )
+
     # ------------------------------------------------------------------ #
     # chunk execution
     # ------------------------------------------------------------------ #
     def run_chunk(self, seeds: Sequence[np.random.SeedSequence]) -> np.ndarray:
         """Synchronously run one exact chunk (see :func:`chunk_counts`)."""
+        if self._telemetry_active():
+            packet = self._packet(list(seeds))
+            if self._pool is None:
+                result = self._inline_chunk_t(packet)
+            else:
+                result = self._pool.apply(_run_chunk_t, (packet,))
+            return self.telemetry.absorb(result)
         if self._pool is None:
             return chunk_counts(self.algorithm, self.graph, seeds)
         return self._pool.apply(_run_chunk, (list(seeds),))
@@ -283,6 +368,13 @@ class TrialPool:
         self, seed: np.random.SeedSequence, trials: int
     ) -> np.ndarray:
         """Synchronously run one vectorized (disjoint-union) chunk."""
+        if self._telemetry_active():
+            packet = self._packet((seed, trials))
+            if self._pool is None:
+                result = self._inline_vector_chunk_t(packet)
+            else:
+                result = self._pool.apply(_run_vector_chunk_t, (packet,))
+            return self.telemetry.absorb(result)
         if self._pool is None:
             return vector_chunk_counts(self.algorithm, self.graph, seed, trials)
         return self._pool.apply(_run_vector_chunk, ((seed, trials),))
@@ -299,7 +391,39 @@ class TrialPool:
         On a multiprocess pool this is non-blocking (``apply_async``); the
         inline pool executes in the calling thread before returning, which
         keeps the scheduler's dispatch loop single-pathed.
+
+        With a :class:`~repro.obs.remote.RemoteTelemetry` attached, the
+        chunk travels as a telemetry packet — ambient ``(trace_id,
+        span_id)`` plus a chunk ID — and the result's piggybacked worker
+        telemetry is absorbed into the owning registry before *callback*
+        sees the bare count vector.
         """
+        if self._telemetry_active():
+            telemetry = self.telemetry
+            packet = self._packet(
+                chunk if vectorized else list(chunk)
+            )
+            if self._pool is not None:
+                fn = _run_vector_chunk_t if vectorized else _run_chunk_t
+                self._pool.apply_async(
+                    fn,
+                    (packet,),
+                    callback=lambda res: callback(telemetry.absorb(res)),
+                    error_callback=error_callback,
+                )
+                return
+            inline = (
+                self._inline_vector_chunk_t
+                if vectorized
+                else self._inline_chunk_t
+            )
+            try:
+                counts = telemetry.absorb(inline(packet))
+            except BaseException as exc:  # noqa: BLE001 - forwarded to owner
+                error_callback(exc)
+                return
+            callback(counts)
+            return
         if self._pool is not None:
             fn = _run_vector_chunk if vectorized else _run_chunk
             arg = chunk if vectorized else list(chunk)
@@ -340,15 +464,21 @@ class TrialPool:
             raise ValueError("trials must be positive")
         seeds = spawn_trial_seeds(seed, trials)
         if self._pool is None:
-            return JoinEstimate(
-                counts=chunk_counts(
+            if self._telemetry_active() and not validate_runs:
+                counts = self.run_chunk(seeds)
+            else:
+                counts = chunk_counts(
                     self.algorithm, self.graph, seeds, validate_runs
-                ),
-                trials=trials,
-            )
+                )
+            return JoinEstimate(counts=counts, trials=trials)
         chunk_count = self.workers * 4
-        chunks = [seeds[i::chunk_count] for i in range(chunk_count)]
-        partials = self._pool.map(_run_chunk, [c for c in chunks if c])
+        chunks = [c for c in (seeds[i::chunk_count] for i in range(chunk_count)) if c]
+        if self._telemetry_active():
+            packets = [self._packet(c) for c in chunks]
+            results = self._pool.map(_run_chunk_t, packets)
+            partials = [self.telemetry.absorb(r) for r in results]
+        else:
+            partials = self._pool.map(_run_chunk, chunks)
         counts = np.sum(partials, axis=0).astype(np.int64)
         return JoinEstimate(counts=counts, trials=trials)
 

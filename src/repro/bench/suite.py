@@ -266,9 +266,14 @@ def _service_latency(config: BenchConfig) -> dict[str, dict[str, Any]]:
         summaries = service.registry.quantiles("service_request_latency_seconds")
     out: dict[str, dict[str, Any]] = {}
     for labels, summary in summaries.items():
+        if summary["count"] == 0:  # empty histogram → None quantiles
+            continue
         for pct in ("p50", "p95", "p99"):
+            value = summary[pct]
+            if value is None:
+                continue
             out[f"service.latency_ms.{pct}"] = _timing(
-                summary[pct] * 1e3, "ms", higher_is_better=False,
+                value * 1e3, "ms", higher_is_better=False,
                 details={
                     "labels": labels,
                     "count": summary["count"],
@@ -384,6 +389,79 @@ def _sequential_stopping(config: BenchConfig) -> dict[str, dict[str, Any]]:
         "sequential.realized_trials.p95": _entry(
             p95, "trials", "count", higher_is_better=False,
             gate=True, tolerance_pct=10.0, details=sweep_details,
+        ),
+    }
+
+
+def _remote_telemetry(config: BenchConfig) -> dict[str, dict[str, Any]]:
+    """Cross-process telemetry plane: merge completeness and overhead.
+
+    A real 2-worker pool runs the same seeded workload twice — once with
+    the plane attached (worker registries + span capture piggybacked on
+    every chunk) and once bare.  The gated counts assert the plane's
+    contract, not the clock: every dispatched chunk's telemetry must be
+    merged exactly once (``unmerged_chunks`` and ``duplicate_chunks``
+    both 0) and the merged registry must carry per-worker labeled
+    series.  The on/off wall-clock ratio is advisory; the hard <5%
+    bound lives in ``benchmarks/test_engine_speed.py``.
+    """
+    from ..analysis.montecarlo import TrialPool
+    from ..fast.luby import FastLuby
+    from ..obs.metrics import MetricsRegistry, parse_label_key
+    from ..obs.remote import RemoteTelemetry, telemetry_enabled
+
+    if not telemetry_enabled():  # REPRO_TELEMETRY=0 → nothing to measure
+        return {}
+    graph = _bench_tree(max(40, config.tree_n // 4))
+    trials = max(16, config.trials // 4)
+    workers = 2
+    registry = MetricsRegistry()
+    telemetry = RemoteTelemetry(registry)
+
+    pool = TrialPool(FastLuby(), graph, workers=workers, telemetry=telemetry)
+    try:
+        started = time.perf_counter()
+        pool.run(trials, seed=0)
+        on_s = time.perf_counter() - started
+    finally:
+        pool.close()
+    # pool.run partitions seeds over workers*4 chunks, dropping empties
+    dispatched = min(workers * 4, trials)
+    merged = registry.counter("telemetry_chunks_merged_total").value
+    duplicates = registry.counter("telemetry_chunks_duplicate_total").value
+    chunk_hist = registry.snapshot()["histograms"].get("worker_chunk_seconds", {})
+    worker_labels = {
+        parse_label_key(key).get("worker", "") for key in chunk_hist
+    }
+    missing_series = 0 if worker_labels - {""} else 1
+
+    bare = TrialPool(FastLuby(), graph, workers=workers)
+    try:
+        started = time.perf_counter()
+        bare.run(trials, seed=0)
+        off_s = time.perf_counter() - started
+    finally:
+        bare.close()
+
+    details = {
+        "trials": trials, "workers": workers, "n": graph.n,
+        "dispatched": dispatched, "merged": merged,
+        "worker_series": sorted(worker_labels),
+        "on_ms": on_s * 1e3, "off_ms": off_s * 1e3,
+    }
+    return {
+        "telemetry.unmerged_chunks": _count(
+            dispatched - merged, "chunks", details=details,
+        ),
+        "telemetry.duplicate_chunks": _count(
+            duplicates, "chunks", details=details,
+        ),
+        "telemetry.missing_worker_series": _count(
+            missing_series, "series", details=details,
+        ),
+        "telemetry.plane_overhead": _timing(
+            on_s / off_s if off_s > 0 else float("inf"), "x",
+            higher_is_better=False, details=details,
         ),
     }
 
@@ -655,6 +733,8 @@ def build_cases(config: BenchConfig) -> list[BenchCase]:
                   "result-cache warm vs cold speedup"),
         BenchCase("sequential_stopping", _sequential_stopping,
                   "precision-request evidence reuse and realized trials"),
+        BenchCase("remote_telemetry", _remote_telemetry,
+                  "cross-process telemetry merge completeness + overhead"),
         BenchCase("profiled_run", _profiled_run,
                   "per-phase profile of one FAIRTREE run"),
         BenchCase("graph_build", _graph_build,

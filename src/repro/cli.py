@@ -8,6 +8,8 @@ Commands
 ``serve``     estimation service: JSON requests on stdin → results on stdout
 ``batch``     estimation service over a JSON-lines request file
 ``stats``     probe the service and print its metrics exposition
+``trace``     export a span tree as Chrome trace-event / Perfetto JSON
+``top``       live terminal dashboard over service stats snapshots
 ``bench``     continuous benchmark suite → ``BENCH_<sha>.json`` artifact
 ``graph``     convert/inspect on-disk graphs (``.npz``/``.reprograph``/SNAP)
 ``table1``    regenerate Table I
@@ -194,19 +196,31 @@ def _cmd_families(args: argparse.Namespace) -> None:
     print(format_family_sweep(run_family_sweep(trials=args.trials, seed=args.seed)))
 
 
-def _latency_summary(registry) -> dict[str, dict[str, float]]:
-    """Per-algorithm request-latency percentiles (ms) from the registry."""
-    out: dict[str, dict[str, float]] = {}
+def _latency_summary(registry) -> dict[str, dict[str, float | None]]:
+    """Per-algorithm request-latency percentiles (ms) from the registry.
+
+    Empty histograms yield ``None`` entries (rendered as ``-`` by
+    ``repro stats``), never a crash.
+    """
+    out: dict[str, dict[str, float | None]] = {}
     summaries = registry.quantiles("service_request_latency_seconds")
     for labels, summary in summaries.items():
         out[labels or "all"] = {
             "count": summary["count"],
-            "mean_ms": summary["mean"] * 1e3,
-            "p50_ms": summary["p50"] * 1e3,
-            "p95_ms": summary["p95"] * 1e3,
-            "p99_ms": summary["p99"] * 1e3,
+            "mean_ms": _ms(summary["mean"]),
+            "p50_ms": _ms(summary["p50"]),
+            "p95_ms": _ms(summary["p95"]),
+            "p99_ms": _ms(summary["p99"]),
         }
     return out
+
+
+def _ms(seconds: float | None) -> float | None:
+    return None if seconds is None else seconds * 1e3
+
+
+def _fmt_ms(value: float | None) -> str:
+    return "-" if value is None else f"{value:.2f}ms"
 
 
 def _service_loop(
@@ -267,8 +281,11 @@ def _service_loop(
             out.flush()
             served += 1
             if stats_every and served % stats_every == 0:
+                import time as _time
+
                 snapshot = {
                     "event": "stats",
+                    "ts": _time.time(),
                     "requests_served": served,
                     "counters": service.counters.snapshot(),
                     "latency_ms": _latency_summary(service.registry),
@@ -308,6 +325,72 @@ def _stats_stream(args: argparse.Namespace):
         raise SystemExit(f"error: cannot open {path}: {exc.strerror}")
 
 
+@contextmanager
+def _trace_sink(args: argparse.Namespace):
+    """Register a ``--trace-file`` JSONL span sink for the duration."""
+    path = getattr(args, "trace_file", None)
+    if not path:
+        yield None
+        return
+    from .obs.export import JsonlSpanSink
+    from .obs.spans import register_span_sink, unregister_span_sink
+
+    try:
+        sink = JsonlSpanSink(path)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot open {path}: {exc.strerror}")
+    register_span_sink(sink)
+    try:
+        yield sink
+    finally:
+        unregister_span_sink(sink)
+        sink.close()
+
+
+@contextmanager
+def _flush_on_signals(*flushables):
+    """Flush the given sinks on SIGTERM/SIGINT before exiting.
+
+    Short ``serve`` runs are routinely stopped by a signal; without this
+    their buffered ``--stats-file``/``--trace-file`` tails are lost.
+    SIGTERM flushes and exits 143 (128+15); SIGINT flushes and re-raises
+    as ``KeyboardInterrupt`` so the existing handling runs.  Handlers
+    can only be installed on the main thread — elsewhere this is a
+    no-op passthrough.
+    """
+    import signal
+
+    def _flush_all() -> None:
+        for sink in flushables:
+            if sink is None:
+                continue
+            try:
+                sink.flush()
+            except Exception:  # noqa: BLE001 - flushing is best-effort
+                pass
+
+    def _on_term(_signum, _frame):
+        _flush_all()
+        raise SystemExit(143)
+
+    def _on_int(_signum, _frame):
+        _flush_all()
+        raise KeyboardInterrupt
+
+    try:
+        prev_term = signal.signal(signal.SIGTERM, _on_term)
+        prev_int = signal.signal(signal.SIGINT, _on_int)
+    except ValueError:  # non-main thread: keep default delivery
+        yield
+        return
+    try:
+        yield
+    finally:
+        _flush_all()
+        signal.signal(signal.SIGTERM, prev_term)
+        signal.signal(signal.SIGINT, prev_int)
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     _configure_service_logging(args)
     print(
@@ -316,7 +399,9 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         file=sys.stderr,
     )
     try:
-        with _stats_stream(args) as stats_stream:
+        with _stats_stream(args) as stats_stream, _trace_sink(
+            args
+        ) as trace_sink, _flush_on_signals(stats_stream, trace_sink):
             errors = _service_loop(
                 sys.stdin,
                 sys.stdout,
@@ -343,7 +428,9 @@ def _cmd_batch(args: argparse.Namespace) -> None:
             lines = fh.readlines()
     except OSError as exc:
         raise SystemExit(f"error: cannot read {args.input}: {exc.strerror}")
-    with _stats_stream(args) as stats_stream:
+    with _stats_stream(args) as stats_stream, _trace_sink(
+        args
+    ) as trace_sink, _flush_on_signals(stats_stream, trace_sink):
         if args.output == "-":
             errors = _service_loop(
                 lines,
@@ -413,12 +500,145 @@ def _cmd_stats(args: argparse.Namespace) -> None:
             )
         for labels, summary in latency.items():
             print(
-                "latency[{key}]: p50 {p50_ms:.2f}ms  p95 {p95_ms:.2f}ms  "
-                "p99 {p99_ms:.2f}ms  (n={count:.0f})".format(
-                    key=labels, **summary
-                ),
+                f"latency[{labels}]: p50 {_fmt_ms(summary['p50_ms'])}  "
+                f"p95 {_fmt_ms(summary['p95_ms'])}  "
+                f"p99 {_fmt_ms(summary['p99_ms'])}  "
+                f"(n={summary['count']:.0f})",
                 file=sys.stderr,
             )
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    """Export a span tree as Chrome trace-event / Perfetto JSON.
+
+    Two modes:
+
+    * **file mode** (``--input spans.jsonl``): read records captured by a
+      ``serve``/``batch`` run's ``--trace-file`` and export one trace
+      (``--trace-id``, default: the last one seen); ``--list`` prints the
+      available trace IDs instead.
+    * **probe mode** (default): install the in-process span collector,
+      run one precision request through a live Estimator (honoring
+      ``--jobs``/``--start-method``), and export that request's trace —
+      the one-command way to see the estimator → scheduler →
+      worker-chunk → engine-phase tree.
+    """
+    from .obs.export import to_chrome_trace
+
+    if args.input:
+        from .obs.export import read_spans_jsonl
+
+        try:
+            records = read_spans_jsonl(args.input)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot read {args.input}: {exc.strerror}")
+        trace_ids: list[str] = []
+        for r in records:
+            tid = r.get("trace_id")
+            if tid and tid not in trace_ids:
+                trace_ids.append(tid)
+        if args.list:
+            for tid in trace_ids:
+                n = sum(1 for r in records if r.get("trace_id") == tid)
+                print(f"{tid}  ({n} spans)")
+            return
+        trace_id = args.trace_id or (trace_ids[-1] if trace_ids else None)
+        if trace_id is None:
+            raise SystemExit(f"error: no span records in {args.input}")
+    else:
+        from .obs.export import install_collector, uninstall_collector
+        from .service import Estimator, Precision
+
+        graph = _graph_from_spec(args.graph)
+        collector = install_collector()
+        try:
+            # The probe's whole point is exercising the cross-process
+            # plane, so honor --jobs even on a small host.
+            with Estimator(
+                n_jobs=args.jobs,
+                context=args.start_method,
+                clamp_to_host=False,
+            ) as service:
+                handle = service.submit(
+                    graph=graph,
+                    algorithm=args.algorithm,
+                    precision=Precision.default(),
+                    seed=args.seed,
+                )
+                handle.result(timeout=300)
+                trace_id = handle.trace_id
+            records = collector.records()
+        finally:
+            uninstall_collector()
+    doc = to_chrome_trace(records, trace_id)
+    if not doc["traceEvents"]:
+        raise SystemExit(f"error: no spans recorded for trace {trace_id}")
+    payload = json.dumps(doc, indent=None if args.out != "-" else 2)
+    if args.out == "-":
+        print(payload)
+    else:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        print(
+            f"wrote {args.out} ({len(doc['traceEvents'])} spans, "
+            f"trace {trace_id}) — open in chrome://tracing or "
+            "https://ui.perfetto.dev",
+            file=sys.stderr,
+        )
+
+
+def _cmd_top(args: argparse.Namespace) -> None:
+    """Live terminal dashboard over service stats snapshots.
+
+    With ``--stats-file`` it tails the file a running ``serve``/``batch``
+    writes (start that side with ``--stats-every N --stats-file PATH``).
+    Without one it runs a short in-process probe — a few requests
+    against a multi-worker Estimator — and renders the resulting frame,
+    which is also what ``--once`` mode is for in CI.
+    """
+    from .obs.dashboard import TopDashboard, run_top, snapshot_from_registry
+
+    if args.stats_file:
+        try:
+            run_top(
+                args.stats_file,
+                interval=args.interval,
+                slo_ms=args.slo_ms,
+                slo_target=args.slo_target,
+                window_s=args.window,
+                once=args.once,
+            )
+        except FileNotFoundError:
+            raise SystemExit(f"error: no such stats file: {args.stats_file}")
+        except KeyboardInterrupt:
+            pass
+        return
+    from .service import Estimator, Precision
+
+    graph = _graph_from_spec(args.graph)
+    dash = TopDashboard(
+        slo_ms=args.slo_ms, slo_target=args.slo_target, window_s=args.window
+    )
+    with Estimator(n_jobs=args.jobs, clamp_to_host=False) as service:
+        served = 0
+        dash.update(
+            snapshot_from_registry(service.registry, service.counters, served)
+        )
+        for _ in range(3):
+            service.estimate(
+                graph=graph,
+                algorithm=args.algorithm,
+                precision=Precision.default(),
+                seed=None,
+                timeout=300,
+            )
+            served += 1
+            dash.update(
+                snapshot_from_registry(
+                    service.registry, service.counters, served
+                )
+            )
+        sys.stdout.write(dash.render(ansi=False))
 
 
 def _cmd_bench(args: argparse.Namespace) -> None:
@@ -671,6 +891,14 @@ def build_parser() -> argparse.ArgumentParser:
             "interleaving them on stderr",
         )
         p.add_argument(
+            "--trace-file",
+            default=None,
+            metavar="PATH",
+            help="append completed span records to PATH (JSON lines; "
+            "includes worker-process spans merged by the telemetry "
+            "plane) — export later with 'repro trace --input PATH'",
+        )
+        p.add_argument(
             "--log-level",
             choices=("debug", "info", "warning", "error"),
             default=None,
@@ -712,6 +940,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="exposition format: Prometheus text, JSON snapshot, or both",
     )
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "trace",
+        help="export a span tree as Chrome trace-event / Perfetto JSON",
+    )
+    p.add_argument(
+        "--input",
+        default=None,
+        metavar="PATH",
+        help="read span records from a --trace-file JSONL instead of "
+        "running an in-process probe",
+    )
+    p.add_argument(
+        "--trace-id",
+        default=None,
+        help="which trace to export from --input (default: the last one)",
+    )
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="list trace IDs found in --input and exit",
+    )
+    p.add_argument("--graph", default="tree:63", help="probe graph spec")
+    p.add_argument("--algorithm", default="luby_fast")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=2, help=jobs_help)
+    p.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for the probe pool "
+        "(default: REPRO_MP_START or the platform's)",
+    )
+    p.add_argument(
+        "--out",
+        default="-",
+        metavar="PATH",
+        help="output path for the trace JSON (- for stdout)",
+    )
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "top", help="live terminal dashboard over service stats snapshots"
+    )
+    p.add_argument(
+        "--stats-file",
+        default=None,
+        metavar="PATH",
+        help="tail this JSONL stats file (from serve/batch "
+        "--stats-every N --stats-file PATH); omit to run an "
+        "in-process probe",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh poll interval in seconds (default 2)",
+    )
+    p.add_argument(
+        "--slo-ms",
+        type=float,
+        default=250.0,
+        help="latency SLO target in milliseconds (default 250)",
+    )
+    p.add_argument(
+        "--slo-target",
+        type=float,
+        default=0.95,
+        help="fraction of requests that must meet --slo-ms (default 0.95)",
+    )
+    p.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        help="sliding window for rates/percentiles in seconds (default 60)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single plain frame and exit (scripting/CI mode)",
+    )
+    p.add_argument("--graph", default="tree:63", help="probe graph spec")
+    p.add_argument("--algorithm", default="luby_fast")
+    p.add_argument("--jobs", type=int, default=2, help=jobs_help)
+    p.set_defaults(fn=_cmd_top)
 
     p = sub.add_parser(
         "bench", help="continuous benchmark suite -> BENCH_<sha>.json"

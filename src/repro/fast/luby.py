@@ -42,6 +42,10 @@ def luby_sweep(
     if max_iterations is None:
         max_iterations = 8 * (int(np.log2(max(n, 2))) + 4)
     prof = current_profiler()  # hoisted: one contextvar read per sweep
+    # Round timings accumulate in locals and flush once per sweep
+    # (record_rounds), keeping the in-loop cost to two perf_counter reads.
+    round_total = 0.0
+    round_max = 0.0
     iterations = 0
     while live.any():
         iterations += 1
@@ -58,7 +62,12 @@ def luby_sweep(
         covered = neighbor_any(winners, es, ed, n, edge_mask=emask)
         live &= ~winners & ~covered
         if prof is not None:
-            prof.record_round("luby.sweep", time.perf_counter() - started)
+            duration = time.perf_counter() - started
+            round_total += duration
+            if duration > round_max:
+                round_max = duration
+    if prof is not None and iterations:
+        prof.record_rounds("luby.sweep", iterations, round_total, round_max)
     return member, iterations
 
 
@@ -79,6 +88,8 @@ def luby_degree_sweep(
     id_bits = max(1, int(n - 1).bit_length())
     ids = np.arange(n, dtype=np.int64)
     prof = current_profiler()
+    round_total = 0.0
+    round_max = 0.0
     iterations = 0
     while live.any():
         iterations += 1
@@ -94,9 +105,10 @@ def luby_degree_sweep(
         live &= ~isolated
         if not live.any():
             if prof is not None:
-                prof.record_round(
-                    "luby.degree_sweep", time.perf_counter() - started
-                )
+                duration = time.perf_counter() - started
+                round_total += duration
+                if duration > round_max:
+                    round_max = duration
             break
         prob = np.zeros(n)
         prob[live] = 1.0 / (2.0 * deg[live])
@@ -108,9 +120,14 @@ def luby_degree_sweep(
         covered = neighbor_any(keep, es, ed, n, edge_mask=emask)
         live &= ~keep & ~covered
         if prof is not None:
-            prof.record_round(
-                "luby.degree_sweep", time.perf_counter() - started
-            )
+            duration = time.perf_counter() - started
+            round_total += duration
+            if duration > round_max:
+                round_max = duration
+    if prof is not None and iterations:
+        prof.record_rounds(
+            "luby.degree_sweep", iterations, round_total, round_max
+        )
     return member, iterations
 
 

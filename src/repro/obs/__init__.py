@@ -17,6 +17,14 @@ One subsystem, three signals, shared context:
   :class:`PhaseProfiler` fed by named-phase / per-round hooks inside the
   fast engines and the staged runtime; off unless :func:`use_profiler`
   binds one, and the backbone of ``python -m repro bench``.
+* **Remote telemetry** (:mod:`repro.obs.remote`) — the cross-process
+  plane: workers record into their own registry and span buffer, ship
+  delta snapshots piggybacked on chunk results, and the parent merges
+  them under a ``worker`` label while re-parenting worker spans into
+  the submitting request's trace.  :mod:`repro.obs.export` turns the
+  collected spans into Chrome trace-event / Perfetto JSON
+  (``python -m repro trace``); :mod:`repro.obs.dashboard` renders the
+  live ``python -m repro top`` terminal view.
 
 :mod:`repro.obs.bridge` feeds the engines' round/message/slot
 measurements into the same histograms, so ``python -m repro stats`` and
@@ -29,6 +37,16 @@ benchmark suite uses it to bound instrumentation overhead.
 """
 
 from .bridge import observe_run_metrics, observe_trial
+from .dashboard import TopDashboard, run_top, snapshot_from_registry
+from .export import (
+    JsonlSpanSink,
+    SpanCollector,
+    current_collector,
+    install_collector,
+    read_spans_jsonl,
+    to_chrome_trace,
+    uninstall_collector,
+)
 from .logging import (
     StructLogger,
     configure_logging,
@@ -49,18 +67,35 @@ from .metrics import (
     default_registry,
     enabled,
     get_registry,
+    label_key,
+    parse_label_key,
     set_enabled,
     use_registry,
 )
 from .profile import PhaseProfiler, current_profiler, phase, use_profiler
+from .remote import (
+    ChunkResult,
+    ChunkTelemetry,
+    RemoteTelemetry,
+    TraceContext,
+    current_trace_context,
+    merge_worker_snapshot,
+    run_chunk_with_telemetry,
+    telemetry_enabled,
+    use_trace,
+)
 from .spans import (
     Span,
     bind_trace,
+    capture_spans,
     current_span_id,
     current_trace_id,
+    emit_span_record,
     new_span_id,
     new_trace_id,
+    register_span_sink,
     span,
+    unregister_span_sink,
 )
 
 __all__ = [
@@ -83,6 +118,31 @@ __all__ = [
     "current_span_id",
     "new_trace_id",
     "new_span_id",
+    "capture_spans",
+    "emit_span_record",
+    "register_span_sink",
+    "unregister_span_sink",
+    # remote telemetry
+    "ChunkResult",
+    "ChunkTelemetry",
+    "RemoteTelemetry",
+    "TraceContext",
+    "current_trace_context",
+    "merge_worker_snapshot",
+    "run_chunk_with_telemetry",
+    "telemetry_enabled",
+    "use_trace",
+    # export / dashboard
+    "SpanCollector",
+    "JsonlSpanSink",
+    "install_collector",
+    "current_collector",
+    "uninstall_collector",
+    "read_spans_jsonl",
+    "to_chrome_trace",
+    "TopDashboard",
+    "run_top",
+    "snapshot_from_registry",
     # metrics
     "Counter",
     "Gauge",
@@ -94,6 +154,8 @@ __all__ = [
     "use_registry",
     "set_enabled",
     "enabled",
+    "label_key",
+    "parse_label_key",
     "LATENCY_BUCKETS",
     "ROUND_BUCKETS",
     "COUNT_BUCKETS",

@@ -10,10 +10,12 @@ serve operator dashboards also answer the distributional questions
 behind the ``O(log* n)`` / ``O(log n)`` / ``O(log^2 n)`` round bounds.
 
 Observation lands in whichever registry is context-bound: the estimation
-service binds its own around dispatch (inline pools), everything else
-feeds the process default.  Observations made inside multiprocess pool
-*workers* stay in the worker's process and are not aggregated — use
-inline execution (``n_jobs=1``) when the round histograms matter.
+service binds its own around dispatch, everything else feeds the process
+default.  Inside pool workers the telemetry harness binds a fresh delta
+registry per chunk (:mod:`repro.obs.remote`), so observations made here
+ride back on the chunk result and merge into the parent's serving
+registry under a ``worker`` label — the round histograms aggregate
+across processes regardless of ``n_jobs``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,399 @@
+"""The ``repro top`` live terminal dashboard.
+
+Consumes the JSON stats snapshots the service emits (``--stats-every`` /
+``--stats-file`` on ``serve``/``batch``, or an in-process registry probe)
+and renders a refreshing ANSI frame: per-worker utilization, dispatcher
+queue depth, cache/evidence hit rates, request-latency percentiles, and
+SLO budget burn against a configurable latency target.
+
+All rates are *windowed*: the dashboard keeps a short history of
+snapshots and differences the newest against the oldest one inside the
+window, so a burst five minutes ago doesn't pollute the current view.
+Latency percentiles over the window are recomputed from differenced
+cumulative histogram buckets — the same interpolation the registry's
+:meth:`~repro.obs.metrics.Histogram.quantile` uses, applied to the
+window's delta distribution.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections import deque
+from typing import Any, IO, Iterable, Mapping
+
+from .metrics import parse_label_key
+
+__all__ = ["TopDashboard", "snapshot_from_registry", "run_top"]
+
+#: ANSI clear-screen + cursor-home prefix used between refresh frames.
+ANSI_REFRESH = "\x1b[2J\x1b[H"
+
+
+def snapshot_from_registry(
+    registry, counters=None, requests_served: int | None = None
+) -> dict[str, Any]:
+    """Build a stats-event-shaped snapshot from a live registry.
+
+    Produces the same document ``repro serve --stats-every`` writes, so
+    the dashboard renders identically from a file tail and from an
+    in-process probe.
+    """
+    snapshot: dict[str, Any] = {
+        "event": "stats",
+        "ts": time.time(),
+        "metrics": registry.snapshot(),
+    }
+    if counters is not None:
+        snapshot["counters"] = counters.snapshot()
+    if requests_served is not None:
+        snapshot["requests_served"] = requests_served
+    return snapshot
+
+
+def _bucket_pairs(buckets: Mapping[str, Any]) -> list[tuple[float, float]]:
+    """Snapshot bucket dict → sorted ``(bound, cumulative)`` pairs."""
+    pairs: list[tuple[float, float]] = []
+    for text, cum in buckets.items():
+        bound = float("inf") if text == "+Inf" else float(text)
+        pairs.append((bound, float(cum)))
+    pairs.sort(key=lambda p: p[0])
+    return pairs
+
+
+def _delta_buckets(
+    new: Mapping[str, Any], old: Mapping[str, Any] | None
+) -> list[tuple[float, float]]:
+    """Windowed cumulative buckets: newest minus oldest-in-window."""
+    pairs = _bucket_pairs(new)
+    if not old:
+        return pairs
+    old_map = dict(_bucket_pairs(old))
+    return [(b, max(0.0, c - old_map.get(b, 0.0))) for b, c in pairs]
+
+
+def _quantile(pairs: list[tuple[float, float]], q: float) -> float | None:
+    """Interpolated quantile over cumulative ``(bound, count)`` pairs.
+
+    Mirrors :meth:`repro.obs.metrics.Histogram.quantile` (uniform mass
+    per bucket, +Inf clamps to the largest finite bound, ``None`` when
+    empty).
+    """
+    if not pairs:
+        return None
+    total = pairs[-1][1]
+    if total <= 0:
+        return None
+    target = q * total
+    prev_bound, prev_cum = 0.0, 0.0
+    for bound, cum in pairs:
+        if cum >= target:
+            if bound == float("inf"):
+                return prev_bound
+            if cum == prev_cum:
+                return bound
+            frac = (target - prev_cum) / (cum - prev_cum)
+            return prev_bound + frac * (bound - prev_bound)
+        prev_bound, prev_cum = bound, cum
+    return prev_bound
+
+
+def _fraction_over(pairs: list[tuple[float, float]], threshold: float) -> float | None:
+    """Fraction of windowed observations above *threshold* (interpolated)."""
+    if not pairs:
+        return None
+    total = pairs[-1][1]
+    if total <= 0:
+        return None
+    prev_bound, prev_cum = 0.0, 0.0
+    cum_at = total  # everything below threshold if bounds never reach it
+    for bound, cum in pairs:
+        if bound >= threshold:
+            if bound == float("inf") or cum == prev_cum:
+                cum_at = cum if bound <= threshold else prev_cum
+            else:
+                frac = (threshold - prev_bound) / (bound - prev_bound)
+                cum_at = prev_cum + frac * (cum - prev_cum)
+            break
+        prev_bound, prev_cum = bound, cum
+    return max(0.0, min(1.0, 1.0 - cum_at / total))
+
+
+def _fmt(value: float | None, pattern: str = "{:.1f}") -> str:
+    return "-" if value is None else pattern.format(value)
+
+
+class TopDashboard:
+    """Windowed aggregation + rendering of service stats snapshots."""
+
+    def __init__(
+        self,
+        slo_ms: float = 250.0,
+        slo_target: float = 0.95,
+        window_s: float = 60.0,
+        history: int = 512,
+    ) -> None:
+        if not 0.0 < slo_target < 1.0:
+            raise ValueError("slo_target must be in (0, 1)")
+        self.slo_ms = float(slo_ms)
+        self.slo_target = float(slo_target)
+        self.window_s = float(window_s)
+        self._points: deque[dict[str, Any]] = deque(maxlen=history)
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def update(self, snapshot: Mapping[str, Any]) -> None:
+        """Ingest one stats snapshot (non-stats events are ignored)."""
+        if snapshot.get("event", "stats") != "stats":
+            return
+        point = dict(snapshot)
+        point.setdefault("ts", time.time())
+        self._points.append(point)
+
+    def _window(self) -> tuple[dict[str, Any] | None, dict[str, Any] | None]:
+        """(oldest-in-window, newest) snapshot pair."""
+        if not self._points:
+            return None, None
+        newest = self._points[-1]
+        cutoff = float(newest["ts"]) - self.window_s
+        oldest = None
+        for point in self._points:
+            if float(point["ts"]) >= cutoff:
+                oldest = point
+                break
+        if oldest is newest:
+            # A single in-window point: diff against the previous one if
+            # any (rates need two), else against nothing.
+            idx = len(self._points) - 2
+            oldest = self._points[idx] if idx >= 0 else None
+        return oldest, newest
+
+    # ------------------------------------------------------------------ #
+    # derived views
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _series(point: Mapping[str, Any] | None, kind: str, name: str) -> dict:
+        if point is None:
+            return {}
+        return point.get("metrics", {}).get(kind, {}).get(name, {})
+
+    def _counter_rate(self, oldest, newest, field: str) -> float | None:
+        if newest is None or oldest is None:
+            return None
+        dt = float(newest["ts"]) - float(oldest["ts"])
+        if dt <= 0:
+            return None
+        new_c = newest.get("counters", {}).get(field)
+        old_c = oldest.get("counters", {}).get(field)
+        if new_c is None or old_c is None:
+            return None
+        return max(0.0, (new_c - old_c) / dt)
+
+    def _hit_rate(self, newest, hits_field: str, misses_field: str) -> float | None:
+        if newest is None:
+            return None
+        counters = newest.get("counters", {})
+        hits, misses = counters.get(hits_field), counters.get(misses_field)
+        if hits is None or misses is None or hits + misses == 0:
+            return None
+        return hits / (hits + misses)
+
+    def workers(self) -> list[dict[str, Any]]:
+        """Per-worker utilization over the window.
+
+        Utilization is busy-seconds per wall-second: the windowed delta
+        of each worker's ``worker_chunk_seconds`` sum divided by the
+        window duration.  Without two in-window points (no rate basis),
+        utilization is ``None`` but totals still show.
+        """
+        oldest, newest = self._window()
+        new_series = self._series(newest, "histograms", "worker_chunk_seconds")
+        old_series = self._series(oldest, "histograms", "worker_chunk_seconds")
+        dt = (
+            float(newest["ts"]) - float(oldest["ts"])
+            if newest is not None and oldest is not None
+            else 0.0
+        )
+        per_worker: dict[str, dict[str, float]] = {}
+        for key, value in new_series.items():
+            worker = parse_label_key(key).get("worker", "?")
+            cell = per_worker.setdefault(
+                worker, {"busy_s": 0.0, "chunks": 0.0, "delta_busy_s": 0.0}
+            )
+            cell["busy_s"] += float(value.get("sum", 0.0))
+            cell["chunks"] += float(value.get("count", 0))
+            old = old_series.get(key, {})
+            cell["delta_busy_s"] += float(value.get("sum", 0.0)) - float(
+                old.get("sum", 0.0)
+            )
+        out = []
+        for worker in sorted(per_worker):
+            cell = per_worker[worker]
+            util = (
+                max(0.0, min(1.0, cell["delta_busy_s"] / dt)) if dt > 0 else None
+            )
+            out.append(
+                {
+                    "worker": worker,
+                    "utilization": util,
+                    "busy_s": cell["busy_s"],
+                    "chunks": int(cell["chunks"]),
+                }
+            )
+        return out
+
+    def latency_ms(self) -> dict[str, float | None]:
+        """Windowed p50/p95/p99 request latency in milliseconds."""
+        oldest, newest = self._window()
+        new_series = self._series(
+            newest, "histograms", "service_request_latency_seconds"
+        )
+        old_series = self._series(
+            oldest, "histograms", "service_request_latency_seconds"
+        )
+        # Collapse algorithm labels into one distribution.
+        merged_new: dict[str, float] = {}
+        merged_old: dict[str, float] = {}
+        for series, merged in ((new_series, merged_new), (old_series, merged_old)):
+            for value in series.values():
+                for bound, cum in value.get("buckets", {}).items():
+                    merged[bound] = merged.get(bound, 0.0) + float(cum)
+        pairs = _delta_buckets(merged_new, merged_old or None)
+        return {
+            "p50": None if (q := _quantile(pairs, 0.50)) is None else q * 1e3,
+            "p95": None if (q := _quantile(pairs, 0.95)) is None else q * 1e3,
+            "p99": None if (q := _quantile(pairs, 0.99)) is None else q * 1e3,
+            "over_slo": _fraction_over(pairs, self.slo_ms / 1e3),
+        }
+
+    def slo_burn(self) -> float | None:
+        """Error-budget burn rate: windowed over-SLO fraction / allowance.
+
+        1.0 means burning exactly the budget (``1 - slo_target`` of
+        requests over target); above 1.0 the SLO is being violated.
+        """
+        over = self.latency_ms()["over_slo"]
+        if over is None:
+            return None
+        return over / (1.0 - self.slo_target)
+
+    def queue_depth(self) -> float | None:
+        _oldest, newest = self._window()
+        series = self._series(newest, "gauges", "service_queue_depth_current")
+        if "" in series:
+            return float(series[""])
+        return None
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def render(self, ansi: bool = False) -> str:
+        """One dashboard frame as text (prefixed with a clear when *ansi*)."""
+        oldest, newest = self._window()
+        lines: list[str] = []
+        if newest is None:
+            lines.append("repro top — waiting for stats snapshots…")
+            return (ANSI_REFRESH if ansi else "") + "\n".join(lines) + "\n"
+        ts = time.strftime("%H:%M:%S", time.localtime(float(newest["ts"])))
+        served = newest.get("requests_served")
+        rate = self._counter_rate(oldest, newest, "requests")
+        lines.append(
+            f"repro top — {ts}   requests: "
+            f"{served if served is not None else '-'}"
+            f"   rate: {_fmt(rate, '{:.1f}/s')}"
+            f"   window: {self.window_s:.0f}s"
+        )
+        latency = self.latency_ms()
+        burn = self.slo_burn()
+        burn_mark = ""
+        if burn is not None:
+            burn_mark = "  !! SLO" if burn > 1.0 else ""
+        lines.append(
+            f"latency ms  p50 {_fmt(latency['p50'], '{:.2f}')}"
+            f"  p95 {_fmt(latency['p95'], '{:.2f}')}"
+            f"  p99 {_fmt(latency['p99'], '{:.2f}')}"
+            f"   SLO {self.slo_ms:.0f}ms@p{self.slo_target * 100:.0f}"
+            f"  burn {_fmt(burn, '{:.2f}x')}{burn_mark}"
+        )
+        queue = self.queue_depth()
+        cache = self._hit_rate(newest, "cache_hits", "cache_misses")
+        evidence = self._hit_rate(newest, "evidence_hits", "evidence_misses")
+        lines.append(
+            f"queue depth {_fmt(queue, '{:.0f}')}"
+            f"   cache hit {_fmt(None if cache is None else cache * 100, '{:.1f}%')}"
+            f"   evidence hit "
+            f"{_fmt(None if evidence is None else evidence * 100, '{:.1f}%')}"
+        )
+        workers = self.workers()
+        if workers:
+            lines.append("workers:")
+            for w in workers:
+                util = w["utilization"]
+                if util is None:
+                    bar = " " * 20
+                    pct = "   - "
+                else:
+                    filled = int(round(util * 20))
+                    bar = "#" * filled + "." * (20 - filled)
+                    pct = f"{util * 100:4.0f}%"
+                lines.append(
+                    f"  {w['worker']:<12} [{bar}] {pct}"
+                    f"  busy {w['busy_s']:.2f}s  chunks {w['chunks']}"
+                )
+        else:
+            lines.append("workers: (no worker telemetry yet)")
+        return (ANSI_REFRESH if ansi else "") + "\n".join(lines) + "\n"
+
+
+def _iter_stats_lines(lines: Iterable[str]) -> Iterable[dict[str, Any]]:
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(obj, dict) and obj.get("event", "stats") == "stats":
+            yield obj
+
+
+def run_top(
+    path: str,
+    *,
+    interval: float = 2.0,
+    slo_ms: float = 250.0,
+    slo_target: float = 0.95,
+    window_s: float = 60.0,
+    once: bool = False,
+    out: IO[str] | None = None,
+) -> None:
+    """Follow a ``--stats-file`` and render dashboard frames.
+
+    Reads every snapshot already in the file, then tails it.  With
+    ``once=True`` a single plain frame is rendered after the initial
+    read (no ANSI codes) — the scripting/CI mode.
+    """
+    stream = out if out is not None else sys.stdout
+    dash = TopDashboard(slo_ms=slo_ms, slo_target=slo_target, window_s=window_s)
+    with open(path, "r", encoding="utf-8") as fh:
+        for snapshot in _iter_stats_lines(fh):
+            dash.update(snapshot)
+        if once:
+            stream.write(dash.render(ansi=False))
+            stream.flush()
+            return
+        ansi = stream.isatty()
+        stream.write(dash.render(ansi=ansi))
+        stream.flush()
+        while True:
+            line = fh.readline()
+            if not line:
+                time.sleep(interval)
+                continue
+            for snapshot in _iter_stats_lines([line]):
+                dash.update(snapshot)
+                stream.write(dash.render(ansi=ansi))
+                stream.flush()

@@ -43,6 +43,8 @@ __all__ = [
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
+    "label_key",
+    "parse_label_key",
     "get_registry",
     "default_registry",
     "use_registry",
@@ -99,6 +101,29 @@ def _fmt_number(value: float) -> str:
     return repr(float(value))
 
 
+def _parse_number(text: str) -> float:
+    """Inverse of :func:`_fmt_number` (``+Inf`` → ``math.inf``)."""
+    if text == "+Inf":
+        return math.inf
+    return float(text)
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-format spec.
+
+    Backslash, double-quote, and line-feed are the three characters the
+    exposition format requires escaping inside quoted label values.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line per the text-format spec (``\\`` and LF)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 class Counter:
     """A monotonically increasing value."""
 
@@ -127,6 +152,10 @@ class Counter:
 
     def snapshot_value(self) -> float:
         return self._value
+
+    def merge_snapshot_value(self, value: float) -> None:
+        """Fold a worker counter delta in (plain addition)."""
+        self.inc(float(value))
 
 
 class Gauge:
@@ -159,6 +188,10 @@ class Gauge:
 
     def snapshot_value(self) -> float:
         return self._value
+
+    def merge_snapshot_value(self, value: float) -> None:
+        """Adopt the most recent reported value (gauges are last-write)."""
+        self.set(float(value))
 
 
 class Histogram:
@@ -236,7 +269,7 @@ class Histogram:
         out.append((math.inf, running + counts[-1]))
         return out
 
-    def quantile(self, q: float) -> float:
+    def quantile(self, q: float) -> float | None:
         """Estimate the *q*-quantile by linear interpolation over buckets.
 
         Uses the Prometheus ``histogram_quantile`` convention: the mass
@@ -245,14 +278,14 @@ class Histogram:
         the non-negative quantities this registry records).  Observations
         in the ``+Inf`` bucket clamp to the largest finite bound — a
         known-floor estimate rather than an invented tail.  Returns
-        ``nan`` for an empty histogram.
+        ``None`` for an empty histogram (callers render it as ``-``).
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile q must be within [0, 1]")
         cum = self.cumulative_buckets()
         total = cum[-1][1]
         if total == 0:
-            return math.nan
+            return None
         target = q * total
         prev_bound = 0.0
         prev_cum = 0
@@ -272,6 +305,39 @@ class Histogram:
             _fmt_number(bound): cum for bound, cum in self.cumulative_buckets()
         }
         return {"count": self._count, "sum": self._sum, "buckets": buckets}
+
+    def merge_snapshot_value(self, snap: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot_value` dict from another histogram in.
+
+        The snapshot carries *cumulative* bucket counts keyed by rendered
+        upper bound; they are decumulated back to per-bucket increments
+        and added under one lock, so merging worker deltas is exact
+        (counter-correct counts and sums, not approximations).  Bounds
+        present in the snapshot but unknown to this histogram raise —
+        merging histograms with different bucket layouts would silently
+        reshape the distribution.
+        """
+        buckets = snap.get("buckets", {})
+        incs = [0] * (len(self.bounds) + 1)
+        index = {b: i for i, b in enumerate(self.bounds)}
+        index[math.inf] = len(self.bounds)
+        prev = 0
+        for bound_text, cum in buckets.items():
+            bound = _parse_number(bound_text)
+            try:
+                idx = index[bound]
+            except KeyError:
+                raise ValueError(
+                    f"cannot merge histogram snapshot: unknown bucket "
+                    f"bound {bound_text!r}"
+                ) from None
+            incs[idx] += int(cum) - prev
+            prev = int(cum)
+        with self._lock:
+            for i, d in enumerate(incs):
+                self._counts[i] += d
+            self._sum += float(snap.get("sum", 0.0))
+            self._count += int(snap.get("count", 0))
 
 
 class MetricFamily:
@@ -344,7 +410,7 @@ class MetricFamily:
     def observe_many(self, values: Sequence[float]) -> None:
         self._solo().observe_many(values)
 
-    def quantile(self, q: float) -> float:
+    def quantile(self, q: float) -> float | None:
         return self._solo().quantile(q)
 
     @property
@@ -372,8 +438,55 @@ class MetricFamily:
 def _label_suffix(labels: Mapping[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    inner = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in labels.items()
+    )
     return "{" + inner + "}"
+
+
+def label_key(labels: Mapping[str, str]) -> str:
+    """Render labels as the ``'k="v",...'`` snapshot key (escaped)."""
+    return ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in labels.items()
+    )
+
+
+def parse_label_key(key: str) -> dict[str, str]:
+    """Inverse of :func:`label_key`: ``'k="v",...'`` → ``{"k": "v"}``.
+
+    Understands the text-format escapes (``\\\\``, ``\\"``, ``\\n``) so
+    snapshot keys survive a render/parse round trip even for hostile
+    label values.  Used when merging worker snapshots back into the
+    parent registry.
+    """
+    labels: dict[str, str] = {}
+    i, n = 0, len(key)
+    while i < n:
+        eq = key.index("=", i)
+        name = key[i:eq]
+        if key[eq + 1] != '"':
+            raise ValueError(f"malformed label key: {key!r}")
+        j = eq + 2
+        out: list[str] = []
+        while True:
+            ch = key[j]
+            if ch == "\\":
+                nxt = key[j + 1]
+                out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+                j += 2
+            elif ch == '"':
+                j += 1
+                break
+            else:
+                out.append(ch)
+                j += 1
+        labels[name] = "".join(out)
+        if j < n:
+            if key[j] != ",":
+                raise ValueError(f"malformed label key: {key!r}")
+            j += 1
+        i = j
+    return labels
 
 
 class MetricsRegistry:
@@ -445,7 +558,7 @@ class MetricsRegistry:
 
     def quantiles(
         self, name: str, qs: Sequence[float] = (0.5, 0.95, 0.99)
-    ) -> dict[str, dict[str, float]]:
+    ) -> dict[str, dict[str, float | None]]:
         """Percentile summaries for histogram family *name*.
 
         Returns ``{label_key: {"count", "mean", "p50", ...}}`` with one
@@ -457,13 +570,13 @@ class MetricsRegistry:
         family = self._families.get(name)
         if family is None or family.kind != "histogram":
             return {}
-        out: dict[str, dict[str, float]] = {}
+        out: dict[str, dict[str, float | None]] = {}
         for labels, metric in family.children():
-            key = ",".join(f'{k}="{v}"' for k, v in labels.items())
+            key = label_key(labels)
             count = metric.count
-            summary: dict[str, float] = {
+            summary: dict[str, float | None] = {
                 "count": float(count),
-                "mean": (metric.sum / count) if count else math.nan,
+                "mean": (metric.sum / count) if count else None,
             }
             for q in qs:
                 label = f"p{q * 100:g}".replace(".", "_")
@@ -487,7 +600,9 @@ class MetricsRegistry:
             if not children:
                 continue
             if family.help:
-                lines.append(f"# HELP {family.name} {family.help}")
+                lines.append(
+                    f"# HELP {family.name} {_escape_help(family.help)}"
+                )
             lines.append(f"# TYPE {family.name} {family.kind}")
             for labels, metric in children:
                 if family.kind == "histogram":
@@ -528,8 +643,7 @@ class MetricsRegistry:
                 continue
             series: dict[str, Any] = {}
             for labels, metric in children:
-                key = ",".join(f'{k}="{v}"' for k, v in labels.items())
-                series[key] = metric.snapshot_value()
+                series[label_key(labels)] = metric.snapshot_value()
             out[section[family.kind]][family.name] = series
         return out
 

@@ -112,8 +112,14 @@ def phase(name: str) -> Iterator[None]:
 class PhaseProfiler:
     """Accumulates named-phase timings, per-round timings, and counts.
 
-    Thread-safe (one lock per mutation) but designed for the common case
-    of one profiler per run/chunk.  All durations are seconds.
+    Designed for one profiler per run/chunk (single writer).  The hot
+    mutation hooks are deliberately lock-free: a kernel invocation pays
+    one dict lookup and a couple of list-cell updates, each coherent
+    under CPython's GIL.  Mutating one profiler from multiple threads
+    concurrently may drop individual updates — bind one profiler per
+    thread if that matters.  Readers (:meth:`report`,
+    :meth:`flush_to_registry`, :meth:`reset`) serialize against each
+    other under a lock.  All durations are seconds.
     """
 
     __slots__ = ("_lock", "_phases", "_rounds", "_counts", "emit_spans")
@@ -132,30 +138,46 @@ class PhaseProfiler:
     # ------------------------------------------------------------------ #
     def add_phase(self, name: str, duration_s: float) -> None:
         """Record one completed phase of *duration_s* seconds."""
-        with self._lock:
-            cell = self._phases.get(name)
-            if cell is None:
-                self._phases[name] = [1, duration_s]
-            else:
-                cell[0] += 1
-                cell[1] += duration_s
+        cell = self._phases.get(name)
+        if cell is None:
+            self._phases[name] = [1, duration_s]
+        else:
+            cell[0] += 1
+            cell[1] += duration_s
 
     def record_round(self, name: str, duration_s: float) -> None:
         """Record one round/iteration of loop *name*."""
-        with self._lock:
-            cell = self._rounds.get(name)
-            if cell is None:
-                self._rounds[name] = [1, duration_s, duration_s]
-            else:
-                cell[0] += 1
-                cell[1] += duration_s
-                if duration_s > cell[2]:
-                    cell[2] = duration_s
+        cell = self._rounds.get(name)
+        if cell is None:
+            self._rounds[name] = [1, duration_s, duration_s]
+        else:
+            cell[0] += 1
+            cell[1] += duration_s
+            if duration_s > cell[2]:
+                cell[2] = duration_s
+
+    def record_rounds(
+        self, name: str, rounds: int, total_s: float, max_s: float
+    ) -> None:
+        """Bulk-record *rounds* iterations of loop *name* in one call.
+
+        Sweep loops accumulate round timings in locals and flush once
+        per sweep, so the per-round cost inside the loop is just the
+        two ``perf_counter`` reads.
+        """
+        cell = self._rounds.get(name)
+        if cell is None:
+            self._rounds[name] = [rounds, total_s, max_s]
+        else:
+            cell[0] += rounds
+            cell[1] += total_s
+            if max_s > cell[2]:
+                cell[2] = max_s
 
     def count(self, name: str, amount: int = 1) -> None:
         """Bump event counter *name* (kernel invocations, stage entries)."""
-        with self._lock:
-            self._counts[name] = self._counts.get(name, 0) + amount
+        counts = self._counts
+        counts[name] = counts.get(name, 0) + amount
 
     # ------------------------------------------------------------------ #
     # reporting

@@ -15,15 +15,25 @@ runs.
 Span durations are also observed into the active metrics registry
 (``obs_span_duration_seconds{span=...}``), so phase timings are
 queryable without parsing logs.
+
+Completed spans can additionally be fanned out to registered *span
+sinks* (:func:`register_span_sink`) as plain-dict records — the feed the
+ring-buffered collector and JSONL exporters in :mod:`repro.obs.export`
+consume, and the raw material ``repro trace`` turns into Chrome
+trace-event JSON.  Sinks are process-global (not contextvar-scoped) so
+records emitted on pool callback threads still land; worker processes
+use :func:`capture_spans` to *replace* any fork-inherited sinks with a
+chunk-local buffer.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from .metrics import LATENCY_BUCKETS, enabled, get_registry
 
@@ -35,6 +45,11 @@ __all__ = [
     "bind_trace",
     "span",
     "Span",
+    "register_span_sink",
+    "unregister_span_sink",
+    "capture_spans",
+    "emit_span_record",
+    "have_span_sinks",
 ]
 
 _trace_var: ContextVar[str | None] = ContextVar("repro_trace_id", default=None)
@@ -74,6 +89,84 @@ def bind_trace(
     finally:
         _span_var.reset(s_token)
         _trace_var.reset(t_token)
+
+
+# --------------------------------------------------------------------- #
+# span sinks: fan completed spans out as plain-dict records
+# --------------------------------------------------------------------- #
+SpanSink = Callable[[dict[str, Any]], None]
+
+_sink_lock = threading.Lock()
+_SINKS: list[SpanSink] = []
+
+
+def register_span_sink(sink: SpanSink) -> None:
+    """Add a callable that receives every completed span as a dict record.
+
+    Record shape: ``{"name", "trace_id", "span_id", "parent_id", "ts"
+    (epoch seconds at span start), "dur_s", "pid", "tid", "fields"}``.
+    Sinks must be fast and must not raise; a raising sink is dropped.
+    """
+    with _sink_lock:
+        if sink not in _SINKS:
+            _SINKS.append(sink)
+
+
+def unregister_span_sink(sink: SpanSink) -> None:
+    """Remove a sink registered via :func:`register_span_sink` (no-op if
+    absent)."""
+    with _sink_lock:
+        try:
+            _SINKS.remove(sink)
+        except ValueError:
+            pass
+
+
+def have_span_sinks() -> bool:
+    """Whether any span sink is registered (record building is skipped
+    entirely when not)."""
+    return bool(_SINKS)
+
+
+@contextmanager
+def capture_spans(sink: SpanSink) -> Iterator[None]:
+    """Make *sink* the **only** span sink for the duration.
+
+    Unlike :func:`register_span_sink` this *replaces* the sink list —
+    the point is worker-side isolation: a fork-started worker inherits
+    the parent's sinks (e.g. an open ``--trace-file`` handle) and must
+    not double-write to them.  The previous sink list is restored on
+    exit.
+    """
+    global _SINKS
+    with _sink_lock:
+        saved = _SINKS
+        _SINKS = [sink]
+    try:
+        yield
+    finally:
+        with _sink_lock:
+            _SINKS = saved
+
+
+def emit_span_record(record: dict[str, Any]) -> None:
+    """Deliver one span record to every registered sink.
+
+    Also the entry point for *forwarded* records (worker spans merged by
+    the parent): the record is delivered as-is, preserving the worker's
+    pid/tid/timestamps.
+    """
+    sinks = _SINKS
+    if not sinks:
+        return
+    dead: list[SpanSink] = []
+    for sink in sinks:
+        try:
+            sink(record)
+        except Exception:
+            dead.append(sink)
+    for sink in dead:
+        unregister_span_sink(sink)
 
 
 class Span:
@@ -128,6 +221,7 @@ def span(name: str, *, level: str = "debug", **fields: Any) -> Iterator[Span]:
     handle = Span(name, trace_id, span_id, parent_id, dict(fields))
     t_token = _trace_var.set(trace_id)
     s_token = _span_var.set(span_id)
+    started_wall = time.time()
     started = time.perf_counter()
     try:
         yield handle
@@ -154,3 +248,17 @@ def span(name: str, *, level: str = "debug", **fields: Any) -> Iterator[Span]:
             buckets=LATENCY_BUCKETS,
             labelnames=("span",),
         ).labels(span=name).observe(duration)
+        if _SINKS:
+            emit_span_record(
+                {
+                    "name": name,
+                    "trace_id": trace_id,
+                    "span_id": span_id,
+                    "parent_id": parent_id,
+                    "ts": started_wall,
+                    "dur_s": duration,
+                    "pid": os.getpid(),
+                    "tid": threading.get_ident(),
+                    "fields": dict(handle.fields),
+                }
+            )

@@ -54,6 +54,15 @@ class RequestHandle:
         """The request this handle tracks."""
         return self._ticket.request
 
+    @property
+    def trace_id(self) -> str:
+        """The trace this request's span tree lives under.
+
+        Hand it to ``repro trace`` / :func:`repro.obs.export.to_chrome_trace`
+        to export the connected estimator → scheduler → worker-chunk tree.
+        """
+        return self._ticket.trace_id
+
     def done(self) -> bool:
         """True once a result (or error) is available."""
         return self._ticket.done()
@@ -152,6 +161,12 @@ class Estimator:
     def records(self) -> deque[RequestRecord]:
         """Per-request latency/throughput records (bounded, newest last)."""
         return self._scheduler.records
+
+    @property
+    def telemetry(self):
+        """The scheduler's :class:`~repro.obs.remote.RemoteTelemetry`
+        merge point (worker metric deltas land here)."""
+        return self._scheduler.telemetry
 
     def submit(
         self,

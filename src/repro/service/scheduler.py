@@ -57,6 +57,7 @@ from ..obs.metrics import (
     MetricsRegistry,
     use_registry,
 )
+from ..obs.remote import RemoteTelemetry
 from ..obs.spans import bind_trace, current_span_id, current_trace_id, new_trace_id, span
 from ..runtime.metrics import RequestRecord, ServiceCounters
 from ..runtime.rng import as_seed_sequence, spawn_trial_seeds
@@ -288,6 +289,10 @@ class BatchScheduler:
         self.records: deque[RequestRecord] = deque(maxlen=max_records)
         self._context = context
         self._shm = shm
+        # Cross-process plane: every pool this scheduler creates ships
+        # trace context with its chunks and pipes worker metric deltas +
+        # span records back through this merge point (repro.obs.remote).
+        self.telemetry = RemoteTelemetry(self.registry)
         self._lock = threading.RLock()
         self._queue: queue.Queue[Any] = queue.Queue()
         self._inflight: dict[tuple, Ticket] = {}
@@ -537,6 +542,7 @@ class BatchScheduler:
             workers=self.workers,
             context=self._context,
             shm=self._shm,
+            telemetry=self.telemetry,
         )
         self.counters.increment("pools_created")
         with self._lock:

@@ -148,6 +148,32 @@ class TestRegistry:
         assert 'lat_sum{alg="luby"} 0.5' in text
         assert 'lat_count{alg="luby"} 1' in text
 
+    def test_label_value_escaping(self):
+        # Prometheus text-format: backslash, double-quote, and newline in
+        # label values must be escaped (regression: they used to pass
+        # through raw, corrupting the exposition).
+        reg = MetricsRegistry()
+        fam = reg.counter("esc_total", "Help", labelnames=("path",))
+        fam.labels(path='C:\\tmp\n"x"').inc()
+        text = reg.render_prometheus()
+        assert 'esc_total{path="C:\\\\tmp\\n\\"x\\""} 1' in text
+        assert "\n\"x\"" not in text.replace('\\n', '')  # no raw newline mid-value
+        for line in text.splitlines():
+            assert line.count('"') % 2 == 0  # every line stays parseable
+
+    def test_help_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("h_total", "line1\nline2\\end").inc()
+        text = reg.render_prometheus()
+        assert "# HELP h_total line1\\nline2\\\\end" in text
+
+    def test_label_key_round_trip(self):
+        from repro.obs.metrics import label_key, parse_label_key
+
+        labels = {"a": 'quo"te', "b": "back\\slash", "c": "new\nline"}
+        assert parse_label_key(label_key(labels)) == labels
+        assert parse_label_key("") == {}
+
     def test_empty_families_omitted(self):
         reg = MetricsRegistry()
         reg.counter("declared_only", labelnames=("a",))  # no children yet
@@ -216,10 +242,20 @@ class TestHistogramQuantile:
         h.observe(100.0)
         assert h.quantile(0.99) == pytest.approx(2.0)
 
-    def test_empty_is_nan(self):
-        import math
+    def test_empty_is_none(self):
+        # Empty histograms answer None (surfaced as "-" in repro stats),
+        # never nan or an exception.
+        assert Histogram(buckets=(1,)).quantile(0.5) is None
+        assert Histogram(buckets=(1,)).quantile(0.0) is None
 
-        assert math.isnan(Histogram(buckets=(1,)).quantile(0.5))
+    def test_empty_family_summary_has_none_mean(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("lat_e", buckets=(1,), labelnames=("a",))
+        fam.labels(a="x")  # child exists, zero observations
+        summary = reg.quantiles("lat_e")['a="x"']
+        assert summary["count"] == 0.0
+        assert summary["mean"] is None
+        assert summary["p50"] is None
 
     def test_out_of_range_rejected(self):
         h = Histogram(buckets=(1,))

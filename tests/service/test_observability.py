@@ -101,8 +101,12 @@ class TestServiceMetrics:
         latency = hists["service_request_latency_seconds"]
         assert sum(s["count"] for s in latency.values()) == 2
         assert hists["service_trials_per_chunk"][""]["count"] >= 1
-        rounds = hists["trial_rounds"]['algorithm="luby_fast"']
-        assert rounds["count"] == 24  # one observation per trial
+        # chunk-side metrics always carry the executing worker's label
+        # (pid:<self> on the inline path), so aggregate across workers
+        rounds = hists["trial_rounds"]
+        assert all('algorithm="luby_fast"' in key for key in rounds)
+        assert all('worker="pid:' in key for key in rounds)
+        assert sum(s["count"] for s in rounds.values()) == 24  # per trial
         assert hists["service_cache_age_seconds"][""]["count"] == 1  # hit
 
     def test_prometheus_exposition_includes_service_series(self):
@@ -113,7 +117,82 @@ class TestServiceMetrics:
             'service_request_latency_seconds_bucket{algorithm="luby_fast"'
             in text
         )
-        assert 'trial_rounds_count{algorithm="luby_fast"} 24' in text
+        assert 'trial_rounds_count{algorithm="luby_fast",worker="pid:' in text
+
+    def test_remote_plane_merges_worker_metrics_and_connects_trace(self):
+        """Cross-process acceptance: a request on a real 2-worker spawn
+        pool yields (a) worker-labeled metrics merged into the service
+        registry and (b) one connected span tree — a single root and no
+        orphan parents — exportable as Chrome trace JSON with parent and
+        worker processes as separate tracks."""
+        import os
+
+        from repro.graphs.spec import build_graph as _build
+        from repro.obs.export import (
+            install_collector,
+            to_chrome_trace,
+            uninstall_collector,
+        )
+        from repro.obs.metrics import parse_label_key
+        from repro.obs.remote import telemetry_enabled
+
+        if not telemetry_enabled():
+            pytest.skip("REPRO_TELEMETRY disabled in environment")
+
+        graph = _build("tree:63")
+        collector = install_collector(capacity=4096)
+        try:
+            # clamp_to_host=False: the point is exercising the
+            # cross-process plane even on a small CI box
+            with Estimator(
+                n_jobs=2,
+                cache_size=0,
+                chunk_trials=16,
+                clamp_to_host=False,
+                context="spawn",
+            ) as service:
+                from repro.service import Precision
+
+                handle = service.submit(
+                    graph=graph,
+                    algorithm="luby_fast",
+                    precision=Precision(
+                        node_ci=0.05, min_trials=48, max_trials=96
+                    ),
+                    seed=7,
+                    mode="exact",
+                )
+                handle.result()
+                trace_id = handle.trace_id
+                snap = service.registry.snapshot()
+                merged = service.registry.counter(
+                    "telemetry_chunks_merged_total"
+                ).value
+            records = collector.records(trace_id)
+        finally:
+            uninstall_collector()
+
+        assert merged >= 1
+        chunk_series = snap["histograms"]["worker_chunk_seconds"]
+        workers = {parse_label_key(k).get("worker") for k in chunk_series}
+        assert workers
+        assert f"pid:{os.getpid()}" not in workers  # real worker processes
+
+        ids = {r["span_id"] for r in records}
+        roots = [r for r in records if not r.get("parent_id")]
+        orphans = [
+            r
+            for r in records
+            if r.get("parent_id") and r["parent_id"] not in ids
+        ]
+        assert len(roots) == 1, f"fragmented trace: {[r['name'] for r in roots]}"
+        assert roots[0]["name"] == "estimator.submit"
+        assert orphans == [], f"orphan spans: {[r['name'] for r in orphans]}"
+
+        doc = to_chrome_trace(records, trace_id=trace_id)
+        assert doc["traceEvents"]
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert len(pids) >= 2  # parent + at least one worker track
 
     def test_estimators_have_isolated_registries(self):
         graph = build_graph("tree:15")
