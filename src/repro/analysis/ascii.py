@@ -12,9 +12,43 @@ import numpy as np
 
 from .cdf import CDF
 
-__all__ = ["render_cdf", "render_histogram", "render_series"]
+__all__ = ["render_cdf", "render_histogram", "render_series", "sparkline"]
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """One-line Unicode sparkline of a numeric sequence.
+
+    Each value maps to one of eight block glyphs between *lo* and *hi*
+    (defaulting to the sequence's own range); a finite value is never
+    blank — the range minimum renders as ``▁`` — while non-finite
+    values render as ``·``.  A constant series renders at half height
+    rather than flat-zero, so "unchanged" is visually distinct from
+    "empty".
+    """
+    vals = [float(v) for v in values]
+    finite = [v for v in vals if np.isfinite(v)]
+    if not finite:
+        return "·" * len(vals)
+    bottom = min(finite) if lo is None else float(lo)
+    top = max(finite) if hi is None else float(hi)
+    span = top - bottom
+    cells = []
+    for v in vals:
+        if not np.isfinite(v):
+            cells.append("·")
+            continue
+        if span <= 0:
+            cells.append(_BLOCKS[len(_BLOCKS) // 2])
+            continue
+        frac = min(1.0, max(0.0, (v - bottom) / span))
+        cells.append(_BLOCKS[1 + int(round(frac * (len(_BLOCKS) - 2)))])
+    return "".join(cells)
 
 
 def render_series(

@@ -27,12 +27,18 @@ from .artifact import (
 )
 from .compare import CompareReport, CompareRow, compare_artifacts
 from .suite import BenchConfig, run_suite
+from .trend import MetricTrend, TrendPoint, TrendReport, build_trend, collect_artifacts
 
 __all__ = [
     "SCHEMA_VERSION",
     "BenchConfig",
     "CompareReport",
     "CompareRow",
+    "MetricTrend",
+    "TrendPoint",
+    "TrendReport",
+    "build_trend",
+    "collect_artifacts",
     "compare_artifacts",
     "default_artifact_path",
     "environment_fingerprint",

@@ -16,7 +16,6 @@ and exits nonzero when :attr:`CompareReport.ok` is false.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -94,9 +93,17 @@ class CompareReport:
         return "\n".join(lines)
 
 
-def _delta_pct(baseline: float, current: float) -> float:
+def _delta_pct(baseline: float, current: float) -> float | None:
+    """Relative change in percent; ``None`` when it is undefined.
+
+    A zero baseline admits no percentage (every report renderer would
+    otherwise have to special-case ``inf``/JSON-illegal values), so a
+    nonzero-from-zero move returns ``None`` and the caller annotates
+    the row ``new from zero`` and judges regression by direction, not
+    magnitude.
+    """
     if baseline == 0:
-        return 0.0 if current == 0 else math.inf
+        return 0.0 if current == 0 else None
     return (current - baseline) / abs(baseline) * 100.0
 
 
@@ -147,14 +154,21 @@ def compare_artifacts(
             else float(cur_entry.get("tolerance_pct", 0.0))
         )
 
+        note = "" if delta is not None else "new from zero"
         if kind == "count":
-            # Deterministic: any deviation beyond tolerance is real.
-            regressed = abs(delta) > tol
+            # Deterministic: any deviation beyond tolerance is real.  A
+            # nonzero-from-zero move has no percentage but is always a
+            # behavioural change, so it regresses regardless of tolerance.
+            regressed = True if delta is None else abs(delta) > tol
             gated = bool(cur_entry.get("gate", True))
         else:
             higher_is_better = bool(cur_entry.get("higher_is_better", False))
-            bad = -delta if higher_is_better else delta
-            regressed = bad > tol
+            if delta is None:
+                # From-zero timing: bad only in the bad direction.
+                regressed = cur_val > 0 and not higher_is_better
+            else:
+                bad = -delta if higher_is_better else delta
+                regressed = bad > tol
             gated = strict_timing or bool(cur_entry.get("gate", False))
 
         report.rows.append(CompareRow(
@@ -167,5 +181,6 @@ def compare_artifacts(
             tolerance_pct=tol,
             regressed=regressed,
             gated=gated,
+            note=note,
         ))
     return report

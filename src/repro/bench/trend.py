@@ -1,0 +1,257 @@
+"""Trend history over a directory of bench artifacts.
+
+One artifact answers "how fast is this commit"; a directory of them
+answers the question regressions actually pose — "*when* did this
+metric move".  This module loads every ``BENCH_*.json`` under the given
+paths, orders them by ``created_unix``, and builds a per-metric
+trajectory: the value at each run, a sparkline of the whole series, and
+step flags wherever a consecutive pair regresses under the exact
+:func:`~repro.bench.compare.compare_artifacts` semantics (count metrics
+gate on any out-of-tolerance delta, timing metrics flag bad-direction
+moves).  ``repro bench trend`` renders the result as an ANSI/markdown
+table or ``--json``.
+
+Trend is a *reporting* surface, not a gate: flagged steps are visible
+but the command exits 0 — gating stays with ``repro bench --compare``,
+which compares against a curated baseline rather than whatever artifact
+happens to precede you in a directory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..analysis.ascii import sparkline
+from .artifact import load_artifact
+from .compare import compare_artifacts
+
+__all__ = [
+    "MetricTrend",
+    "TrendPoint",
+    "TrendReport",
+    "collect_artifacts",
+    "build_trend",
+]
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One metric's value in one artifact."""
+
+    sha: str
+    created_unix: float
+    value: float | None
+    regressed: bool = False
+    gated: bool = False
+    note: str = ""
+
+
+@dataclass
+class MetricTrend:
+    """Time-ordered trajectory of one metric across the artifact set."""
+
+    name: str
+    kind: str
+    unit: str
+    points: list[TrendPoint] = field(default_factory=list)
+
+    @property
+    def values(self) -> list[float]:
+        return [
+            float("nan") if p.value is None else p.value for p in self.points
+        ]
+
+    @property
+    def steps(self) -> list[TrendPoint]:
+        """Points where the metric regressed versus its predecessor."""
+        return [p for p in self.points if p.regressed]
+
+    def spark(self) -> str:
+        return sparkline(self.values)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "unit": self.unit,
+            "points": [
+                {
+                    "sha": p.sha,
+                    "created_unix": p.created_unix,
+                    "value": p.value,
+                    "regressed": p.regressed,
+                    "gated": p.gated,
+                    "note": p.note,
+                }
+                for p in self.points
+            ],
+        }
+
+
+@dataclass
+class TrendReport:
+    """All metric trajectories over one artifact directory."""
+
+    artifacts: list[dict[str, Any]] = field(default_factory=list)
+    metrics: list[MetricTrend] = field(default_factory=list)
+
+    @property
+    def flagged(self) -> list[MetricTrend]:
+        """Metrics with at least one regressing step, steps-first."""
+        bad = [m for m in self.metrics if m.steps]
+        return sorted(bad, key=lambda m: (-len(m.steps), m.name))
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "artifacts": [
+                {
+                    "git_sha": a.get("git_sha", "unknown"),
+                    "created_unix": a.get("created_unix"),
+                }
+                for a in self.artifacts
+            ],
+            "metrics": [m.to_json() for m in self.metrics],
+        }
+
+    def format(self, markdown: bool = False) -> str:
+        """Render the trend table (ANSI fixed-width or GitHub markdown)."""
+        n = len(self.artifacts)
+        header = (
+            f"bench trend: {n} artifact(s), "
+            f"{self.artifacts[0].get('git_sha', '?')} -> "
+            f"{self.artifacts[-1].get('git_sha', '?')}"
+            if n
+            else "bench trend: no artifacts"
+        )
+        lines = [header]
+        if not n:
+            return header
+        if markdown:
+            lines.append("")
+            lines.append("| metric | kind | first | last | trend | steps |")
+            lines.append("|---|---|---:|---:|---|---|")
+        else:
+            lines.append(
+                f"{'metric':<38} {'kind':<7} {'first':>12} {'last':>12} "
+                f"{'trend':<{max(n, 5)}}  steps"
+            )
+        for m in sorted(self.metrics, key=lambda m: m.name):
+            vals = [p.value for p in m.points if p.value is not None]
+            first = f"{vals[0]:.4g}" if vals else "-"
+            last = f"{vals[-1]:.4g}" if vals else "-"
+            steps = ", ".join(
+                f"{p.sha}{' [' + p.note + ']' if p.note else ''}"
+                for p in m.steps
+            )
+            if markdown:
+                lines.append(
+                    f"| {m.name} | {m.kind} | {first} | {last} "
+                    f"| `{m.spark()}` | {steps or '-'} |"
+                )
+            else:
+                lines.append(
+                    f"{m.name:<38} {m.kind:<7} {first:>12} {last:>12} "
+                    f"{m.spark():<{max(n, 5)}}  {steps or '-'}"
+                )
+        flagged = self.flagged
+        if flagged:
+            lines.append(
+                f"{len(flagged)} metric(s) stepped: "
+                + ", ".join(m.name for m in flagged)
+            )
+        else:
+            lines.append("no regressing steps")
+        return "\n".join(lines)
+
+
+def collect_artifacts(paths: list[str | Path]) -> list[dict[str, Any]]:
+    """Load artifacts from files and/or directories, oldest first.
+
+    Directories contribute every ``BENCH_*.json`` inside them;
+    unreadable or schema-mismatched files are skipped (a trend over a
+    long-lived directory must survive one stray file).  Ordering is by
+    ``created_unix`` (path name as tie-break, for stable output).
+    """
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.glob("BENCH_*.json")))
+        else:
+            files.append(p)
+    docs: list[tuple[float, str, dict[str, Any]]] = []
+    for f in files:
+        try:
+            doc = load_artifact(f)
+        except (OSError, ValueError, json.JSONDecodeError):
+            continue
+        docs.append((float(doc.get("created_unix", 0.0)), str(f), doc))
+    docs.sort(key=lambda t: (t[0], t[1]))
+    return [doc for _, _, doc in docs]
+
+
+def build_trend(
+    artifacts: list[Mapping[str, Any]],
+    tolerance_pct: float | None = None,
+    strict_timing: bool = False,
+    only: list[str] | None = None,
+) -> TrendReport:
+    """Per-metric trajectories with consecutive-pair step flags.
+
+    Each adjacent artifact pair goes through
+    :func:`~repro.bench.compare.compare_artifacts`, so a step here means
+    exactly what a ``--compare`` failure would have meant between those
+    two runs (count deltas beyond tolerance; bad-direction timing moves,
+    gated only under *strict_timing* or the metric's own gate flag).
+    """
+    report = TrendReport(artifacts=[dict(a) for a in artifacts])
+    if not artifacts:
+        return report
+    names: dict[str, dict[str, str]] = {}
+    for doc in artifacts:
+        for name, entry in doc.get("metrics", {}).items():
+            if only and name not in only:
+                continue
+            names.setdefault(
+                name,
+                {
+                    "kind": str(entry.get("kind", "timing")),
+                    "unit": str(entry.get("unit", "")),
+                },
+            )
+    # Pairwise verdicts, reusing the compare gate semantics verbatim.
+    verdicts: list[dict[str, Any]] = []
+    for prev, cur in zip(artifacts, artifacts[1:]):
+        rows = compare_artifacts(
+            cur,
+            prev,
+            tolerance_pct=tolerance_pct,
+            strict_timing=strict_timing,
+        ).rows
+        verdicts.append({r.name: r for r in rows})
+    for name in sorted(names):
+        trend = MetricTrend(name=name, **names[name])
+        for i, doc in enumerate(artifacts):
+            entry = doc.get("metrics", {}).get(name)
+            value = None if entry is None else float(entry.get("value"))
+            regressed = gated = False
+            note = ""
+            if i > 0:
+                row = verdicts[i - 1].get(name)
+                if row is not None:
+                    regressed, gated, note = row.regressed, row.gated, row.note
+            trend.points.append(
+                TrendPoint(
+                    sha=str(doc.get("git_sha", "unknown")),
+                    created_unix=float(doc.get("created_unix", 0.0)),
+                    value=value,
+                    regressed=regressed,
+                    gated=gated,
+                    note=note,
+                )
+            )
+        report.metrics.append(trend)
+    return report

@@ -10,7 +10,11 @@ Commands
 ``stats``     probe the service and print its metrics exposition
 ``trace``     export a span tree as Chrome trace-event / Perfetto JSON
 ``top``       live terminal dashboard over service stats snapshots
+``explain``   render a request's convergence trace (why it stopped)
+``evidence``  introspect/purge the cache's pooled evidence plane
+``health``    evaluate SLO health rules; exit 0 ok / 1 warn / 2 crit
 ``bench``     continuous benchmark suite → ``BENCH_<sha>.json`` artifact
+              (``bench trend`` aggregates a directory of artifacts)
 ``graph``     convert/inspect on-disk graphs (``.npz``/``.reprograph``/SNAP)
 ``table1``    regenerate Table I
 ``figure4``   regenerate Figure 4 (ASCII CDF panels)
@@ -221,6 +225,10 @@ def _ms(seconds: float | None) -> float | None:
 
 def _fmt_ms(value: float | None) -> str:
     return "-" if value is None else f"{value:.2f}ms"
+
+
+def _fmt_count(value: float | None) -> str:
+    return "-" if value is None else f"{value:.0f}"
 
 
 def _service_loop(
@@ -464,11 +472,13 @@ def _cmd_stats(args: argparse.Namespace) -> None:
     """Exercise the service with a small probe and print its metrics.
 
     The probe issues one exact-mode request (filling the rounds-per-trial,
-    trials-per-chunk and latency histograms) and repeats it (filling the
-    cache-hit path), then renders the estimator's registry in
-    Prometheus text and/or JSON form.
+    trials-per-chunk and latency histograms), repeats it (filling the
+    cache-hit path), and runs a precision-targeted request twice (cold,
+    then seeded from the deposited evidence — filling the precision
+    plane), then renders the estimator's registry in Prometheus text
+    and/or JSON form.
     """
-    from .service import Estimator
+    from .service import Estimator, Precision
 
     graph = _graph_from_spec(args.graph)
     with Estimator(n_jobs=args.jobs, cache_size=8) as service:
@@ -479,6 +489,13 @@ def _cmd_stats(args: argparse.Namespace) -> None:
                 trials=args.trials,
                 seed=args.seed,
                 mode="exact",
+            )
+        for _ in range(2):  # second pass is served from pooled evidence
+            service.estimate(
+                graph=graph,
+                algorithm=args.algorithm,
+                precision=Precision.default(),
+                seed=args.seed,
             )
         counters = service.counters.snapshot()
         registry = service.registry
@@ -506,6 +523,281 @@ def _cmd_stats(args: argparse.Namespace) -> None:
                 f"(n={summary['count']:.0f})",
                 file=sys.stderr,
             )
+        # Precision plane: the sequential-stopping economics in one line
+        # (plus fleet-wide realized-trials percentiles, worker/algorithm
+        # labels summed away).
+        precision_requests = counters["precision_requests"]
+        if precision_requests:
+            early_ratio = counters["early_stops"] / precision_requests
+            looked = counters["evidence_hits"] + counters["evidence_misses"]
+            hit_rate = counters["evidence_hits"] / looked if looked else None
+            realized = registry.aggregated_quantiles(
+                "service_realized_trials",
+                qs=(0.5, 0.95),
+                drop_labels=("worker", "algorithm"),
+            ).get("", {})
+            print(
+                f"precision: {precision_requests} requests  "
+                f"early-stop {early_ratio * 100:.0f}%  "
+                "evidence hit "
+                + ("-" if hit_rate is None else f"{hit_rate * 100:.0f}%")
+                + f"  realized trials p50 "
+                f"{_fmt_count(realized.get('p50'))} "
+                f"p95 {_fmt_count(realized.get('p95'))}",
+                file=sys.stderr,
+            )
+
+
+def _render_trace(trace) -> str:
+    """Render one convergence trace as the ``repro explain`` report."""
+    from .analysis.ascii import sparkline
+
+    reason = {
+        "satisfied": "precision satisfied before the cap (stopped early)",
+        "capped": "hard trial cap reached before the CI closed",
+        "fixed-budget": "fixed trial budget (v1) — no stopping decision",
+    }[trace.stop_reason]
+    lines = [
+        f"request    : {trace.request_id or '-'}   "
+        f"algorithm {trace.algorithm}   mode {trace.mode}",
+        f"graph hash : {trace.graph_hash}",
+        f"stop reason: {trace.stop_reason} — {reason}",
+        f"evidence   : {trace.prior_trials} prior (pooled) + "
+        f"{trace.new_trials} fresh trials"
+        + ("   [served from prior alone]" if trace.cached else ""),
+    ]
+    if trace.precision:
+        target = ", ".join(
+            f"{k}={v}" for k, v in trace.precision.items() if v is not None
+        )
+        lines.append(f"target     : {target}")
+    lines.append("")
+    lines.append(
+        f"{'round':>5} {'chunks':>6} {'new':>7} {'total':>7} "
+        f"{'node hw':>9} {'target':>8} {'ineq hw':>9} {'predict':>8} "
+        f"{'wall ms':>9}  outcome"
+    )
+    for f in trace.frames:
+        tgt = "-" if f.node_target is None else f"{f.node_target:.4g}"
+        ineq = (
+            "-"
+            if f.inequality_halfwidth is None
+            else f"{f.inequality_halfwidth:.4f}"
+        )
+        lines.append(
+            f"{f.round:>5} {f.chunks:>6} {f.new_trials:>7} {f.trials:>7} "
+            f"{f.node_halfwidth:>9.4f} {tgt:>8} {ineq:>9} "
+            f"{f.predicted_remaining:>8} {f.wall_s * 1e3:>9.2f}  {f.outcome}"
+        )
+    widths = trace.node_halfwidths()
+    if len(widths) > 1:
+        lines.append("")
+        lines.append(
+            f"node half-width {widths[0]:.4f} "
+            f"{sparkline(widths, lo=0.0)} {widths[-1]:.4f}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_explain(args: argparse.Namespace) -> None:
+    """Render a request's convergence trace (why the estimator stopped).
+
+    Two modes:
+
+    * **file mode** (``--input results.jsonl``): read result lines from a
+      ``serve``/``batch`` run (the request must have asked for
+      ``"trace": true``) and explain one of them (``--id``, default the
+      last trace-bearing line).
+    * **probe mode** (default): run one cold default-precision request
+      through a live Estimator and explain it — the one-command way to
+      watch the Wilson half-width close round by round.
+    """
+    from .service.journal import ConvergenceTrace
+
+    if args.input:
+        traces: list[ConvergenceTrace] = []
+        try:
+            with open(args.input, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        obj = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(obj, dict) and "convergence" in obj:
+                        traces.append(
+                            ConvergenceTrace.from_json(obj["convergence"])
+                        )
+        except OSError as exc:
+            raise SystemExit(f"error: cannot read {args.input}: {exc.strerror}")
+        if args.id is not None:
+            traces = [t for t in traces if t.request_id == args.id]
+        if not traces:
+            what = f"request id {args.id!r}" if args.id else "convergence traces"
+            raise SystemExit(
+                f"error: no {what} in {args.input} (did the requests set "
+                '"trace": true?)'
+            )
+        trace = traces[-1]
+    else:
+        from .service import Estimator, Precision
+
+        graph = _graph_from_spec(args.graph)
+        with Estimator(n_jobs=args.jobs, clamp_to_host=False) as service:
+            service.estimate(
+                graph=graph,
+                algorithm=args.algorithm,
+                precision=Precision.default(),
+                seed=args.seed,
+                trace=True,
+                request_id="probe",
+                timeout=300,
+            )
+            trace = service.journal.last()
+        assert trace is not None
+    if args.json:
+        print(json.dumps(trace.to_json(), indent=2))
+    else:
+        print(_render_trace(trace))
+
+
+def _cmd_evidence(args: argparse.Namespace) -> None:
+    """Introspect (or purge) the cache's pooled evidence plane.
+
+    Runs requests first so there is a plane to inspect: either the
+    JSON-lines file given with ``--requests`` (same schema as ``batch``)
+    or a small two-algorithm precision probe.  Then ``ls`` tabulates
+    every ``(graph, algorithm)`` pool, ``show`` dumps matching pools in
+    detail, and ``purge`` drops them (reporting the freed count).
+    """
+    from .service import Estimator, EstimateRequest, Precision
+
+    graph = _graph_from_spec(args.graph)
+    with Estimator(n_jobs=args.jobs, clamp_to_host=False) as service:
+        if args.requests:
+            try:
+                with open(args.requests, "r", encoding="utf-8") as fh:
+                    lines = fh.readlines()
+            except OSError as exc:
+                raise SystemExit(
+                    f"error: cannot read {args.requests}: {exc.strerror}"
+                )
+            for line in lines:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                request = EstimateRequest.from_json(json.loads(line))
+                service.estimate(request, timeout=300)
+        else:
+            for algorithm in (args.algorithm, "luby_fast"):
+                service.estimate(
+                    graph=graph,
+                    algorithm=algorithm,
+                    precision=Precision.default(),
+                    seed=args.seed,
+                    timeout=300,
+                )
+        rows = service.cache.evidence_entries()
+        if args.graph_hash:
+            rows = [r for r in rows if r["graph_hash"].startswith(args.graph_hash)]
+        if args.match_algorithm:
+            rows = [r for r in rows if r["algorithm"] == args.match_algorithm]
+        if args.evidence_command == "purge":
+            purged = 0
+            for r in rows:
+                purged += service.cache.purge_evidence(
+                    graph_hash=r["graph_hash"], algorithm_key=r["algorithm"]
+                )
+            print(f"purged {purged} evidence pool(s)")
+            return
+        if args.json:
+            print(json.dumps(rows, indent=2))
+            return
+        if not rows:
+            print("evidence plane is empty (no matching pools)")
+            return
+        if args.evidence_command == "show":
+            for r in rows:
+                print(f"graph hash : {r['graph_hash']}")
+                print(f"algorithm  : {r['algorithm']}")
+                print(f"trials     : {r['trials']} pooled over {r['nodes']} nodes")
+                print(f"resident   : {r['bytes']} bytes   dedup tags {r['tags']}")
+                print(f"age        : {r['age_s']:.1f}s since first deposit")
+                print(
+                    f"achievable : ±{r['achievable_halfwidth']:.4f} node CI "
+                    "half-width at 95% from the pool alone"
+                )
+                print()
+            return
+        print(
+            f"{'graph hash':<16} {'algorithm':<22} {'trials':>8} {'nodes':>7} "
+            f"{'bytes':>10} {'age s':>7} {'tags':>5} {'±hw@95%':>9}"
+        )
+        for r in rows:
+            print(
+                f"{r['graph_hash'][:14] + '…':<16} {r['algorithm']:<22} "
+                f"{r['trials']:>8} {r['nodes']:>7} {r['bytes']:>10} "
+                f"{r['age_s']:>7.1f} {r['tags']:>5} "
+                f"{r['achievable_halfwidth']:>9.4f}"
+            )
+
+
+def _cmd_health(args: argparse.Namespace) -> None:
+    """Evaluate the SLO health rules; exit 0 ok / 1 warn / 2 crit.
+
+    With ``--stats-file`` the newest snapshot in a ``serve``/``batch``
+    stats JSONL is judged (the CI-gate mode); without one a short
+    in-process probe exercises the precision, evidence, and cache paths
+    first so the rate rules have data.
+    """
+    from .obs.health import evaluate_health, load_stats_snapshot
+
+    if args.stats_file:
+        try:
+            snapshot = load_stats_snapshot(args.stats_file)
+        except OSError as exc:
+            raise SystemExit(
+                f"error: cannot read {args.stats_file}: {exc.strerror}"
+            )
+        if snapshot is None:
+            raise SystemExit(
+                f"error: no stats snapshots in {args.stats_file} (run "
+                "serve/batch with --stats-every N --stats-file PATH)"
+            )
+    else:
+        from .obs.dashboard import snapshot_from_registry
+        from .service import Estimator, Precision
+
+        graph = _graph_from_spec(args.graph)
+        with Estimator(n_jobs=args.jobs, clamp_to_host=False) as service:
+            for _ in range(2):  # repeat: second pass hits evidence + cache
+                service.estimate(
+                    graph=graph,
+                    algorithm=args.algorithm,
+                    precision=Precision.default(),
+                    seed=args.seed,
+                    timeout=300,
+                )
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", DeprecationWarning)
+                    service.estimate(
+                        graph=graph,
+                        algorithm=args.algorithm,
+                        trials=64,
+                        seed=args.seed,
+                        mode="exact",
+                        timeout=300,
+                    )
+            snapshot = snapshot_from_registry(service.registry, service.counters)
+    report = evaluate_health(snapshot, slo_ms=args.slo_ms)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format())
+    if report.exit_code:
+        raise SystemExit(report.exit_code)
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
@@ -639,6 +931,19 @@ def _cmd_top(args: argparse.Namespace) -> None:
                 )
             )
         sys.stdout.write(dash.render(ansi=False))
+        # Fleet-wide latency with worker/algorithm labels summed away —
+        # the aggregate the per-row dashboard view cannot show.
+        fleet = service.registry.aggregated_quantiles(
+            "service_request_latency_seconds",
+            drop_labels=("worker", "algorithm"),
+        ).get("", {})
+        if fleet.get("count"):
+            sys.stdout.write(
+                f"fleet latency (all algorithms): "
+                f"p50 {_fmt_ms(_ms(fleet.get('p50')))}  "
+                f"p95 {_fmt_ms(_ms(fleet.get('p95')))}  "
+                f"p99 {_fmt_ms(_ms(fleet.get('p99')))}\n"
+            )
 
 
 def _cmd_bench(args: argparse.Namespace) -> None:
@@ -689,6 +994,28 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         print(report.format())
         if not report.ok:
             raise SystemExit(1)
+
+
+def _cmd_bench_trend(args: argparse.Namespace) -> None:
+    """Aggregate a directory of bench artifacts into a trend report."""
+    from .bench import build_trend, collect_artifacts
+
+    artifacts = collect_artifacts(args.paths)
+    if not artifacts:
+        raise SystemExit(
+            "error: no readable BENCH_*.json artifacts under "
+            + ", ".join(args.paths)
+        )
+    report = build_trend(
+        artifacts,
+        tolerance_pct=args.tolerance,
+        strict_timing=args.strict_timing,
+        only=args.metric or None,
+    )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format(markdown=args.format == "md"))
 
 
 def _load_graph_input(args: argparse.Namespace) -> StaticGraph:
@@ -1027,6 +1354,97 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_top)
 
     p = sub.add_parser(
+        "explain",
+        help="render a request's convergence trace (why the estimator "
+        "stopped)",
+    )
+    p.add_argument(
+        "--input",
+        default=None,
+        metavar="PATH",
+        help="read result lines from a serve/batch output file instead of "
+        'running a probe (the requests must have set "trace": true)',
+    )
+    p.add_argument(
+        "--id",
+        default=None,
+        help="explain the trace with this request id (default: the last "
+        "trace in --input, or the probe request)",
+    )
+    p.add_argument("--graph", default="tree:120", help="probe graph spec")
+    p.add_argument("--algorithm", default="fair_tree_fast")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable trace JSON"
+    )
+    p.set_defaults(fn=_cmd_explain)
+
+    p = sub.add_parser(
+        "evidence", help="introspect or purge the pooled evidence plane"
+    )
+    esub = p.add_subparsers(dest="evidence_command", required=True)
+    for ename, ehelp in (
+        ("ls", "tabulate every (graph, algorithm) evidence pool"),
+        ("show", "dump matching pools in detail"),
+        ("purge", "drop matching pools (dedup tags go with them)"),
+    ):
+        e = esub.add_parser(ename, help=ehelp)
+        e.add_argument(
+            "--requests",
+            default=None,
+            metavar="PATH",
+            help="JSON-lines request file to run first (same schema as "
+            "batch); default: a small two-algorithm precision probe",
+        )
+        e.add_argument(
+            "--graph-hash",
+            default=None,
+            help="only pools whose graph hash starts with this prefix",
+        )
+        e.add_argument(
+            "--match-algorithm",
+            default=None,
+            metavar="KEY",
+            help="only pools with this exact algorithm key",
+        )
+        e.add_argument("--graph", default="tree:120", help="probe graph spec")
+        e.add_argument("--algorithm", default="fair_tree_fast")
+        e.add_argument("--seed", type=int, default=0)
+        e.add_argument("--jobs", type=int, default=1, help=jobs_help)
+        e.add_argument(
+            "--json", action="store_true", help="machine-readable rows"
+        )
+        e.set_defaults(fn=_cmd_evidence)
+
+    p = sub.add_parser(
+        "health",
+        help="evaluate SLO health rules; exit 0 ok / 1 warn / 2 crit",
+    )
+    p.add_argument(
+        "--stats-file",
+        default=None,
+        metavar="PATH",
+        help="judge the newest snapshot in this stats JSONL (from "
+        "serve/batch --stats-every N --stats-file PATH); omit to run "
+        "an in-process probe",
+    )
+    p.add_argument(
+        "--slo-ms",
+        type=float,
+        default=250.0,
+        help="latency SLO driving the p99 thresholds (default 250)",
+    )
+    p.add_argument("--graph", default="tree:120", help="probe graph spec")
+    p.add_argument("--algorithm", default="fair_tree_fast")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    p.set_defaults(fn=_cmd_health)
+
+    p = sub.add_parser(
         "bench", help="continuous benchmark suite -> BENCH_<sha>.json"
     )
     p.add_argument(
@@ -1068,6 +1486,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list bench cases and exit"
     )
     p.set_defaults(fn=_cmd_bench)
+    # `repro bench` with no subcommand keeps its historical flat form;
+    # `repro bench trend` is the artifact-history view.
+    bsub = p.add_subparsers(dest="bench_command", required=False)
+    b = bsub.add_parser(
+        "trend",
+        help="aggregate BENCH_*.json artifacts into a per-metric history",
+    )
+    b.add_argument(
+        "paths",
+        nargs="+",
+        help="artifact files and/or directories holding BENCH_*.json",
+    )
+    b.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to this metric (repeatable)",
+    )
+    b.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="override every metric's tolerance for step flagging",
+    )
+    b.add_argument(
+        "--strict-timing",
+        action="store_true",
+        help="flag bad-direction timing steps as gated too",
+    )
+    b.add_argument(
+        "--format",
+        choices=("ansi", "md"),
+        default="ansi",
+        help="table style: fixed-width terminal or GitHub markdown",
+    )
+    b.add_argument(
+        "--json", action="store_true", help="machine-readable trend document"
+    )
+    b.set_defaults(fn=_cmd_bench_trend)
 
     p = sub.add_parser(
         "graph", help="convert/inspect on-disk graphs (.npz/.reprograph/SNAP)"

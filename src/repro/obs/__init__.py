@@ -38,6 +38,14 @@ benchmark suite uses it to bound instrumentation overhead.
 
 from .bridge import observe_run_metrics, observe_trial
 from .dashboard import TopDashboard, run_top, snapshot_from_registry
+from .health import (
+    HealthReport,
+    HealthRule,
+    RuleResult,
+    default_rules,
+    evaluate_health,
+    load_stats_snapshot,
+)
 from .export import (
     JsonlSpanSink,
     SpanCollector,
@@ -143,6 +151,13 @@ __all__ = [
     "TopDashboard",
     "run_top",
     "snapshot_from_registry",
+    # health
+    "HealthRule",
+    "HealthReport",
+    "RuleResult",
+    "default_rules",
+    "evaluate_health",
+    "load_stats_snapshot",
     # metrics
     "Counter",
     "Gauge",

@@ -23,9 +23,28 @@ import time
 from collections import deque
 from typing import Any, IO, Iterable, Mapping
 
+from .health import evaluate_health
 from .metrics import parse_label_key
 
 __all__ = ["TopDashboard", "snapshot_from_registry", "run_top"]
+
+#: ANSI colors for health-driven row highlighting.
+_COLOR = {"warn": "\x1b[33m", "crit": "\x1b[31m"}
+_RESET = "\x1b[0m"
+
+
+def _highlight(line: str, status: str | None, ansi: bool) -> str:
+    """Decorate a dashboard row according to its health status.
+
+    Plain frames get ``!``/``!!`` suffix markers (script/CI friendly);
+    ANSI frames additionally color the row yellow (warn) or red (crit).
+    """
+    if status in (None, "ok"):
+        return line
+    mark = " !!" if status == "crit" else " !"
+    if ansi and status in _COLOR:
+        return f"{_COLOR[status]}{line}{mark}{_RESET}"
+    return line + mark
 
 #: ANSI clear-screen + cursor-home prefix used between refresh frames.
 ANSI_REFRESH = "\x1b[2J\x1b[H"
@@ -305,27 +324,49 @@ class TopDashboard:
             f"   rate: {_fmt(rate, '{:.1f}/s')}"
             f"   window: {self.window_s:.0f}s"
         )
+        health = evaluate_health(newest, slo_ms=self.slo_ms)
         latency = self.latency_ms()
         burn = self.slo_burn()
         burn_mark = ""
         if burn is not None:
             burn_mark = "  !! SLO" if burn > 1.0 else ""
         lines.append(
-            f"latency ms  p50 {_fmt(latency['p50'], '{:.2f}')}"
-            f"  p95 {_fmt(latency['p95'], '{:.2f}')}"
-            f"  p99 {_fmt(latency['p99'], '{:.2f}')}"
-            f"   SLO {self.slo_ms:.0f}ms@p{self.slo_target * 100:.0f}"
-            f"  burn {_fmt(burn, '{:.2f}x')}{burn_mark}"
+            _highlight(
+                f"latency ms  p50 {_fmt(latency['p50'], '{:.2f}')}"
+                f"  p95 {_fmt(latency['p95'], '{:.2f}')}"
+                f"  p99 {_fmt(latency['p99'], '{:.2f}')}"
+                f"   SLO {self.slo_ms:.0f}ms@p{self.slo_target * 100:.0f}"
+                f"  burn {_fmt(burn, '{:.2f}x')}{burn_mark}",
+                health.status_of("latency_p99_ms"),
+                ansi,
+            )
         )
         queue = self.queue_depth()
         cache = self._hit_rate(newest, "cache_hits", "cache_misses")
         evidence = self._hit_rate(newest, "evidence_hits", "evidence_misses")
         lines.append(
-            f"queue depth {_fmt(queue, '{:.0f}')}"
-            f"   cache hit {_fmt(None if cache is None else cache * 100, '{:.1f}%')}"
-            f"   evidence hit "
-            f"{_fmt(None if evidence is None else evidence * 100, '{:.1f}%')}"
+            _highlight(
+                f"queue depth {_fmt(queue, '{:.0f}')}"
+                f"   cache hit "
+                f"{_fmt(None if cache is None else cache * 100, '{:.1f}%')}"
+                f"   evidence hit "
+                f"{_fmt(None if evidence is None else evidence * 100, '{:.1f}%')}",
+                health.status_of("queue_depth"),
+                ansi,
+            )
         )
+        failing = health.failing()
+        if failing:
+            worst = ", ".join(
+                f"{r.rule.name}={'-' if r.value is None else f'{r.value:.4g}'}"
+                for r in failing
+            )
+            lines.append(
+                _highlight(f"health: {health.status}  ({worst})",
+                           health.status, ansi)
+            )
+        else:
+            lines.append("health: ok")
         workers = self.workers()
         if workers:
             lines.append("workers:")

@@ -1,0 +1,369 @@
+"""Declarative SLO health rules over service stats snapshots.
+
+The metrics registry answers "what is the value of X"; this module
+answers the operator's actual question — "is the service healthy?" — by
+evaluating a small set of threshold rules against one stats snapshot
+(the ``{"event": "stats", ...}`` document ``repro serve/batch
+--stats-every`` writes, or an in-process
+:func:`~repro.obs.dashboard.snapshot_from_registry` probe).
+
+Each :class:`HealthRule` names a quantity, how to extract it from the
+snapshot, and warn/crit thresholds with a direction (``above`` — big is
+bad, e.g. latency; ``below`` — small is bad, e.g. hit rates).  A rule
+whose quantity is absent from the snapshot (no traffic yet, counters
+missing) evaluates to OK with a ``no data`` note: health gates must not
+fail on silence.
+
+:func:`evaluate_health` returns a :class:`HealthReport` whose
+``exit_code`` follows the Nagios convention the CLI exposes —
+``repro health`` exits 0 (ok) / 1 (warn) / 2 (crit) so CI can gate on
+it directly.  ``repro top`` evaluates the same rules per frame and uses
+the per-rule statuses to highlight unhealthy rows.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = [
+    "HealthRule",
+    "RuleResult",
+    "HealthReport",
+    "STATUSES",
+    "default_rules",
+    "evaluate_health",
+    "load_stats_snapshot",
+]
+
+#: Severity order; index is the process exit code (Nagios convention).
+STATUSES: tuple[str, ...] = ("ok", "warn", "crit")
+
+
+# --------------------------------------------------------------------- #
+# snapshot accessors (shape documented in docs/OBSERVABILITY.md)
+# --------------------------------------------------------------------- #
+def _counter(snapshot: Mapping[str, Any], field: str) -> float | None:
+    """A ServiceCounters field, from ``counters`` or the registry dump."""
+    counters = snapshot.get("counters")
+    if isinstance(counters, Mapping) and field in counters:
+        return float(counters[field])
+    series = (
+        snapshot.get("metrics", {})
+        .get("counters", {})
+        .get(f"service_{field}_total", {})
+    )
+    if series:
+        return float(sum(float(v) for v in series.values()))
+    return None
+
+
+def _counter_sum(snapshot: Mapping[str, Any], name: str) -> float | None:
+    """Sum of a registry counter family across all label series."""
+    series = snapshot.get("metrics", {}).get("counters", {}).get(name, {})
+    if not series:
+        return None
+    return float(sum(float(v) for v in series.values()))
+
+
+def _gauge(snapshot: Mapping[str, Any], name: str) -> float | None:
+    series = snapshot.get("metrics", {}).get("gauges", {}).get(name, {})
+    if not series:
+        return None
+    return float(sum(float(v) for v in series.values()))
+
+
+def _ratio(
+    snapshot: Mapping[str, Any], num_field: str, den_fields: Sequence[str]
+) -> float | None:
+    num = _counter(snapshot, num_field)
+    parts = [_counter(snapshot, f) for f in den_fields]
+    if num is None or any(p is None for p in parts):
+        return None
+    den = sum(p for p in parts if p is not None)
+    if den <= 0:
+        return None
+    return num / den
+
+
+def _merged_buckets(
+    snapshot: Mapping[str, Any], name: str
+) -> list[tuple[float, float]]:
+    """All label series of a histogram summed into one cumulative list."""
+    series = snapshot.get("metrics", {}).get("histograms", {}).get(name, {})
+    merged: dict[float, float] = {}
+    for value in series.values():
+        for text, cum in value.get("buckets", {}).items():
+            bound = float("inf") if text == "+Inf" else float(text)
+            merged[bound] = merged.get(bound, 0.0) + float(cum)
+    return sorted(merged.items())
+
+
+def _quantile(pairs: list[tuple[float, float]], q: float) -> float | None:
+    """Interpolated quantile over cumulative ``(bound, count)`` pairs.
+
+    Same convention as :meth:`repro.obs.metrics.Histogram.quantile`
+    (uniform mass per bucket, +Inf clamps to the largest finite bound).
+    Duplicated rather than imported from the dashboard because the
+    dashboard imports *this* module for row highlighting.
+    """
+    if not pairs:
+        return None
+    total = pairs[-1][1]
+    if total <= 0:
+        return None
+    target = q * total
+    prev_bound, prev_cum = 0.0, 0.0
+    for bound, cum in pairs:
+        if cum >= target:
+            if bound == float("inf"):
+                return prev_bound
+            if cum == prev_cum:
+                return bound
+            frac = (target - prev_cum) / (cum - prev_cum)
+            return prev_bound + frac * (bound - prev_bound)
+        prev_bound, prev_cum = bound, cum
+    return prev_bound
+
+
+def _hist_quantile(
+    snapshot: Mapping[str, Any], name: str, q: float, scale: float = 1.0
+) -> float | None:
+    value = _quantile(_merged_buckets(snapshot, name), q)
+    return None if value is None else value * scale
+
+
+# --------------------------------------------------------------------- #
+# rules and reports
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class HealthRule:
+    """One threshold check over a stats snapshot.
+
+    ``direction`` says which side of the thresholds is unhealthy:
+    ``above`` (latency, queue depth, error counts) or ``below`` (hit
+    and early-stop rates).  Either threshold may be ``None`` to skip
+    that severity.  ``extract`` returns the quantity or ``None`` when
+    the snapshot has no data for it (→ OK, noted).
+    """
+
+    name: str
+    description: str
+    extract: Callable[[Mapping[str, Any]], float | None]
+    direction: str = "above"
+    warn: float | None = None
+    crit: float | None = None
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("above", "below"):
+            raise ValueError(
+                f"direction must be 'above' or 'below', got {self.direction!r}"
+            )
+
+    def evaluate(self, snapshot: Mapping[str, Any]) -> "RuleResult":
+        value = self.extract(snapshot)
+        if value is None:
+            return RuleResult(rule=self, status="ok", value=None)
+        status = "ok"
+        if self.direction == "above":
+            if self.crit is not None and value > self.crit:
+                status = "crit"
+            elif self.warn is not None and value > self.warn:
+                status = "warn"
+        else:
+            if self.crit is not None and value < self.crit:
+                status = "crit"
+            elif self.warn is not None and value < self.warn:
+                status = "warn"
+        return RuleResult(rule=self, status=status, value=value)
+
+
+@dataclass(frozen=True)
+class RuleResult:
+    """Outcome of one rule against one snapshot."""
+
+    rule: HealthRule
+    status: str
+    value: float | None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule.name,
+            "status": self.status,
+            "value": self.value,
+            "warn": self.rule.warn,
+            "crit": self.rule.crit,
+            "direction": self.rule.direction,
+            "unit": self.rule.unit,
+        }
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """All rule results for one snapshot, plus the overall verdict."""
+
+    results: tuple[RuleResult, ...]
+
+    @property
+    def status(self) -> str:
+        """Worst individual status (``ok`` for an empty rule set)."""
+        worst = 0
+        for r in self.results:
+            worst = max(worst, STATUSES.index(r.status))
+        return STATUSES[worst]
+
+    @property
+    def exit_code(self) -> int:
+        """0 ok / 1 warn / 2 crit — ``repro health``'s process exit."""
+        return STATUSES.index(self.status)
+
+    def status_of(self, rule_name: str) -> str | None:
+        """The status of one rule by name (``None`` if not evaluated)."""
+        for r in self.results:
+            if r.rule.name == rule_name:
+                return r.status
+        return None
+
+    def failing(self) -> list[RuleResult]:
+        """Results that are warn or crit, worst first."""
+        bad = [r for r in self.results if r.status != "ok"]
+        return sorted(bad, key=lambda r: -STATUSES.index(r.status))
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "status": self.status,
+            "exit_code": self.exit_code,
+            "rules": [r.to_json() for r in self.results],
+        }
+
+    def format(self) -> str:
+        """Human-readable table, one rule per line, verdict last."""
+        lines = []
+        for r in self.results:
+            mark = {"ok": "ok  ", "warn": "WARN", "crit": "CRIT"}[r.status]
+            if r.value is None:
+                shown = "-   (no data)"
+            else:
+                shown = f"{r.value:.4g}{r.rule.unit}"
+            limits = []
+            cmp = ">" if r.rule.direction == "above" else "<"
+            if r.rule.warn is not None:
+                limits.append(f"warn {cmp}{r.rule.warn:g}{r.rule.unit}")
+            if r.rule.crit is not None:
+                limits.append(f"crit {cmp}{r.rule.crit:g}{r.rule.unit}")
+            lines.append(
+                f"{mark}  {r.rule.name:<22} {shown:<16} "
+                f"[{', '.join(limits) or 'informational'}]  "
+                f"{r.rule.description}"
+            )
+        lines.append(f"health: {self.status}")
+        return "\n".join(lines)
+
+
+def default_rules(
+    slo_ms: float = 250.0,
+) -> tuple[HealthRule, ...]:
+    """The stock rule set ``repro health`` and ``repro top`` evaluate.
+
+    Latency thresholds derive from the SLO target (warn at the SLO,
+    crit at 4×); rate thresholds are deliberately lenient — they flag
+    a service that is clearly mis-deployed (precision requests never
+    stopping early, evidence plane never hitting), not one that is
+    merely cold.
+    """
+    return (
+        HealthRule(
+            name="latency_p99_ms",
+            description="p99 request latency (all algorithms merged)",
+            extract=lambda s: _hist_quantile(
+                s, "service_request_latency_seconds", 0.99, scale=1e3
+            ),
+            direction="above",
+            warn=slo_ms,
+            crit=slo_ms * 4,
+            unit="ms",
+        ),
+        HealthRule(
+            name="queue_depth",
+            description="current dispatcher queue depth",
+            extract=lambda s: _gauge(s, "service_queue_depth_current"),
+            direction="above",
+            warn=32,
+            crit=256,
+        ),
+        HealthRule(
+            name="early_stop_ratio",
+            description="precision requests stopped by the rule, not the cap",
+            extract=lambda s: _ratio(s, "early_stops", ("precision_requests",)),
+            direction="below",
+            warn=0.5,
+            crit=0.1,
+        ),
+        HealthRule(
+            name="evidence_hit_rate",
+            description="precision requests seeded from pooled evidence",
+            extract=lambda s: _ratio(
+                s, "evidence_hits", ("evidence_hits", "evidence_misses")
+            ),
+            direction="below",
+            warn=0.25,
+            crit=0.02,
+        ),
+        HealthRule(
+            name="cache_hit_rate",
+            description="exact-plane lookups served from cache",
+            extract=lambda s: _ratio(
+                s, "cache_hits", ("cache_hits", "cache_misses")
+            ),
+            direction="below",
+            warn=0.05,
+        ),
+        HealthRule(
+            name="vectorized_fallbacks",
+            description="auto-mode requests that lost the vectorized kernel",
+            extract=lambda s: _counter_sum(
+                s, "service_vectorized_fallback_total"
+            ),
+            direction="above",
+            warn=0,
+        ),
+        HealthRule(
+            name="telemetry_duplicates",
+            description="worker telemetry payloads dropped as duplicates",
+            extract=lambda s: _counter_sum(
+                s, "telemetry_chunks_duplicate_total"
+            ),
+            direction="above",
+            warn=0,
+        ),
+    )
+
+
+def evaluate_health(
+    snapshot: Mapping[str, Any],
+    rules: Sequence[HealthRule] | None = None,
+    slo_ms: float = 250.0,
+) -> HealthReport:
+    """Evaluate *rules* (default: :func:`default_rules`) on *snapshot*."""
+    if rules is None:
+        rules = default_rules(slo_ms=slo_ms)
+    return HealthReport(results=tuple(r.evaluate(snapshot) for r in rules))
+
+
+def load_stats_snapshot(path: str) -> dict[str, Any] | None:
+    """The last ``stats`` event in a ``--stats-file`` JSONL, or ``None``."""
+    last: dict[str, Any] | None = None
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(obj, dict) and obj.get("event", "stats") == "stats":
+                last = obj
+    return last

@@ -584,6 +584,49 @@ class MetricsRegistry:
             out[key] = summary
         return out
 
+    def aggregated_quantiles(
+        self,
+        name: str,
+        qs: Sequence[float] = (0.5, 0.95, 0.99),
+        drop_labels: Sequence[str] = ("worker",),
+    ) -> dict[str, dict[str, float | None]]:
+        """Like :meth:`quantiles`, but with *drop_labels* summed away.
+
+        Histogram children whose labels differ only in the dropped
+        dimensions are merged (bucket-wise, via the snapshot/merge path,
+        so counts and sums stay exact) before quantiles are computed.
+        The canonical use is collapsing per-worker series — latency
+        percentiles across the whole fleet rather than one line per
+        ``worker="3"`` — which is what ``repro stats`` and ``repro top``
+        want.  Empty dict when the family is absent or not a histogram.
+        """
+        family = self._families.get(name)
+        if family is None or family.kind != "histogram":
+            return {}
+        dropped = set(drop_labels)
+        merged: dict[str, Histogram] = {}
+        for labels, metric in family.children():
+            key = label_key(
+                {k: v for k, v in labels.items() if k not in dropped}
+            )
+            agg = merged.get(key)
+            if agg is None:
+                agg = Histogram(metric.bounds)
+                merged[key] = agg
+            agg.merge_snapshot_value(metric.snapshot_value())
+        out: dict[str, dict[str, float | None]] = {}
+        for key, metric in merged.items():
+            count = metric.count
+            summary: dict[str, float | None] = {
+                "count": float(count),
+                "mean": (metric.sum / count) if count else None,
+            }
+            for q in qs:
+                label = f"p{q * 100:g}".replace(".", "_")
+                summary[label] = metric.quantile(q)
+            out[key] = summary
+        return out
+
     def reset(self) -> None:
         """Zero every metric (test isolation)."""
         for family in self.families():

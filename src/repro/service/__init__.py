@@ -22,6 +22,7 @@ See ``docs/SERVICE.md`` for the architecture and request JSON schema,
 
 from .cache import ResultCache, cache_key, evidence_key
 from .estimator import Estimator, RequestHandle
+from .journal import ConvergenceTrace, RequestJournal, TraceFrame
 from .precision import Precision, StopDecision, StoppingRule
 from .requests import MODES, PROTOCOL_VERSIONS, EstimateRequest, EstimateResult
 from .scheduler import BatchScheduler, EstimateCancelled, EstimateTimeout
@@ -34,6 +35,9 @@ __all__ = [
     "Precision",
     "StoppingRule",
     "StopDecision",
+    "ConvergenceTrace",
+    "TraceFrame",
+    "RequestJournal",
     "MODES",
     "PROTOCOL_VERSIONS",
     "ResultCache",

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..analysis.fairness import JoinEstimate
+from ..analysis.fairness import JoinEstimate, z_for_confidence
 from ..obs.logging import get_logger
 from ..obs.metrics import AGE_BUCKETS, MetricsRegistry
 from ..runtime.metrics import ServiceCounters
@@ -232,6 +232,66 @@ class ResultCache:
         with self._lock:
             entry = self._evidence.get(evidence_key(graph_hash, algorithm_key))
             return entry.trials if entry is not None else 0
+
+    def evidence_entries(self, confidence: float = 0.95) -> list[dict]:
+        """Introspection snapshot of the evidence plane (LRU order,
+        coldest first); does not touch hit/miss counters or recency.
+
+        Each row reports the pair identity, pooled trials, node count,
+        resident bytes, seconds since first deposit, dedup-tag count,
+        and the half-width the pooled evidence can already achieve at
+        the given *confidence* — i.e. what a precision request would
+        start from.  Backs ``repro evidence ls``/``show``.
+        """
+        z = z_for_confidence(confidence)
+        with self._lock:
+            items = [
+                (key, entry.estimate(), entry) for key, entry in self._evidence.items()
+            ]
+        now = time.monotonic()
+        rows = []
+        for (graph_hash, algorithm_key), est, entry in items:
+            rows.append(
+                {
+                    "graph_hash": graph_hash,
+                    "algorithm": algorithm_key,
+                    "trials": entry.trials,
+                    "nodes": int(est.counts.shape[0]),
+                    "bytes": int(entry.counts.nbytes),
+                    "age_s": now - entry.inserted_at,
+                    "tags": len(entry.tags),
+                    "achievable_halfwidth": float(est.max_halfwidth(z)),
+                }
+            )
+        return rows
+
+    def purge_evidence(
+        self,
+        graph_hash: str | None = None,
+        algorithm_key: str | None = None,
+    ) -> int:
+        """Drop matching evidence entries; returns how many were purged.
+
+        ``None`` filters match everything, so ``purge_evidence()`` empties
+        the plane.  An entry's dedup tags go with it — a purge is a
+        statement that the pooled samples are unwanted, so later seeded
+        re-runs may legitimately re-deposit.
+        """
+        with self._lock:
+            victims = [
+                key
+                for key in self._evidence
+                if (graph_hash is None or key[0] == graph_hash)
+                and (algorithm_key is None or key[1] == algorithm_key)
+            ]
+            for key in victims:
+                del self._evidence[key]
+            resident = sum(e.trials for e in self._evidence.values())
+        self._g_evidence_trials.set(resident)
+        if victims:
+            self.counters.increment("cache_evictions", len(victims))
+            _log.debug("evidence_purged", purged=len(victims))
+        return len(victims)
 
     def clear(self) -> None:
         """Drop every entry in both planes (counters are preserved)."""

@@ -36,6 +36,7 @@ from ..obs.metrics import MetricsRegistry, use_registry
 from ..obs.spans import span
 from ..runtime.metrics import RequestRecord, ServiceCounters
 from .cache import ResultCache
+from .journal import RequestJournal
 from .precision import Precision
 from .requests import EstimateRequest, EstimateResult
 from .scheduler import BatchScheduler, Ticket
@@ -138,6 +139,7 @@ class Estimator:
             context=context,
             registry=self.registry,
             shm=shm,
+            journal=RequestJournal(),
         )
         self._log = get_logger("repro.service.estimator")
         self._log.info(
@@ -168,6 +170,11 @@ class Estimator:
         merge point (worker metric deltas land here)."""
         return self._scheduler.telemetry
 
+    @property
+    def journal(self) -> RequestJournal:
+        """Bounded ring of recent convergence traces (``repro explain``)."""
+        return self._scheduler.journal
+
     def submit(
         self,
         request: EstimateRequest | None = None,
@@ -180,6 +187,7 @@ class Estimator:
         seed: int | None = 0,
         params: Mapping[str, Any] | None = None,
         mode: str = "auto",
+        trace: bool = False,
         request_id: str | None = None,
     ) -> RequestHandle:
         """Submit a request (non-blocking); returns a :class:`RequestHandle`.
@@ -214,6 +222,7 @@ class Estimator:
                 params=dict(params or {}),
                 mode=mode,
                 precision=precision,
+                trace=trace,
                 id=request_id,
             )
         with use_registry(self.registry), span(

@@ -44,6 +44,7 @@ from typing import Any, Mapping
 from ..analysis.fairness import JoinEstimate
 from ..graphs.graph import StaticGraph
 from ..graphs.spec import GraphSpec
+from .journal import ConvergenceTrace
 from .precision import Precision
 
 __all__ = ["EstimateRequest", "EstimateResult", "MODES", "PROTOCOL_VERSIONS"]
@@ -57,7 +58,7 @@ MODES: tuple[str, ...] = ("auto", "exact", "vectorized")
 PROTOCOL_VERSIONS: tuple[int, ...] = (1, 2)
 
 _V1_FIELDS = {"v", "id", "graph", "algorithm", "trials", "seed", "params", "mode"}
-_V2_FIELDS = _V1_FIELDS | {"precision"}
+_V2_FIELDS = _V1_FIELDS | {"precision", "trace"}
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,7 @@ class EstimateRequest:
     params: Mapping[str, Any] = field(default_factory=dict)
     mode: str = "auto"
     precision: Precision | None = None
+    trace: bool = False
     id: str | None = None
 
     def __post_init__(self) -> None:
@@ -150,6 +152,7 @@ class EstimateRequest:
             raise ValueError("request JSON requires a 'graph' spec string")
         precision: Precision | None = None
         trials: int | None = None
+        trace = False
         if version >= 2:
             if obj.get("precision") is not None:
                 precision = Precision.from_json(obj["precision"])
@@ -157,6 +160,7 @@ class EstimateRequest:
                 trials = int(obj["trials"])
             if precision is None and trials is None:
                 precision = Precision.default()
+            trace = bool(obj.get("trace", False))
         else:
             trials = int(obj.get("trials", 2000))
         return cls(
@@ -167,6 +171,7 @@ class EstimateRequest:
             params=dict(obj.get("params", {})),
             mode=str(obj.get("mode", "auto")),
             precision=precision,
+            trace=trace,
             id=obj.get("id"),
         )
 
@@ -182,7 +187,7 @@ class EstimateRequest:
                 "use graph_spec"
             )
         out: dict[str, Any] = {}
-        if self.precision is not None:
+        if self.precision is not None or self.trace:
             out["v"] = 2
         out.update(
             graph=self.graph_spec,
@@ -196,6 +201,8 @@ class EstimateRequest:
                 out["trials"] = self.trials
         else:
             out["trials"] = self.trials
+        if self.trace:
+            out["trace"] = True
         if self.params:
             out["params"] = dict(self.params)
         if self.id is not None:
@@ -213,6 +220,11 @@ class EstimateResult:
     stopping rule fired early.  :attr:`realized_trials` is the total
     evidence behind the returned estimate — new trials plus any cached
     prior (``prior_trials``) the scheduler seeded the CI with.
+
+    ``convergence`` is the request's decision audit (one frame per
+    stopping-rule evaluation; see :mod:`repro.service.journal`) — always
+    recorded for primary requests, but only serialized into the JSON
+    envelope when the request asked for it (``"trace": true``).
     """
 
     request: EstimateRequest
@@ -226,6 +238,7 @@ class EstimateResult:
     stopped_early: bool = False
     prior_trials: int = 0
     precision_achieved: Mapping[str, float] | None = None
+    convergence: ConvergenceTrace | None = None
 
     @property
     def realized_trials(self) -> int:
@@ -256,6 +269,9 @@ class EstimateResult:
             out["stopped_early"] = self.stopped_early
             if self.precision_achieved is not None:
                 out["precision_achieved"] = dict(self.precision_achieved)
+        if self.request.trace and self.convergence is not None:
+            out["v"] = 2
+            out["convergence"] = self.convergence.to_json()
         if self.request.id is not None:
             out["id"] = self.request.id
         if self.request.graph_spec is not None:

@@ -44,7 +44,7 @@ from typing import Any
 
 import numpy as np
 
-from ..analysis.fairness import JoinEstimate
+from ..analysis.fairness import JoinEstimate, z_for_confidence
 from ..analysis.montecarlo import TrialPool, normalize_jobs
 from ..core.registry import make
 from ..core.result import MISAlgorithm
@@ -62,7 +62,8 @@ from ..obs.spans import bind_trace, current_span_id, current_trace_id, new_trace
 from ..runtime.metrics import RequestRecord, ServiceCounters
 from ..runtime.rng import as_seed_sequence, spawn_trial_seeds
 from .cache import ResultCache, cache_key
-from .precision import StoppingRule
+from .journal import ConvergenceTrace, RequestJournal, TraceFrame
+from .precision import StopDecision, StoppingRule
 from .requests import EstimateRequest, EstimateResult
 
 __all__ = ["BatchScheduler", "EstimateTimeout", "EstimateCancelled", "Ticket"]
@@ -116,6 +117,9 @@ class Ticket:
         self.seed_root = as_seed_sequence(request.seed)
         self.rounds = 0
         self.inflight_chunks = 0
+        self.round_chunks = 0
+        self.round_start_trials = 0
+        self.frames: list[TraceFrame] = []
         self.stopped_early = False
         self.achieved: dict[str, float] | None = None
         self.counts = np.zeros(graph.n, dtype=np.int64)
@@ -213,6 +217,7 @@ class BatchScheduler:
         context: str | None = None,
         registry: MetricsRegistry | None = None,
         shm: bool = True,
+        journal: RequestJournal | None = None,
     ) -> None:
         if chunk_trials <= 0:
             raise ValueError("chunk_trials must be positive")
@@ -287,6 +292,9 @@ class BatchScheduler:
         self.chunk_trials = chunk_trials
         self.max_pools = max_pools
         self.records: deque[RequestRecord] = deque(maxlen=max_records)
+        # Decision-audit plane: every primary request's convergence trace
+        # lands here (bounded ring) for `repro explain` / EstimateResult.
+        self.journal = journal if journal is not None else RequestJournal()
         self._context = context
         self._shm = shm
         # Cross-process plane: every pool this scheduler creates ships
@@ -437,7 +445,17 @@ class BatchScheduler:
         )
         if prior is not None:
             decision = rule.check(prior.counts, prior.trials)
-            if decision.should_stop:
+            stop = decision.should_stop
+            ticket.frames.append(
+                self._precision_frame(
+                    ticket,
+                    decision,
+                    chunks=0,
+                    new_trials=0,
+                    predicted=0 if stop else self._round_budget(ticket),
+                )
+            )
+            if stop:
                 ticket.stopped_early = decision.satisfied
                 ticket.achieved = decision.achieved()
                 if decision.satisfied:
@@ -696,6 +714,89 @@ class BatchScheduler:
             budget = max(base, int(needed * 1.05))
         return max(0, min(remaining, budget))
 
+    def _precision_frame(
+        self,
+        ticket: Ticket,
+        decision: StopDecision,
+        *,
+        chunks: int,
+        new_trials: int,
+        predicted: int,
+    ) -> TraceFrame:
+        """One convergence-trace frame from a stopping-rule evaluation."""
+        assert ticket.stopping is not None
+        rule = ticket.stopping
+        return TraceFrame(
+            round=ticket.rounds,
+            chunks=chunks,
+            new_trials=new_trials,
+            total_new_trials=ticket.trials_done,
+            prior_trials=ticket.prior_trials,
+            trials=decision.trials,
+            node_halfwidth=decision.node_halfwidth,
+            node_target=rule.node_ci,
+            inequality_halfwidth=decision.inequality_halfwidth,
+            inequality_target=rule.inequality_ci,
+            predicted_remaining=predicted,
+            satisfied=decision.satisfied,
+            capped=decision.capped,
+            wall_s=time.perf_counter() - ticket.submitted_at,
+        )
+
+    def _build_trace(
+        self, ticket: Ticket, estimate: JoinEstimate, cached: bool
+    ) -> ConvergenceTrace:
+        """The request's decision audit (see :mod:`repro.service.journal`).
+
+        Precision tickets carry the frames accumulated between rounds;
+        fixed-budget (and exact-cache-hit) requests get a single
+        synthetic frame so the achieved half-widths are still auditable,
+        with stop reason ``fixed-budget``.
+        """
+        if ticket.stopping is not None:
+            precision = ticket.request.resolved_precision()
+            return ConvergenceTrace(
+                request_id=ticket.request.id,
+                algorithm=ticket.request.algorithm,
+                graph_hash=ticket.graph_hash,
+                mode=ticket.mode,
+                stop_reason="satisfied" if ticket.stopped_early else "capped",
+                prior_trials=ticket.prior_trials,
+                new_trials=ticket.trials_run,
+                cached=cached,
+                precision=precision.to_json() if precision is not None else None,
+                frames=tuple(ticket.frames),
+            )
+        z = z_for_confidence(0.95)
+        frame = TraceFrame(
+            round=0 if cached else 1,
+            chunks=0 if cached else math.ceil(ticket.target / self.chunk_trials),
+            new_trials=ticket.trials_run if not cached else 0,
+            total_new_trials=ticket.trials_run if not cached else 0,
+            prior_trials=0,
+            trials=estimate.trials,
+            node_halfwidth=estimate.max_halfwidth(z),
+            node_target=None,
+            inequality_halfwidth=None,
+            inequality_target=None,
+            predicted_remaining=0,
+            satisfied=False,
+            capped=False,
+            wall_s=time.perf_counter() - ticket.submitted_at,
+        )
+        return ConvergenceTrace(
+            request_id=ticket.request.id,
+            algorithm=ticket.request.algorithm,
+            graph_hash=ticket.graph_hash,
+            mode=ticket.mode,
+            stop_reason="fixed-budget",
+            prior_trials=0,
+            new_trials=frame.new_trials,
+            cached=cached,
+            precision=None,
+            frames=(frame,),
+        )
+
     def _dispatch_precision_round(self, ticket: Ticket) -> None:
         """Submit one round of chunks for a precision-targeted request."""
         if ticket.dead:
@@ -724,6 +825,8 @@ class BatchScheduler:
             with self._lock:
                 ticket.rounds += 1
                 ticket.inflight_chunks = len(sizes)
+                ticket.round_chunks = len(sizes)
+                ticket.round_start_trials = ticket.trials_done
             for n_trials in sizes:
                 if not self._acquire_slot():
                     self._abort(ticket, EstimateCancelled("scheduler stopped"))
@@ -776,6 +879,16 @@ class BatchScheduler:
             trials=combined_trials,
             node_halfwidth=round(decision.node_halfwidth, 6),
             satisfied=decision.satisfied,
+        )
+        stopping = decision.should_stop or ticket.trials_done >= ticket.target
+        ticket.frames.append(
+            self._precision_frame(
+                ticket,
+                decision,
+                chunks=ticket.round_chunks,
+                new_trials=ticket.trials_done - ticket.round_start_trials,
+                predicted=0 if stopping else self._round_budget(ticket),
+            )
         )
         if decision.should_stop or ticket.trials_done >= ticket.target:
             ticket.stopped_early = decision.satisfied
@@ -985,6 +1098,7 @@ class BatchScheduler:
             stopped_early=ticket.stopped_early,
             latency_s=round(latency, 6),
         )
+        trace = self._build_trace(ticket, estimate, cached)
         result = EstimateResult(
             request=ticket.request,
             estimate=estimate,
@@ -997,8 +1111,10 @@ class BatchScheduler:
             stopped_early=ticket.stopped_early,
             prior_trials=ticket.prior_trials,
             precision_achieved=ticket.achieved,
+            convergence=trace,
         )
         ticket._complete(result)
+        self.journal.record(trace)
         self._record(ticket, result)
         with self._lock:
             subscribers = list(ticket.subscribers)

@@ -107,6 +107,59 @@ class TestTimingGating:
         assert report.ok  # -10% within the 25% timing tolerance
 
 
+class TestZeroBaseline:
+    def test_count_from_zero_has_no_delta_but_regresses(self):
+        report = compare_artifacts(
+            _doc({"m": _count(3)}), _doc({"m": _count(0)})
+        )
+        row = report.rows[0]
+        assert row.delta_pct is None  # no inf/JSON-illegal percentage
+        assert row.note == "new from zero"
+        assert row.regressed and row.gated
+        assert not report.ok
+
+    def test_zero_to_zero_is_ok(self):
+        report = compare_artifacts(
+            _doc({"m": _count(0)}), _doc({"m": _count(0)})
+        )
+        row = report.rows[0]
+        assert row.delta_pct == 0.0
+        assert not row.regressed and row.note == ""
+
+    def test_count_from_zero_ignores_tolerance(self):
+        # A nonzero-from-zero count is a behavioural change no matter
+        # how generous the tolerance — there is no percentage to test.
+        report = compare_artifacts(
+            _doc({"m": _count(1)}), _doc({"m": _count(0)}),
+            tolerance_pct=1000.0,
+        )
+        assert not report.ok
+
+    def test_timing_from_zero_judged_by_direction(self):
+        up_good = compare_artifacts(
+            _doc({"t": _timing(50.0, higher_is_better=True)}),
+            _doc({"t": _timing(0.0, higher_is_better=True)}),
+            strict_timing=True,
+        )
+        assert up_good.ok
+        assert up_good.rows[0].note == "new from zero"
+        up_bad = compare_artifacts(
+            _doc({"t": _timing(50.0, higher_is_better=False)}),
+            _doc({"t": _timing(0.0, higher_is_better=False)}),
+            strict_timing=True,
+        )
+        assert not up_bad.ok
+
+    def test_format_renders_dash_for_undefined_delta(self):
+        report = compare_artifacts(
+            _doc({"m": _count(3)}), _doc({"m": _count(0)})
+        )
+        lines = report.format().splitlines()
+        row = next(ln for ln in lines if "[new from zero]" in ln)
+        # columns: name kind baseline current delta verdict...
+        assert row.split()[4] == "-"
+
+
 class TestMissingMetrics:
     def test_missing_sides_reported_not_gated(self):
         report = compare_artifacts(

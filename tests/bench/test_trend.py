@@ -1,0 +1,179 @@
+"""Trend history over bench artifact directories (`repro bench trend`)."""
+
+import json
+
+import pytest
+
+from repro.bench.trend import build_trend, collect_artifacts
+from repro.cli import main
+
+
+def _count(value, gate=True, tolerance=0.0):
+    return {
+        "value": value,
+        "unit": "rounds",
+        "kind": "count",
+        "higher_is_better": False,
+        "gate": gate,
+        "tolerance_pct": tolerance,
+    }
+
+
+def _timing(value, higher_is_better=True, tolerance=25.0):
+    return {
+        "value": value,
+        "unit": "trials/s",
+        "kind": "timing",
+        "higher_is_better": higher_is_better,
+        "gate": False,
+        "tolerance_pct": tolerance,
+    }
+
+
+def _doc(metrics, sha="cafe12", created=1.0):
+    return {
+        "schema": "repro-bench/1",
+        "git_sha": sha,
+        "created_unix": created,
+        "metrics": metrics,
+    }
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestCollectArtifacts:
+    def test_directory_glob_ordered_by_created(self, tmp_path):
+        _write(tmp_path, "BENCH_bbb.json", _doc({}, sha="bbb", created=2.0))
+        _write(tmp_path, "BENCH_aaa.json", _doc({}, sha="aaa", created=1.0))
+        _write(tmp_path, "BENCH_ccc.json", _doc({}, sha="ccc", created=3.0))
+        docs = collect_artifacts([tmp_path])
+        assert [d["git_sha"] for d in docs] == ["aaa", "bbb", "ccc"]
+
+    def test_skips_stray_files(self, tmp_path):
+        _write(tmp_path, "BENCH_good.json", _doc({}, sha="good"))
+        (tmp_path / "BENCH_junk.json").write_text("{not json")
+        _write(
+            tmp_path,
+            "BENCH_old.json",
+            {"schema": "other/9", "metrics": {}},
+        )
+        docs = collect_artifacts([tmp_path])
+        assert [d["git_sha"] for d in docs] == ["good"]
+
+    def test_mixed_files_and_dirs(self, tmp_path):
+        sub = tmp_path / "history"
+        sub.mkdir()
+        _write(sub, "BENCH_a.json", _doc({}, sha="a", created=1.0))
+        extra = _write(tmp_path, "fresh.json", _doc({}, sha="b", created=2.0))
+        docs = collect_artifacts([sub, extra])
+        assert [d["git_sha"] for d in docs] == ["a", "b"]
+
+
+class TestBuildTrend:
+    def _series(self):
+        return [
+            _doc({"rounds": _count(7), "thr": _timing(100.0)}, "s1", 1.0),
+            _doc({"rounds": _count(7), "thr": _timing(99.0)}, "s2", 2.0),
+            _doc({"rounds": _count(9), "thr": _timing(40.0)}, "s3", 3.0),
+        ]
+
+    def test_steps_use_compare_semantics(self):
+        report = build_trend(self._series())
+        by_name = {m.name: m for m in report.metrics}
+        rounds = by_name["rounds"]
+        # First point never regresses (no predecessor); the count step
+        # lands exactly where the value moved, and gates.
+        assert [p.regressed for p in rounds.points] == [False, False, True]
+        assert rounds.steps[0].sha == "s3" and rounds.steps[0].gated
+        thr = by_name["thr"]
+        # -1% is inside the 25% timing tolerance; -60% is not.
+        assert [p.regressed for p in thr.points] == [False, False, True]
+        assert not thr.steps[0].gated  # timing stays advisory
+
+    def test_flagged_orders_steps_first(self):
+        report = build_trend(self._series())
+        assert {m.name for m in report.flagged} == {"rounds", "thr"}
+
+    def test_only_filter(self):
+        report = build_trend(self._series(), only=["thr"])
+        assert [m.name for m in report.metrics] == ["thr"]
+
+    def test_from_zero_note_propagates(self):
+        docs = [
+            _doc({"fallbacks": _count(0)}, "s1", 1.0),
+            _doc({"fallbacks": _count(3)}, "s2", 2.0),
+        ]
+        report = build_trend(docs)
+        point = report.metrics[0].points[1]
+        assert point.regressed and point.note == "new from zero"
+
+    def test_metric_absent_in_one_artifact(self):
+        docs = [
+            _doc({"a": _count(1)}, "s1", 1.0),
+            _doc({"a": _count(1), "b": _count(2)}, "s2", 2.0),
+        ]
+        report = build_trend(docs)
+        b = {m.name: m for m in report.metrics}["b"]
+        assert b.points[0].value is None
+        assert not b.points[1].regressed  # missing-side rows never gate
+
+    def test_empty_input(self):
+        report = build_trend([])
+        assert report.metrics == [] and report.to_json()["artifacts"] == []
+
+
+class TestRendering:
+    def _report(self):
+        return build_trend(
+            [
+                _doc({"rounds": _count(7)}, "s1", 1.0),
+                _doc({"rounds": _count(9)}, "s2", 2.0),
+            ]
+        )
+
+    def test_ansi_table(self):
+        text = self._report().format()
+        assert "bench trend: 2 artifact(s), s1 -> s2" in text
+        assert "rounds" in text
+        assert "1 metric(s) stepped: rounds" in text
+
+    def test_markdown_table(self):
+        text = self._report().format(markdown=True)
+        assert "| metric | kind |" in text
+        assert "| rounds | count |" in text
+
+    def test_clean_series_reports_no_steps(self):
+        report = build_trend([_doc({"m": _count(5)}, "s1", 1.0)])
+        assert "no regressing steps" in report.format()
+
+    def test_to_json_is_serializable(self):
+        doc = json.loads(json.dumps(self._report().to_json()))
+        assert doc["metrics"][0]["points"][1]["regressed"] is True
+
+
+class TestCli:
+    def _dir(self, tmp_path):
+        _write(tmp_path, "BENCH_a.json", _doc({"m": _count(5)}, "a", 1.0))
+        _write(tmp_path, "BENCH_b.json", _doc({"m": _count(6)}, "b", 2.0))
+        return tmp_path
+
+    def test_trend_exits_zero_even_with_steps(self, tmp_path, capsys):
+        rc = main(["bench", "trend", str(self._dir(tmp_path))])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bench trend: 2 artifact(s)" in out
+        assert "1 metric(s) stepped" in out
+
+    def test_trend_json(self, tmp_path, capsys):
+        rc = main(["bench", "trend", str(self._dir(tmp_path)), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [a["git_sha"] for a in doc["artifacts"]] == ["a", "b"]
+
+    def test_trend_no_artifacts_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "trend", str(tmp_path)])

@@ -290,3 +290,52 @@ class TestRegistryQuantiles:
         fam = reg.histogram("h", buckets=(2, 4))
         fam.observe(1.0)
         assert 0.0 < fam.quantile(0.5) <= 2.0
+
+
+class TestAggregatedQuantiles:
+    def _fleet(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram(
+            "lat", buckets=(1, 2, 4), labelnames=("algorithm", "worker")
+        )
+        fam.labels(algorithm="luby", worker="0").observe(0.5)
+        fam.labels(algorithm="luby", worker="1").observe(1.5)
+        fam.labels(algorithm="luby", worker="1").observe(3.0)
+        fam.labels(algorithm="fair", worker="0").observe(0.5)
+        return reg
+
+    def test_drops_worker_dimension(self):
+        out = self._fleet().aggregated_quantiles("lat")
+        assert set(out) == {'algorithm="luby"', 'algorithm="fair"'}
+        luby = out['algorithm="luby"']
+        # Both workers' observations land in one merged histogram.
+        assert luby["count"] == 3.0
+        assert luby["mean"] == pytest.approx(5.0 / 3.0)
+        assert 0.0 < luby["p50"] <= luby["p95"] <= luby["p99"] <= 4.0
+
+    def test_drop_all_labels_collapses_to_fleet(self):
+        out = self._fleet().aggregated_quantiles(
+            "lat", drop_labels=("worker", "algorithm")
+        )
+        assert set(out) == {""}
+        assert out[""]["count"] == 4.0
+
+    def test_custom_qs_name_mangling(self):
+        out = self._fleet().aggregated_quantiles(
+            "lat", qs=(0.5, 0.999), drop_labels=("worker", "algorithm")
+        )
+        assert set(out[""]) == {"count", "mean", "p50", "p99_9"}
+
+    def test_missing_or_wrong_kind_empty(self):
+        reg = MetricsRegistry()
+        assert reg.aggregated_quantiles("nope") == {}
+        reg.counter("c").inc()
+        assert reg.aggregated_quantiles("c") == {}
+
+    def test_matches_plain_quantiles_when_nothing_dropped(self):
+        reg = self._fleet()
+        merged = reg.aggregated_quantiles("lat", drop_labels=())
+        plain = reg.quantiles("lat")
+        assert set(merged) == set(plain)
+        for key in plain:
+            assert merged[key]["count"] == plain[key]["count"]

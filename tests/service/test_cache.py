@@ -58,6 +58,68 @@ class TestResultCache:
         assert c.get("k") is None
 
 
+class TestEvidencePlane:
+    def _gauge(self, counters):
+        return counters.registry.gauge("service_evidence_trials_resident").value
+
+    def test_lru_eviction_keeps_resident_gauge_consistent(self):
+        counters = ServiceCounters()
+        c = ResultCache(capacity=2, counters=counters)
+        c.add_evidence("g1", "luby", est(4))
+        c.add_evidence("g2", "luby", est(8))
+        assert self._gauge(counters) == 12
+        c.evidence("g1", "luby")  # refresh g1 → g2 is least-recent
+        c.add_evidence("g3", "luby", est(16))
+        assert c.evidence_trials("g2", "luby") == 0
+        assert c.evidence_trials("g1", "luby") == 4
+        # The gauge tracks exactly the trials still resident.
+        assert self._gauge(counters) == 4 + 16
+        assert counters.snapshot()["cache_evictions"] == 1
+
+    def test_purge_selective_and_full(self):
+        counters = ServiceCounters()
+        c = ResultCache(capacity=8, counters=counters)
+        c.add_evidence("g1", "luby", est(4))
+        c.add_evidence("g1", "fair", est(4))
+        c.add_evidence("g2", "luby", est(4))
+        assert c.purge_evidence(graph_hash="g1", algorithm_key="luby") == 1
+        assert self._gauge(counters) == 8
+        assert c.purge_evidence(graph_hash="g2") == 1
+        assert c.purge_evidence() == 1  # everything left
+        assert self._gauge(counters) == 0
+        assert c.purge_evidence() == 0  # idempotent on empty plane
+
+    def test_purged_tags_do_not_block_redeposit(self):
+        c = ResultCache(capacity=8, counters=ServiceCounters())
+        c.add_evidence("g", "luby", est(4), tag=("seed", 7))
+        c.purge_evidence(graph_hash="g")
+        # The purge dropped the dedup tag with the entry, so the same
+        # deterministic contribution may legitimately come back.
+        c.add_evidence("g", "luby", est(4), tag=("seed", 7))
+        assert c.evidence_trials("g", "luby") == 4
+
+    def test_same_tag_does_not_double_count(self):
+        counters = ServiceCounters()
+        c = ResultCache(capacity=8, counters=counters)
+        c.add_evidence("g", "luby", est(4), tag=("seed", 7))
+        c.add_evidence("g", "luby", est(4), tag=("seed", 7))
+        assert c.evidence_trials("g", "luby") == 4
+        assert self._gauge(counters) == 4
+
+    def test_evidence_entries_describes_pools(self):
+        c = ResultCache(capacity=8, counters=ServiceCounters())
+        c.add_evidence("g", "luby", est(16), tag="t1")
+        rows = c.evidence_entries()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["graph_hash"] == "g" and row["algorithm"] == "luby"
+        assert row["trials"] == 16 and row["nodes"] == 3
+        assert row["tags"] == 1
+        assert row["bytes"] > 0 and row["age_s"] >= 0
+        # Wilson half-width at 95% for p=0.5, n=16 is ≈ 0.22.
+        assert 0.2 < row["achievable_halfwidth"] < 0.3
+
+
 class TestEstimatorCaching:
     def test_repeat_request_served_from_cache(self):
         with Estimator(n_jobs=1) as svc:
