@@ -21,6 +21,7 @@ knobs, so a ``--quick`` baseline stays valid for full runs.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass, field
@@ -718,6 +719,198 @@ def _fast_counts(config: BenchConfig) -> dict[str, dict[str, Any]]:
     return out
 
 
+def _frontend_load(config: BenchConfig) -> dict[str, dict[str, Any]]:
+    """Closed-loop load through the sharded TCP front end.
+
+    Structure over speed: wall-clock throughput depends on the host's
+    core count (a 1-core runner cannot show a shard speedup), so the
+    *gated* metrics are the structural invariants that must hold on any
+    machine — warm requests route to the same shard and cost zero new
+    trials, nominal (self-calibrated, half-capacity) load sheds nothing,
+    and overload sheds *structurally*: at least one shed, every
+    non-success carrying a machine-readable error code.  The goodput
+    numbers (nominal rps, 4-vs-1-shard ratio, overloaded-admitted p99)
+    are recorded as advisory timing metrics with the host's cpu count in
+    the details.
+    """
+    import asyncio
+    import contextlib
+
+    from ..frontend import Frontend, FrontendConfig, run_loadgen, run_tcp_server
+    from ..obs.metrics import MetricsRegistry
+
+    nominal_spec = f"tree:120:{_COUNT_SEED}"
+    warm_specs = [f"tree:{80 + i}:1" for i in range(6)]
+    cmp_specs = [f"tree:{90 + i}:2" for i in range(8)]
+    overload_specs = [f"tree:{130 + i}:3" for i in range(10)]
+    evidence_spec = f"tree:500:{_COUNT_SEED}"
+
+    def v1(spec: str, **kw: Any) -> dict[str, Any]:
+        return {
+            "graph": spec, "algorithm": "luby_fast", "trials": 40,
+            "seed": 0, **kw,
+        }
+
+    async def start(shards: int, queue_limit: int = 128):
+        cfg = FrontendConfig(
+            shards=shards, shard_jobs=1, include_counts=False,
+            queue_limit=queue_limit, inherit_shard_stderr=False,
+        )
+        fe = Frontend(cfg, registry=MetricsRegistry())
+        ready = asyncio.Event()
+        task = asyncio.create_task(
+            run_tcp_server(fe, "127.0.0.1", 0, ready=ready)
+        )
+        await asyncio.wait_for(ready.wait(), timeout=180)
+        return fe, task
+
+    async def stop(task) -> None:
+        task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await task
+
+    async def rpc(port: int, obj: dict[str, Any]) -> dict[str, Any]:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            writer.write((json.dumps(obj) + "\n").encode())
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=300)
+            return json.loads(line)
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    async def bench() -> dict[str, dict[str, Any]]:
+        (fe1, t1), (fe4, t4) = await asyncio.gather(start(1), start(4))
+        port1, port4 = fe1.bound_port, fe4.bound_port
+        try:
+            # -- warm path on 4 shards: same graph → same shard, cached.
+            warm_errors = warm_route_changes = warm_trials_run = 0
+            for i, spec in enumerate(warm_specs):
+                first = await rpc(port4, v1(spec, id=f"w{i}a"))
+                repeat = await rpc(port4, v1(spec, id=f"w{i}b"))
+                if "error" in first or "error" in repeat:
+                    warm_errors += 1
+                    continue
+                if repeat.get("shard") != first.get("shard"):
+                    warm_route_changes += 1
+                if not repeat.get("cached"):
+                    warm_trials_run += int(repeat.get("trials_run", 1)) or 1
+
+            # -- sharded evidence economics (mirrors sequential_stopping
+            #    at the wire): a fixed deposit, then a default-precision
+            #    request with a fresh seed must cost zero new trials.
+            deposit = await rpc(port4, {
+                "graph": evidence_spec, "algorithm": "fair_tree_fast",
+                "trials": 2000, "seed": _COUNT_SEED, "id": "ev-cold",
+            })
+            warm_v2 = await rpc(port4, {
+                "v": 2, "graph": evidence_spec, "algorithm": "fair_tree_fast",
+                "seed": _COUNT_SEED + 1, "id": "ev-warm",
+            })
+            if "error" in deposit or "error" in warm_v2:
+                warm_errors += 1
+                warm_new_trials = -1
+            else:
+                if warm_v2.get("shard") != deposit.get("shard"):
+                    warm_route_changes += 1
+                warm_new_trials = int(warm_v2["realized_trials"]) - int(
+                    warm_v2["prior_trials"]
+                )
+
+            # -- calibrate: warm mean latency of the nominal request.
+            lat: list[float] = []
+            for i in range(6):
+                t0 = time.perf_counter()
+                probe = await rpc(port1, v1(nominal_spec, id=f"cal{i}"))
+                lat.append(time.perf_counter() - t0)
+                if "error" in probe:
+                    warm_errors += 1
+            mean_lat = sum(lat[1:]) / len(lat[1:])  # drop the cold first
+
+            # -- nominal: half the measured capacity must shed nothing.
+            nominal_rate = max(2.0, 0.5 / mean_lat)
+            nominal = await run_loadgen(
+                "127.0.0.1", port1, [v1(nominal_spec)] * 30,
+                rate=nominal_rate, slo_ms=10_000.0, timeout_s=300,
+            )
+
+            # -- 1 vs 4 shards at the same super-capacity offered load.
+            for spec in cmp_specs:  # pre-warm both frontends
+                await rpc(port1, v1(spec))
+                await rpc(port4, v1(spec))
+            cmp_rate = 3.0 / mean_lat
+            cmp_requests = [v1(cmp_specs[i % len(cmp_specs)]) for i in range(48)]
+            cmp1 = await run_loadgen(
+                "127.0.0.1", port1, cmp_requests,
+                rate=cmp_rate, slo_ms=10_000.0, timeout_s=300,
+            )
+            cmp4 = await run_loadgen(
+                "127.0.0.1", port4, cmp_requests,
+                rate=cmp_rate, slo_ms=10_000.0, timeout_s=300,
+            )
+
+            # -- overload: shrink the shard queue and slam it 4x over
+            #    capacity with uncached graphs; shedding must happen and
+            #    every non-success must carry a structured code.
+            fe1.config.queue_limit = 2
+            for shard in fe1.shards:
+                shard.queue_limit = 2
+            overload_rate = max(50.0, 4.0 / mean_lat)
+            overload = await run_loadgen(
+                "127.0.0.1", port1,
+                [v1(overload_specs[i % len(overload_specs)], seed=i)
+                 for i in range(30)],
+                rate=overload_rate, slo_ms=10_000.0, timeout_s=300,
+            )
+        finally:
+            await asyncio.gather(stop(t1), stop(t4))
+
+        details = {
+            "cpu_count": os.cpu_count(),
+            "calibrated_latency_ms": round(mean_lat * 1e3, 3),
+            "nominal_rate_rps": round(nominal_rate, 2),
+            "cmp_rate_rps": round(cmp_rate, 2),
+            "overload_rate_rps": round(overload_rate, 2),
+            "nominal": nominal.to_json(),
+            "cmp_1shard": cmp1.to_json(),
+            "cmp_4shard": cmp4.to_json(),
+            "overload": overload.to_json(),
+        }
+        ratio = (
+            cmp4.goodput_rps / cmp1.goodput_rps
+            if cmp1.goodput_rps > 0 else float("inf")
+        )
+        return {
+            "frontend.warm_errors": _count(
+                warm_errors, "requests", details=details),
+            "frontend.warm_route_changes": _count(
+                warm_route_changes, "requests", details=details),
+            "frontend.warm_trials_run": _count(
+                warm_trials_run, "trials", details=details),
+            "frontend.warm_new_trials": _count(
+                warm_new_trials, "trials", details=details),
+            "frontend.nominal_shed": _count(
+                nominal.shed + nominal.rate_limited, "requests",
+                details=details),
+            "frontend.overload_shed_missing": _count(
+                0 if overload.shed > 0 else 1, "flag", details=details),
+            "frontend.overload_unstructured_errors": _count(
+                overload.errors, "requests", details=details),
+            "frontend.nominal_goodput_rps": _timing(
+                nominal.goodput_rps, "rps", higher_is_better=True,
+                details=details),
+            "frontend.shard_goodput_ratio": _timing(
+                ratio, "x", higher_is_better=True, details=details),
+            "frontend.overload_admitted_p99_ms": _timing(
+                overload.latency_ms(0.99), "ms", higher_is_better=False,
+                details=details),
+        }
+
+    return asyncio.run(bench())
+
+
 def build_cases(config: BenchConfig) -> list[BenchCase]:
     """The suite, optionally filtered by ``config.only`` (substring)."""
     cases = [
@@ -745,6 +938,8 @@ def build_cases(config: BenchConfig) -> list[BenchCase]:
                   "faithful-engine rounds/messages (deterministic)"),
         BenchCase("fast_counts", _fast_counts,
                   "fast-engine iteration counts (deterministic)"),
+        BenchCase("frontend", _frontend_load,
+                  "sharded front end: warm routing, admission, overload"),
     ]
     if config.only:
         needle = config.only.lower()

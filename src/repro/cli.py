@@ -242,49 +242,65 @@ def _service_loop(
     stats_every: int = 0,
     stats_stream: IO[str] | None = None,
     shm: bool = True,
+    max_line_bytes: int | None = None,
 ) -> int:
     """Run JSON-lines requests through one warm Estimator; returns #errors.
 
-    With ``stats_every=N`` a one-line JSON stats snapshot (counters,
-    request-latency percentiles, plus the full metrics-registry snapshot)
-    is written after every N served requests — the live-monitoring hook
-    for ``serve``/``batch``.  Snapshots go to *stats_stream* when given
-    (``--stats-file``, JSON-lines), otherwise to stderr.
+    Malformed JSON, unknown ``"v"`` envelopes, oversized lines, and
+    schema violations never raise — each comes back as a structured
+    per-line error object in the request's protocol shape
+    (:mod:`repro.frontend.protocol`).  With ``stats_every=N`` a one-line
+    JSON stats snapshot (counters, request-latency percentiles, plus the
+    full metrics-registry snapshot) is written after every N served
+    requests — the live-monitoring hook for ``serve``/``batch``.
+    Snapshots go to *stats_stream* when given (``--stats-file``,
+    JSON-lines), otherwise to stderr.
     """
-    from .service import EstimateRequest, Estimator
+    from .frontend.protocol import (
+        DEFAULT_MAX_LINE_BYTES,
+        error_payload,
+        parse_request_line,
+    )
+    from .service import Estimator
 
     errors = 0
     served = 0
     v1_noted = False
+    limit = max_line_bytes if max_line_bytes is not None else DEFAULT_MAX_LINE_BYTES
     with Estimator(n_jobs=jobs, cache_size=cache_size, shm=shm) as service:
         for lineno, line in enumerate(lines, start=1):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            try:
-                obj = json.loads(line)
-                if (
-                    isinstance(obj, dict)
-                    and int(obj.get("v", 1)) < 2
-                    and not v1_noted
-                ):
-                    # Once per connection, not per line: v1 traffic is
-                    # legal but deprecated (docs/API.md migration table).
-                    v1_noted = True
-                    print(
-                        "note: v1 fixed-trial requests are deprecated; "
-                        'send {"v": 2, ...} with a "precision" block '
-                        "(see docs/API.md)",
-                        file=sys.stderr,
-                    )
-                if mode != "auto" and "mode" not in obj:
-                    obj["mode"] = mode
-                request = EstimateRequest.from_json(obj)
-                result = service.estimate(request)
-                payload = result.to_json(include_counts=include_counts)
-            except Exception as exc:  # noqa: BLE001 - reported per request
+            parsed = parse_request_line(
+                line, lineno=lineno, max_bytes=limit, default_mode=mode
+            )
+            if parsed.obj is not None and parsed.version == 1 and not v1_noted:
+                # Once per connection, not per line: v1 traffic is
+                # legal but deprecated (docs/API.md migration table).
+                v1_noted = True
+                print(
+                    "note: v1 fixed-trial requests are deprecated; "
+                    'send {"v": 2, ...} with a "precision" block '
+                    "(see docs/API.md)",
+                    file=sys.stderr,
+                )
+            if not parsed.ok:
                 errors += 1
-                payload = {"error": str(exc), "line": lineno}
+                payload = parsed.error
+            else:
+                try:
+                    result = service.estimate(parsed.request)
+                    payload = result.to_json(include_counts=include_counts)
+                except Exception as exc:  # noqa: BLE001 - reported per request
+                    errors += 1
+                    payload = error_payload(
+                        "internal",
+                        str(exc),
+                        version=parsed.version,
+                        line=lineno,
+                        request_id=parsed.request.id,
+                    )
             out.write(json.dumps(payload) + "\n")
             out.flush()
             served += 1
@@ -399,8 +415,70 @@ def _flush_on_signals(*flushables):
         signal.signal(signal.SIGINT, prev_int)
 
 
+def _parse_hostport(text: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``:PORT``/``PORT``) → ``(host, port)``."""
+    host, _, port = text.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise SystemExit(f"error: expected HOST:PORT, got {text!r}")
+
+
+def _cmd_serve_network(args: argparse.Namespace) -> None:
+    """The ``serve --tcp/--http`` front end (docs/SERVICE.md)."""
+    import asyncio
+
+    from .frontend import (
+        Frontend,
+        FrontendConfig,
+        run_http_server,
+        run_tcp_server,
+    )
+    from .frontend.protocol import DEFAULT_MAX_LINE_BYTES
+
+    if args.tcp and args.http:
+        raise SystemExit("error: choose one of --tcp / --http")
+    host, port = _parse_hostport(args.tcp or args.http)
+    config = FrontendConfig(
+        shards=args.shards,
+        shard_jobs=args.shard_jobs,
+        cache_size=args.cache_size,
+        mode=args.mode,
+        include_counts=not args.no_counts,
+        shm=not args.no_shm,
+        queue_limit=args.queue_limit,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        admission_half_life_s=args.admission_half_life,
+        shed_threshold=args.shed_threshold,
+        max_line_bytes=args.max_line_bytes or DEFAULT_MAX_LINE_BYTES,
+        shard_log_level=args.log_level,
+    )
+    runner = run_tcp_server if args.tcp else run_http_server
+    frontend = Frontend(config)
+    print(
+        f"repro front end listening on {host}:{port} "
+        f"({'tcp' if args.tcp else 'http'}, {config.shards} shard"
+        f"{'s' if config.shards != 1 else ''}); Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        with _stats_stream(args) as stats_stream, _flush_on_signals(
+            stats_stream
+        ):
+            asyncio.run(
+                runner(frontend, host, port, stats_stream=stats_stream)
+            )
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        raise SystemExit(130)
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     _configure_service_logging(args)
+    if args.tcp or args.http:
+        _cmd_serve_network(args)
+        return
     print(
         "repro estimation service ready — one JSON request per line "
         "(see docs/SERVICE.md); EOF to stop",
@@ -420,6 +498,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
                 stats_every=args.stats_every,
                 stats_stream=stats_stream,
                 shm=not args.no_shm,
+                max_line_bytes=args.max_line_bytes,
             )
     except KeyboardInterrupt:
         # The Estimator context has already torn its workers down.
@@ -427,6 +506,52 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         raise SystemExit(130)
     if errors:
         raise SystemExit(1)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from .frontend import run_loadgen
+
+    host, port = _parse_hostport(args.connect)
+    specs = [s.strip() for s in args.graph.split(",") if s.strip()]
+    if not specs:
+        raise SystemExit("error: --graph must name at least one spec")
+    requests: list[dict] = []
+    for i in range(args.requests):
+        spec = specs[i % len(specs)]
+        if args.v2:
+            requests.append(
+                {"v": 2, "graph": spec, "algorithm": args.algorithm, "seed": 0}
+            )
+        else:
+            requests.append(
+                {
+                    "graph": spec,
+                    "algorithm": args.algorithm,
+                    "trials": args.trials,
+                    "seed": 0,
+                }
+            )
+    try:
+        report = asyncio.run(
+            run_loadgen(
+                host,
+                port,
+                requests,
+                rate=args.rate,
+                slo_ms=args.slo_ms,
+                timeout_s=args.timeout,
+            )
+        )
+    except ConnectionError as exc:
+        raise SystemExit(f"error: cannot reach {host}:{port}: {exc}")
+    except KeyboardInterrupt:
+        raise SystemExit(130)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format())
 
 
 def _cmd_batch(args: argparse.Namespace) -> None:
@@ -450,6 +575,7 @@ def _cmd_batch(args: argparse.Namespace) -> None:
                 stats_every=args.stats_every,
                 stats_stream=stats_stream,
                 shm=not args.no_shm,
+                max_line_bytes=args.max_line_bytes,
             )
         else:
             with open(args.output, "w", encoding="utf-8") as out:
@@ -463,6 +589,7 @@ def _cmd_batch(args: argparse.Namespace) -> None:
                     stats_every=args.stats_every,
                     stats_stream=stats_stream,
                     shm=not args.no_shm,
+                    max_line_bytes=args.max_line_bytes,
                 )
     if errors:
         raise SystemExit(1)
@@ -1237,12 +1364,144 @@ def build_parser() -> argparse.ArgumentParser:
             help="ship graphs to workers by pickling instead of the "
             "zero-copy shared-memory transport",
         )
+        p.add_argument(
+            "--max-line-bytes",
+            type=int,
+            default=None,
+            metavar="N",
+            help="reject request lines larger than N bytes with a "
+            "structured line_too_large error (default 1 MiB)",
+        )
 
     p = sub.add_parser(
-        "serve", help="estimation service: JSON lines stdin -> stdout"
+        "serve",
+        help="estimation service: JSON lines stdin -> stdout, or a "
+        "sharded network front end with --tcp/--http",
     )
     service_opts(p)
+    net = p.add_argument_group(
+        "network front end (docs/SERVICE.md, 'Network deployment')"
+    )
+    net.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve the JSON line protocol over TCP, fanned across "
+        "--shards serve subprocesses",
+    )
+    net.add_argument(
+        "--http",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve single requests over HTTP (POST /estimate, "
+        "GET /metrics, GET /healthz)",
+    )
+    net.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard subprocesses behind the front end (each owns its "
+        "own pools, cache, and evidence)",
+    )
+    net.add_argument(
+        "--shard-jobs",
+        type=int,
+        default=1,
+        help="worker processes per shard (the shard's serve --jobs)",
+    )
+    net.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max in-flight requests per shard; a full queue sheds "
+        "with a structured overloaded error",
+    )
+    net.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        metavar="RPS",
+        help="per-client sustained requests/s (token bucket; 0 = off)",
+    )
+    net.add_argument(
+        "--rate-burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="per-client burst allowance (default 2x --rate-limit)",
+    )
+    net.add_argument(
+        "--admission-half-life",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="decay half-life of the peak-hold load estimate",
+    )
+    net.add_argument(
+        "--shed-threshold",
+        type=float,
+        default=0.85,
+        metavar="LOAD",
+        help="normalized queue pressure above which admission "
+        "control starts shedding",
+    )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="open-loop load generator against a 'serve --tcp' front end",
+    )
+    p.add_argument(
+        "--connect",
+        default="127.0.0.1:7070",
+        metavar="HOST:PORT",
+        help="front end to drive",
+    )
+    p.add_argument(
+        "--graph",
+        default="tree:200:1",
+        help="graph spec(s) to request, comma-separated; requests "
+        "rotate through them",
+    )
+    p.add_argument("--algorithm", default="luby_fast")
+    p.add_argument(
+        "--trials", type=int, default=200, help="fixed trial budget per request"
+    )
+    p.add_argument(
+        "--requests", "-n", type=int, default=100, help="total requests to offer"
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        metavar="RPS",
+        help="open-loop offered rate (departures never wait for responses)",
+    )
+    p.add_argument(
+        "--slo-ms",
+        type=float,
+        default=250.0,
+        help="latency SLO used for goodput and attainment",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="give up waiting for stragglers after this long",
+    )
+    p.add_argument(
+        "--v2",
+        action="store_true",
+        help="send v2 precision requests instead of fixed-trial v1",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report instead of the summary",
+    )
+    p.set_defaults(fn=_cmd_loadgen)
 
     p = sub.add_parser(
         "batch", help="estimation service over a JSON-lines request file"

@@ -1,0 +1,58 @@
+"""Rendezvous routing: pin each graph's traffic to one shard.
+
+Shards coordinate only through routing — each owns its own result
+cache and evidence ledger, so the warm-hit economics (``cached=true``,
+``warm_new_trials=0``) survive sharding *only if* every request for a
+graph lands on the same shard.  Rendezvous (highest-random-weight)
+hashing gives that pinning with minimal churn: each (key, shard) pair
+gets a deterministic score and the key goes to the argmax, so removing
+a shard only moves the keys that lived on it.
+
+The routing key is the **canonical graph spec** — graph generators are
+deterministic, so ``GraphSpec.canonical`` is a 1:1 proxy for the
+on-disk ``content_hash`` that is available *before* the graph is ever
+built (the front end never constructs graphs; hashing the spec string
+costs nanoseconds, hashing the adjacency would cost a build).  Requests
+whose spec fails to parse hash the raw string — still deterministic,
+still pinned.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+
+from ..graphs.spec import GraphSpec
+
+__all__ = ["RendezvousRouter", "routing_key"]
+
+
+def routing_key(graph: str) -> str:
+    """Canonical routing key for a graph spec string.
+
+    Normalizes spelling variants (``tree:200`` vs ``tree:200:0``) to
+    one key so they share a shard; an unparsable spec routes on its raw
+    text and lets the shard produce the structured ``bad_request``.
+    """
+    try:
+        return GraphSpec.parse(graph).canonical
+    except (ValueError, TypeError):
+        return str(graph)
+
+
+class RendezvousRouter:
+    """Highest-random-weight assignment of routing keys to shard indices."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        self.n_shards = int(n_shards)
+
+    def _score(self, key: str, shard: int) -> bytes:
+        return blake2b(f"{key}|{shard}".encode(), digest_size=8).digest()
+
+    def shard_for(self, graph: str) -> int:
+        """The shard index that owns *graph*'s cache and evidence."""
+        key = routing_key(graph)
+        if self.n_shards == 1:
+            return 0
+        return max(range(self.n_shards), key=lambda i: self._score(key, i))

@@ -28,6 +28,9 @@ from .metrics import parse_label_key
 
 __all__ = ["TopDashboard", "snapshot_from_registry", "run_top"]
 
+#: Severity ranking used when a row is governed by several health rules.
+_STATUS_ORDER = ("ok", "warn", "crit")
+
 #: ANSI colors for health-driven row highlighting.
 _COLOR = {"warn": "\x1b[33m", "crit": "\x1b[31m"}
 _RESET = "\x1b[0m"
@@ -305,6 +308,51 @@ class TopDashboard:
             return float(series[""])
         return None
 
+    def _registry_rate(self, oldest, newest, name: str) -> float | None:
+        """Windowed per-second rate of a registry counter family."""
+        new_series = self._series(newest, "counters", name)
+        if not new_series or oldest is None or newest is None:
+            return None
+        dt = float(newest["ts"]) - float(oldest["ts"])
+        if dt <= 0:
+            return None
+        new_total = sum(float(v) for v in new_series.values())
+        old_total = sum(
+            float(v) for v in self._series(oldest, "counters", name).values()
+        )
+        return max(0.0, (new_total - old_total) / dt)
+
+    def frontend(self) -> dict[str, Any] | None:
+        """Front-end admission view, or ``None`` when not deployed.
+
+        Stats snapshots from plain ``serve`` carry no ``frontend_*``
+        families, so single-process deployments render no extra row.
+        """
+        oldest, newest = self._window()
+        counters = (newest or {}).get("metrics", {}).get("counters", {})
+        if not any(name.startswith("frontend_") for name in counters):
+            return None
+
+        def total(name: str) -> float:
+            return sum(
+                float(v) for v in self._series(newest, "counters", name).values()
+            )
+
+        admitted = total("frontend_admitted_total")
+        shed = total("frontend_shed_total")
+        decisions = admitted + shed
+        saturation = self._series(newest, "gauges", "frontend_queue_saturation")
+        peak = self._series(newest, "gauges", "frontend_admission_peak_load")
+        return {
+            "admit_rate": self._registry_rate(
+                oldest, newest, "frontend_admitted_total"
+            ),
+            "shed_pct": 100.0 * shed / decisions if decisions > 0 else None,
+            "rate_limited": total("frontend_rate_limited_total"),
+            "saturation": float(saturation[""]) if "" in saturation else None,
+            "peak_load": float(peak[""]) if "" in peak else None,
+        }
+
     # ------------------------------------------------------------------ #
     # rendering
     # ------------------------------------------------------------------ #
@@ -355,6 +403,32 @@ class TopDashboard:
                 ansi,
             )
         )
+        front = self.frontend()
+        if front is not None:
+            statuses = [
+                health.status_of("frontend_shed_rate"),
+                health.status_of("frontend_queue_saturation"),
+            ]
+            worst = None
+            for s in statuses:
+                if s is not None and (
+                    worst is None
+                    or _STATUS_ORDER.index(s) > _STATUS_ORDER.index(worst)
+                ):
+                    worst = s
+            sat = front["saturation"]
+            lines.append(
+                _highlight(
+                    f"frontend    admit {_fmt(front['admit_rate'], '{:.1f}/s')}"
+                    f"   shed {_fmt(front['shed_pct'], '{:.1f}%')}"
+                    f"   rate-limited {front['rate_limited']:.0f}"
+                    f"   queue sat "
+                    f"{_fmt(None if sat is None else sat * 100, '{:.0f}%')}"
+                    f"   peak load {_fmt(front['peak_load'], '{:.2f}')}",
+                    worst,
+                    ansi,
+                )
+            )
         failing = health.failing()
         if failing:
             worst = ", ".join(

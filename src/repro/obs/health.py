@@ -134,6 +134,18 @@ def _hist_quantile(
     return None if value is None else value * scale
 
 
+def _frontend_shed_rate(snapshot: Mapping[str, Any]) -> float | None:
+    """Front-end sheds over admission decisions (None without traffic)."""
+    shed = _counter_sum(snapshot, "frontend_shed_total")
+    admitted = _counter_sum(snapshot, "frontend_admitted_total")
+    if shed is None and admitted is None:
+        return None
+    total = (shed or 0.0) + (admitted or 0.0)
+    if total <= 0:
+        return None
+    return (shed or 0.0) / total
+
+
 # --------------------------------------------------------------------- #
 # rules and reports
 # --------------------------------------------------------------------- #
@@ -337,6 +349,22 @@ def default_rules(
             ),
             direction="above",
             warn=0,
+        ),
+        HealthRule(
+            name="frontend_shed_rate",
+            description="front-end requests shed by admission control",
+            extract=_frontend_shed_rate,
+            direction="above",
+            warn=0.01,
+            crit=0.2,
+        ),
+        HealthRule(
+            name="frontend_queue_saturation",
+            description="worst shard queue depth over capacity",
+            extract=lambda s: _gauge(s, "frontend_queue_saturation"),
+            direction="above",
+            warn=0.5,
+            crit=0.9,
         ),
     )
 

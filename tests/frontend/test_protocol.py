@@ -1,0 +1,133 @@
+"""Wire-protocol hardening: every bad line becomes a structured error."""
+
+import json
+
+import pytest
+
+from repro.frontend.protocol import (
+    DEFAULT_MAX_LINE_BYTES,
+    ERROR_CODES,
+    error_payload,
+    parse_request_line,
+)
+
+
+class TestErrorPayload:
+    def test_v1_shape_keeps_error_as_message_string(self):
+        out = error_payload("bad_json", "boom", line=3)
+        # Back-compat: existing clients check `"error" in obj` and read
+        # the message straight out of it.
+        assert out["error"] == "boom"
+        assert out["code"] == "bad_json"
+        assert out["line"] == 3
+
+    def test_v2_shape_nests_code_and_message(self):
+        out = error_payload(
+            "overloaded", "try later", version=2, request_id="r1", line=7
+        )
+        assert out["v"] == 2
+        assert out["error"] == {"code": "overloaded", "message": "try later"}
+        assert out["line"] == 7
+        assert out["id"] == "r1"
+
+    def test_extra_fields_ride_along(self):
+        v1 = error_payload("line_too_large", "big", max_bytes=10)
+        assert v1["max_bytes"] == 10
+        v2 = error_payload("line_too_large", "big", version=2, max_bytes=10)
+        assert v2["error"]["max_bytes"] == 10
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            error_payload("nope", "msg")
+
+    def test_all_documented_codes_build(self):
+        for code in ERROR_CODES:
+            assert error_payload(code, "m", version=2)["error"]["code"] == code
+
+
+class TestParseRequestLine:
+    def test_valid_v1_line(self):
+        parsed = parse_request_line(
+            '{"graph": "tree:50:1", "algorithm": "luby_fast", "trials": 10}'
+        )
+        assert parsed.ok
+        assert parsed.version == 1
+        assert parsed.request.graph_spec == "tree:50:1"
+
+    def test_valid_v2_line(self):
+        parsed = parse_request_line(
+            '{"v": 2, "graph": "tree:50:1", "algorithm": "luby_fast",'
+            ' "precision": {"node_ci": 0.1}}'
+        )
+        assert parsed.ok
+        assert parsed.version == 2
+
+    def test_malformed_json(self):
+        parsed = parse_request_line("{not json", lineno=4)
+        assert not parsed.ok
+        assert parsed.error["code"] == "bad_json"
+        assert parsed.error["line"] == 4
+        assert "error" in parsed.error  # v1 shape for undecodable input
+
+    def test_non_object_json(self):
+        parsed = parse_request_line("[1, 2, 3]")
+        assert not parsed.ok
+        assert parsed.error["code"] == "bad_json"
+
+    def test_unknown_version_answers_in_v2_shape(self):
+        parsed = parse_request_line('{"v": 99, "graph": "tree:10", "id": "x"}')
+        assert not parsed.ok
+        err = parsed.error
+        assert err["v"] == 2
+        assert err["error"]["code"] == "unsupported_version"
+        assert err["error"]["supported"] == [1, 2]
+        assert err["id"] == "x"
+
+    def test_non_integer_version(self):
+        parsed = parse_request_line('{"v": "two", "graph": "tree:10"}')
+        assert not parsed.ok
+        assert parsed.error["error"]["code"] == "unsupported_version"
+
+    def test_oversized_line(self):
+        line = json.dumps({"graph": "tree:10", "pad": "x" * 100})
+        parsed = parse_request_line(line, max_bytes=32, lineno=1)
+        assert not parsed.ok
+        assert parsed.error["code"] == "line_too_large"
+        assert parsed.error["max_bytes"] == 32
+
+    def test_default_cap_is_generous(self):
+        line = json.dumps({"graph": "tree:10", "trials": 5})
+        assert len(line) < DEFAULT_MAX_LINE_BYTES
+        assert parse_request_line(line).ok
+
+    def test_schema_violation_v1(self):
+        parsed = parse_request_line('{"algorithm": "luby_fast"}', lineno=2)
+        assert not parsed.ok
+        assert parsed.error["code"] == "bad_request"
+        assert parsed.error["line"] == 2
+        assert "graph" in parsed.error["error"]
+
+    def test_schema_violation_v2_shape(self):
+        parsed = parse_request_line(
+            '{"v": 2, "graph": "tree:10", "bogus_field": 1, "id": 7}'
+        )
+        assert not parsed.ok
+        err = parsed.error
+        assert err["v"] == 2
+        assert err["error"]["code"] == "bad_request"
+        assert err["id"] == "7"
+
+    def test_default_mode_injected(self):
+        parsed = parse_request_line(
+            '{"graph": "tree:10", "trials": 5}', default_mode="exact"
+        )
+        assert parsed.ok
+        assert parsed.request.mode == "exact"
+
+    def test_explicit_mode_wins_over_default(self):
+        parsed = parse_request_line(
+            '{"graph": "tree:10", "trials": 5, "mode": "vectorized"}',
+            default_mode="exact",
+        )
+        assert parsed.ok
+        assert parsed.request.mode == "vectorized"

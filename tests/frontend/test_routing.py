@@ -1,0 +1,70 @@
+"""Rendezvous routing: pinning, balance, and minimal churn."""
+
+from repro.frontend.routing import RendezvousRouter, routing_key
+from repro.graphs.spec import GraphSpec
+
+
+class TestRoutingKey:
+    def test_canonicalizes_spelling_variants(self):
+        spec = "tree:200:1"
+        assert routing_key(spec) == GraphSpec.parse(spec).canonical
+
+    def test_unparsable_spec_routes_on_raw_text(self):
+        assert routing_key("donut:9") == "donut:9"
+        assert routing_key("donut:9") == routing_key("donut:9")
+
+
+class TestRendezvousRouter:
+    def test_deterministic(self):
+        a = RendezvousRouter(4)
+        b = RendezvousRouter(4)
+        for n in range(50):
+            spec = f"tree:{100 + n}:1"
+            assert a.shard_for(spec) == b.shard_for(spec)
+
+    def test_single_shard(self):
+        router = RendezvousRouter(1)
+        assert router.shard_for("tree:100:1") == 0
+
+    def test_same_graph_same_shard_always(self):
+        router = RendezvousRouter(4)
+        first = router.shard_for("tree:500:7")
+        assert all(
+            router.shard_for("tree:500:7") == first for _ in range(20)
+        )
+
+    def test_all_shards_used(self):
+        router = RendezvousRouter(4)
+        seen = {router.shard_for(f"tree:{n}:1") for n in range(10, 210)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_roughly_balanced(self):
+        router = RendezvousRouter(4)
+        counts = [0, 0, 0, 0]
+        total = 400
+        for n in range(total):
+            counts[router.shard_for(f"grid:{10 + n}x{20 + n}")] += 1
+        # Each shard should get 25% ± a generous band.
+        for c in counts:
+            assert total * 0.10 < c < total * 0.45, counts
+
+    def test_minimal_churn_on_scale_out(self):
+        # Rendezvous property: adding a shard only moves the keys that
+        # land on the new shard; every other key keeps its old home.
+        before = RendezvousRouter(4)
+        after = RendezvousRouter(5)
+        keys = [f"tree:{n}:3" for n in range(300)]
+        moved = 0
+        for key in keys:
+            old, new = before.shard_for(key), after.shard_for(key)
+            if new != old:
+                moved += 1
+                assert new == 4, (key, old, new)
+        # Expect ~1/5 of keys to move; allow a wide statistical band.
+        assert moved < len(keys) * 0.35
+
+    def test_rejects_zero_shards(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RendezvousRouter(0)

@@ -171,6 +171,69 @@ class TestDashboard:
         assert "waiting for stats" in dash.render()
 
 
+class TestFrontendRow:
+    @staticmethod
+    def _fe_point(ts, *, admitted, shed, rate_limited=0.0, sat=None, peak=None):
+        gauges = {}
+        if sat is not None:
+            gauges["frontend_queue_saturation"] = {"": sat}
+        if peak is not None:
+            gauges["frontend_admission_peak_load"] = {"": peak}
+        return {
+            "event": "stats",
+            "ts": ts,
+            "metrics": {
+                "counters": {
+                    "frontend_admitted_total": {"": admitted},
+                    "frontend_shed_total": {"": shed},
+                    "frontend_rate_limited_total": {"": rate_limited},
+                },
+                "gauges": gauges,
+                "histograms": {},
+            },
+        }
+
+    def test_absent_without_frontend_families(self):
+        dash = TopDashboard()
+        dash.update(_point(100.0, served=1))
+        assert dash.frontend() is None
+        assert "frontend " not in dash.render()
+
+    def test_admission_view_and_render(self):
+        dash = TopDashboard(window_s=60.0)
+        dash.update(self._fe_point(100.0, admitted=0, shed=0))
+        dash.update(
+            self._fe_point(
+                110.0,
+                admitted=90,
+                shed=10,
+                rate_limited=3,
+                sat=0.25,
+                peak=0.42,
+            )
+        )
+        front = dash.frontend()
+        assert front is not None
+        assert front["admit_rate"] == pytest.approx(9.0)
+        assert front["shed_pct"] == pytest.approx(10.0)
+        assert front["rate_limited"] == 3.0
+        assert front["saturation"] == pytest.approx(0.25)
+        assert front["peak_load"] == pytest.approx(0.42)
+        frame = dash.render()
+        assert "frontend    admit 9.0/s" in frame
+        assert "shed 10.0%" in frame
+        assert "queue sat 25%" in frame
+        assert "peak load 0.42" in frame
+
+    def test_zero_decisions_render_dashes(self):
+        dash = TopDashboard()
+        dash.update(self._fe_point(100.0, admitted=0, shed=0))
+        front = dash.frontend()
+        assert front is not None
+        assert front["shed_pct"] is None
+        assert "shed -" in dash.render()
+
+
 class TestSnapshotFromRegistry:
     def test_shapes_like_stats_event(self):
         reg = MetricsRegistry()

@@ -141,6 +141,56 @@ class TestDefaultRules:
             "telemetry_duplicates",
         }
 
+    def test_frontend_rules_no_data_is_ok(self):
+        # Single-process deployments have no frontend_* families at all.
+        report = evaluate_health({"metrics": {"counters": {}, "gauges": {}}})
+        assert report.status_of("frontend_shed_rate") == "ok"
+        assert report.status_of("frontend_queue_saturation") == "ok"
+
+    def test_frontend_shed_rate_thresholds(self):
+        def snap(admitted: float, shed: float) -> dict:
+            return {
+                "metrics": {
+                    "counters": {
+                        "frontend_admitted_total": {"": admitted},
+                        "frontend_shed_total": {"": shed},
+                    }
+                }
+            }
+
+        assert evaluate_health(snap(100, 0)).status_of(
+            "frontend_shed_rate") == "ok"
+        assert evaluate_health(snap(95, 5)).status_of(
+            "frontend_shed_rate") == "warn"
+        assert evaluate_health(snap(50, 50)).status_of(
+            "frontend_shed_rate") == "crit"
+
+    def test_frontend_shed_rate_zero_decisions_is_no_data(self):
+        snap = {
+            "metrics": {
+                "counters": {
+                    "frontend_admitted_total": {"": 0},
+                    "frontend_shed_total": {"": 0},
+                }
+            }
+        }
+        assert evaluate_health(snap).status_of("frontend_shed_rate") == "ok"
+
+    def test_frontend_queue_saturation_thresholds(self):
+        def snap(sat: float) -> dict:
+            return {
+                "metrics": {
+                    "gauges": {"frontend_queue_saturation": {"": sat}}
+                }
+            }
+
+        assert evaluate_health(snap(0.3)).status_of(
+            "frontend_queue_saturation") == "ok"
+        assert evaluate_health(snap(0.7)).status_of(
+            "frontend_queue_saturation") == "warn"
+        assert evaluate_health(snap(0.95)).status_of(
+            "frontend_queue_saturation") == "crit"
+
 
 class TestHealthReport:
     def _mixed(self) -> HealthReport:
